@@ -1,0 +1,37 @@
+"""Shared fixtures for the table/figure regeneration benchmarks.
+
+Performance models cache their SM timing profiles, and several figures
+share kernel configurations, so models live in session scope: the costly
+cycle-level simulations run once per (device, config) for the whole
+benchmark session.
+"""
+
+import pytest
+
+from repro.analysis import PerformanceModel
+from repro.arch import RTX2070, T4
+
+#: The square sweep of the paper's evaluation (Section VII): 1024..16384,
+#: step 256.  Benchmarks may subsample for speed; figures print what they
+#: used.
+PAPER_SIZES = list(range(1024, 16385, 256))
+
+#: Coarser sweep used by default (every 1024) -- same span, 16 points.
+SWEEP_SIZES = list(range(1024, 16385, 1024)) + [16128]
+
+
+@pytest.fixture(scope="session")
+def pm2070():
+    return PerformanceModel(RTX2070)
+
+
+@pytest.fixture(scope="session")
+def pm_t4():
+    return PerformanceModel(T4)
+
+
+def speedup_stats(ours_series, base_series, sizes):
+    """(average speedup, max speedup, argmax size) of two TFLOPS series."""
+    speedups = [o / b for o, b in zip(ours_series, base_series)]
+    best = max(range(len(speedups)), key=lambda i: speedups[i])
+    return (sum(speedups) / len(speedups), speedups[best], sizes[best])

@@ -1,0 +1,36 @@
+"""Ablation -- STS interleave depth swept from 1 to 8 HMMAs.
+
+Extends Fig. 4 beyond the paper's two points: Eq. (6) predicts saturation
+at 5 HMMAs per STS.128; deeper interleaves should add nothing, shallower
+ones throttle.
+"""
+
+from repro.arch import RTX2070
+from repro.core import ours
+from repro.core.blocking import min_hmma_between_sts
+from repro.report import format_table
+
+W = 8192
+DEPTHS = (1, 2, 3, 5, 8)
+
+
+def test_ablation_sts_interleave_sweep(benchmark, pm2070):
+    def sweep():
+        return {d: pm2070.estimate(ours(sts_interleave=d), W, W, W).tflops
+                for d in DEPTHS}
+
+    tflops = benchmark(sweep)
+    eq6 = min_hmma_between_sts(RTX2070)
+
+    rows = [(d, round(tflops[d], 2),
+             "<- Eq.(6) minimum" if d == eq6 else "") for d in DEPTHS]
+    print()
+    print(format_table(["STS interleave", "TFLOPS", ""], rows,
+                       title=f"Ablation: STS.128 interleave depth (W={W})"))
+
+    # Monotone non-decreasing up to the Eq. (6) point...
+    assert tflops[1] <= tflops[2] <= tflops[3] <= tflops[5]
+    # ...and saturated beyond it (deeper spacing buys < 2%).
+    assert abs(tflops[8] - tflops[5]) / tflops[5] < 0.02
+    # The paper's two points keep their order.
+    assert tflops[5] > tflops[2]

@@ -1,0 +1,70 @@
+"""Figs. 1 and 2 -- register fragment layouts of the 8x8 matrix and the
+HMMA.1688 operands.
+
+Fig. 1: row-major order stores lane 4r+p's two halves at (r, 2p), (r, 2p+1);
+column-major stores lane q+4c's halves at (2q, c), (2q+1, c).
+Fig. 2: D, A, C are 16x8 row-major register pairs; B is one column-major
+register.  The layouts are *executable* here: scatter + HMMA + gather must
+equal the matrix product.
+"""
+
+import numpy as np
+
+from repro.hmma import (
+    COL_MAJOR,
+    ROW_MAJOR,
+    fragments_to_matrix16x8,
+    hmma_operand_layouts,
+    lane_map,
+    matrix16x8_to_fragments,
+    matrix_to_fragment,
+    mma,
+)
+
+
+def test_fig1_lane_maps(benchmark):
+    row = benchmark(lane_map, ROW_MAJOR)
+    col = lane_map(COL_MAJOR)
+
+    print("\nFig. 1 (left) -- row-major lane ownership of an 8x8 matrix:")
+    print(row.render())
+    print("\nFig. 1 (right) -- column-major lane ownership:")
+    print(col.render())
+
+    # The paper's exact grids.
+    assert row.render().splitlines()[0].split() == ["0", "1", "2", "3"]
+    assert row.render().splitlines()[-1].split() == ["28", "29", "30", "31"]
+    assert col.render().splitlines()[0].split() == \
+        ["0", "4", "8", "12", "16", "20", "24", "28"]
+    assert col.render().splitlines()[-1].split() == \
+        ["3", "7", "11", "15", "19", "23", "27", "31"]
+
+
+def test_fig2_operand_layouts_execute(benchmark):
+    layouts = hmma_operand_layouts()
+    print("\nFig. 2 -- HMMA.1688 operand layouts:")
+    for name, (shape, order, regs) in layouts.items():
+        print(f"  {name}: {shape[0]}x{shape[1]}, {order}-major, "
+              f"{regs} warp register(s)")
+
+    assert layouts["B"][1] == COL_MAJOR
+    assert all(layouts[k][1] == ROW_MAJOR for k in ("D", "A", "C"))
+
+    # Executable proof: scatter by Fig. 2, run HMMA, gather, compare.
+    rng = np.random.default_rng(0)
+    a = rng.uniform(-1, 1, (16, 8)).astype(np.float16)
+    b = rng.uniform(-1, 1, (8, 8)).astype(np.float16)
+    c = rng.uniform(-1, 1, (16, 8)).astype(np.float16)
+
+    def run():
+        d_regs = mma.hmma_1688_f16(
+            matrix16x8_to_fragments(a),
+            matrix_to_fragment(b, COL_MAJOR),
+            matrix16x8_to_fragments(c),
+        )
+        return fragments_to_matrix16x8(d_regs)
+
+    got = benchmark(run)
+    expected = (a.astype(np.float32) @ b.astype(np.float32)
+                + c.astype(np.float32)).astype(np.float16)
+    np.testing.assert_array_equal(got, expected)

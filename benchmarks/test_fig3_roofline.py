@@ -1,0 +1,53 @@
+"""Fig. 3 -- global-memory roofline on RTX 2070 and T4.
+
+The paper's reading: a 128x128 CTA tile (intensity 64 FLOP/B) clears the
+FP16-unit roof but leaves Tensor Cores memory-bound; 256x256 (intensity
+128) nearly reaches the Tensor Core roof on the RTX 2070 and is still
+DRAM-bound on the T4.
+"""
+
+from repro.analysis import Roofline
+from repro.arch import RTX2070, T4
+from repro.core import cublas_like, ours
+from repro.report import ascii_chart, format_table
+
+
+def test_fig3_roofline(benchmark):
+    intensities = [2 ** i for i in range(2, 11)]
+
+    def build():
+        return {spec.name: Roofline(spec).series(intensities)
+                for spec in (RTX2070, T4)}
+
+    curves = benchmark(build)
+
+    for spec in (RTX2070, T4):
+        pts = curves[spec.name]
+        print(f"\nFig. 3 -- roofline on {spec.name} "
+              f"(DRAM {spec.dram_measured_gbps} GB/s):")
+        print(ascii_chart(
+            intensities,
+            {"TensorCore": [p.tensor_tflops for p in pts],
+             "FP16": [p.fp16_tflops for p in pts]},
+            y_label="attainable TFLOPS",
+        ))
+
+    rows = []
+    for spec in (RTX2070, T4):
+        r = Roofline(spec)
+        for cfg in (cublas_like(), ours()):
+            p = r.evaluate_blocking(cfg)
+            rows.append((spec.name, cfg.name, cfg.compute_intensity,
+                         round(p.tensor_tflops, 1), p.memory_bound_tensor,
+                         round(p.fp16_tflops, 1), p.memory_bound_fp16))
+    print()
+    print(format_table(
+        ["device", "blocking", "intensity", "TC TFLOPS", "TC mem-bound",
+         "FP16 TFLOPS", "FP16 mem-bound"],
+        rows, title="Fig. 3 blocking-size markers"))
+
+    # The paper's claims:
+    r2070 = Roofline(RTX2070)
+    assert not r2070.evaluate_blocking(cublas_like()).memory_bound_fp16
+    assert r2070.evaluate_blocking(cublas_like()).memory_bound_tensor
+    assert Roofline(T4).evaluate_blocking(ours()).memory_bound_tensor

@@ -1,0 +1,75 @@
+"""Fig. 8 -- rectangular matrices on RTX 2070.
+
+Paper: six shape families ([2W,W,W], [W,2W,W], [W,W,2W], [4W,W,W],
+[W,4W,W], [W,W,4W]); trends match the square case; max speedup 3.23x at
+W = 14848 with [W,W,4W]; average 1.77x.
+"""
+
+from conftest import speedup_stats
+
+from repro.core import cublas_like, ours
+from repro.report import format_table
+
+#: The paper's six rectangular families as (m, n, k) multiples of W.
+SHAPES = [(2, 1, 1), (1, 2, 1), (1, 1, 2), (4, 1, 1), (1, 4, 1), (1, 1, 4)]
+SIZES = [2048, 4096, 8192, 12288, 14848]
+
+PAPER = {"avg_speedup": 1.77, "max_speedup": 3.23, "max_shape": (1, 1, 4)}
+
+
+def shape_name(shape):
+    return "x".join({1: "W", 2: "2W", 4: "4W"}[s] for s in shape)
+
+
+def run_families(pm):
+    table = {}
+    for shape in SHAPES:
+        o = [pm.estimate(ours(), s[0], s[1], s[2]).tflops
+             for s in ((w * shape[0], w * shape[1], w * shape[2])
+                       for w in SIZES)]
+        c = [pm.estimate(cublas_like(), s[0], s[1], s[2],
+                         baseline_quirks=True).tflops
+             for s in ((w * shape[0], w * shape[1], w * shape[2])
+                       for w in SIZES)]
+        table[shape] = (o, c)
+    return table
+
+
+def summarize(table, title):
+    rows = []
+    speedups = []
+    best = (0.0, None, None)
+    for shape, (o, c) in table.items():
+        avg, peak, peak_w = speedup_stats(o, c, SIZES)
+        speedups.append(avg)
+        if peak > best[0]:
+            best = (peak, shape, peak_w)
+        rows.append((shape_name(shape), round(max(o), 1), round(max(c), 1),
+                     round(avg, 2), round(peak, 2), peak_w))
+    print()
+    print(format_table(
+        ["shape", "ours max", "cuBLAS max", "avg speedup", "max speedup",
+         "at W"], rows, title=title))
+    overall_avg = sum(speedups) / len(speedups)
+    print(f"overall avg speedup {overall_avg:.2f}; "
+          f"best {best[0]:.2f}x on {shape_name(best[1])} at W={best[2]}")
+    return overall_avg, best
+
+
+def test_fig8_rect_rtx2070(benchmark, pm2070):
+    table = benchmark(run_families, pm2070)
+    overall_avg, best = summarize(
+        table, "Fig. 8: rectangular HGEMM on RTX 2070")
+
+    # Shape claims: ours wins on average in every family ("the trend is
+    # similar to the square case"), and the biggest gains come at large W
+    # where the baseline degrades.  Which family wins the max differs from
+    # the paper (all our families tie near the n >= 12032 cliff; the paper
+    # saw [W,W,4W] -- recorded in EXPERIMENTS.md).
+    for shape, (o, c) in table.items():
+        avg, peak, _ = speedup_stats(o, c, SIZES)
+        assert avg > 1.0, f"ours must win family {shape}"
+        assert peak >= 1.8, f"large-W gain missing in family {shape}"
+    assert 1.4 <= overall_avg <= 2.1      # paper 1.77
+    assert best[2] >= 12288                # max speedup lands at large W
+    assert 2.0 <= best[0] <= 3.5           # paper 3.23

@@ -1,0 +1,27 @@
+"""Fig. 9 -- rectangular matrices on T4.
+
+Paper: same six families; trends match the square case; max speedup 2.17x
+at W = 15360 with [W,W,4W]; average 1.45x.
+"""
+
+from conftest import speedup_stats
+
+from repro.core import cublas_like, ours
+
+from test_fig8_rect_rtx2070 import SHAPES, SIZES, run_families, summarize
+
+PAPER = {"avg_speedup": 1.45, "max_speedup": 2.17, "max_shape": (1, 1, 4)}
+
+
+def test_fig9_rect_t4(benchmark, pm_t4):
+    table = benchmark(run_families, pm_t4)
+    overall_avg, best = summarize(table, "Fig. 9: rectangular HGEMM on T4")
+
+    for shape, (o, c) in table.items():
+        avg, _, _ = speedup_stats(o, c, SIZES)
+        assert avg > 1.0, f"ours must win family {shape}"
+    # Paper: avg 1.45, max 2.17 (family identity differs; see
+    # EXPERIMENTS.md).
+    assert 1.3 <= overall_avg <= 2.0
+    assert best[2] >= 12288
+    assert 1.7 <= best[0] <= 2.6

@@ -1,0 +1,61 @@
+"""The paper's Section VIII future-work items, implemented and measured.
+
+1. FP32 accumulators (``HMMA.1688.F32``): correctness + predicted
+   performance of the `ours_f32` kernel.
+2. The autotuner ("automatic tools to simplify programming"): recovers a
+   kernel within a few percent of the best hand-analysis pick, and
+   documents every rejection.
+(The third item, the L2-friendly launch order, has its own ablation in
+``test_ablation_launch_order.py``.)
+"""
+
+import numpy as np
+
+from repro.analysis import autotune
+from repro.arch import RTX2070
+from repro.core import hgemm, hgemm_reference, ours, ours_f32
+from repro.report import format_table
+
+W = 8192
+
+
+def test_futurework_f32_accumulators(benchmark, pm2070):
+    rng = np.random.default_rng(0)
+    a = rng.uniform(0, 1, (128, 512)).astype(np.float16)
+    b = rng.uniform(0, 1, (512, 128)).astype(np.float16)
+
+    c32 = benchmark(hgemm, a, b, "ours", RTX2070, "f32")
+    assert c32.dtype == np.float32
+    np.testing.assert_array_equal(c32, hgemm_reference(a, b, accumulate="f32"))
+
+    exact = a.astype(np.float64) @ b.astype(np.float64)
+    err16 = np.abs(hgemm(a, b).astype(np.float64) - exact).max()
+    err32 = np.abs(c32.astype(np.float64) - exact).max()
+
+    est16 = pm2070.estimate(ours(), W, W, W)
+    est32 = pm2070.estimate(ours_f32(), W, W, W)
+    print()
+    print(format_table(
+        ["kernel", "accumulator", "max err (k=512)", f"TFLOPS @ {W}"],
+        [("ours", "FP16", f"{err16:.4f}", round(est16.tflops, 1)),
+         ("ours-f32", "FP32", f"{err32:.6f}", round(est32.tflops, 1))],
+        title="Future work: FP32 accumulators"))
+
+    # FP32 accumulation is dramatically more accurate...
+    assert err32 < err16 / 50
+    # ...and costs throughput (smaller warp tile, more fragment traffic).
+    assert est32.tflops < est16.tflops
+
+
+def test_futurework_autotuner(benchmark, pm2070):
+    result = benchmark(autotune, RTX2070, W, W, W, False, 6, pm2070)
+    print()
+    print(result.summary())
+
+    paper_estimate = pm2070.estimate(ours(), W, W, W)
+    # The tuner's pick is at least as good as the paper's hand choice...
+    assert result.best_tflops >= paper_estimate.tflops * 0.999
+    # ...stays in the paper's design family (big tiles, 128x64 warps)...
+    assert result.best.b_m == 256 and result.best.warp_tile == (128, 64, 8)
+    # ...and records the register-infeasible corner the paper argues about.
+    assert any("register" in c.rejected for c in result.candidates)

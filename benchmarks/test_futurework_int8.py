@@ -1,0 +1,63 @@
+"""Future work (Section VIII): "demystifying Tensor Cores with ...
+integer data type" -- taken all the way to an IGEMM kernel.
+
+Regenerates the Table-I analogue for ``IMMA.8816.S8.S8`` and measures the
+INT8 kernel's device throughput next to the FP16 one.  The paper's
+memory-bound thesis sharpens: at twice the tensor rate and half the
+operand bytes, even the RTX 2070 goes DRAM-bound.
+"""
+
+import numpy as np
+
+from repro.arch import RTX2070
+from repro.bench import measure_hmma_cpi, measure_imma_cpi
+from repro.core import igemm, igemm_reference, ours, ours_int8
+from repro.report import format_table
+
+W = 8192
+
+
+def test_futurework_imma_instruction(benchmark):
+    imma = benchmark(measure_imma_cpi, RTX2070)
+    hmma = measure_hmma_cpi(RTX2070)
+
+    rows = [
+        ("HMMA.1688.F16", "2048 flops", round(hmma.cpi, 2),
+         round(2048 / hmma.cpi, 1)),
+        ("IMMA.8816.S8.S8", "2048 int ops", round(imma.cpi, 2),
+         round(2048 / imma.cpi, 1)),
+    ]
+    print()
+    print(format_table(
+        ["instruction", "work", "CPI", "ops/cycle/block"],
+        rows, title="Table I analogue for the integer Tensor Core path"))
+
+    assert imma.cpi < hmma.cpi
+    assert hmma.cpi / imma.cpi == (
+        __import__("pytest").approx(2.0, rel=0.03))
+
+
+def test_futurework_igemm_kernel(benchmark, pm2070):
+    # Correctness on the simulator.
+    rng = np.random.default_rng(0)
+    a = rng.integers(-128, 128, (256, 128), dtype=np.int8)
+    b = rng.integers(-128, 128, (128, 128), dtype=np.int8)
+    c = benchmark(igemm, a, b)
+    np.testing.assert_array_equal(c, igemm_reference(a, b))
+
+    # Device throughput vs the FP16 kernel.
+    f16 = pm2070.estimate(ours(), W, W, W)
+    s8 = pm2070.estimate(ours_int8(), W, W, W)
+    int8_peak = 2 * RTX2070.tensor_peak_tflops
+    print()
+    print(format_table(
+        ["kernel", "rate", "bound", "of peak"],
+        [("ours (FP16)", f"{f16.tflops:.1f} TFLOPS", f16.bound,
+          f"{f16.tflops / RTX2070.tensor_peak_tflops:.0%}"),
+         ("ours-int8", f"{s8.tflops:.1f} TOPS", s8.bound,
+          f"{s8.tflops / int8_peak:.0%}")],
+        title=f"FP16 vs INT8 kernels at W={W} on RTX 2070"))
+
+    assert s8.tflops > 1.2 * f16.tflops
+    assert s8.bound == "dram"   # the memory-bound thesis, sharpened
+    assert s8.tflops < int8_peak

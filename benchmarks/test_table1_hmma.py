@@ -1,0 +1,35 @@
+"""Table I -- throughput and latency of HMMA.1688.F16.
+
+Paper values: CPI theoretical 8.00, measured 8.06; D first-half latency 10
+cycles, second-half 14 cycles.
+"""
+
+from repro.arch import RTX2070
+from repro.bench import measure_hmma_cpi, measure_hmma_latency
+from repro.report import format_comparison, format_table
+
+PAPER = {"cpi_theoretical": 8.00, "cpi_measured": 8.06,
+         "latency_first": 10, "latency_second": 14}
+
+
+def test_table1_hmma_metrics(benchmark):
+    cpi = benchmark(measure_hmma_cpi, RTX2070)
+    latency = measure_hmma_latency(RTX2070)
+
+    rows = [
+        ("CPI theoretical", PAPER["cpi_theoretical"], 8.00),
+        ("CPI measured", PAPER["cpi_measured"], round(cpi.cpi, 2)),
+        ("Latency, first half of D (cycles)", PAPER["latency_first"],
+         latency.first_half),
+        ("Latency, second half of D (cycles)", PAPER["latency_second"],
+         latency.second_half),
+    ]
+    print()
+    print(format_table(["Metric", "paper", "measured"], rows,
+                       title="Table I: HMMA.1688.F16 throughput and latency"))
+    for name, paper, measured in rows[1:]:
+        print(format_comparison(name, paper, float(measured)))
+
+    assert abs(cpi.cpi - PAPER["cpi_measured"]) < 0.1
+    assert latency.first_half == PAPER["latency_first"]
+    assert latency.second_half == PAPER["latency_second"]

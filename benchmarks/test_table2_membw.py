@@ -1,0 +1,44 @@
+"""Table II -- measured DRAM and L2 bandwidth plus tensor peak.
+
+Paper values (GB/s): RTX2070 DRAM 380 (of 448 peak), L2 750;
+T4 DRAM 238 (of 320 peak), L2 910.  Tensor peaks 59.7 / 65 TFLOPS.
+"""
+
+import pytest
+
+from repro.arch import RTX2070, T4
+from repro.bench import measure_dram_bandwidth, measure_l2_bandwidth
+from repro.report import format_table
+
+PAPER = {
+    "RTX2070": {"dram_peak": 448, "dram": 380, "l2": 750, "tensor": 59.7},
+    "T4": {"dram_peak": 320, "dram": 238, "l2": 910, "tensor": 65.0},
+}
+
+
+def test_table2_bandwidths(benchmark):
+    dram = {spec.name: None for spec in (RTX2070, T4)}
+    l2 = dict(dram)
+    dram["RTX2070"] = benchmark(measure_dram_bandwidth, RTX2070)
+    dram["T4"] = measure_dram_bandwidth(T4)
+    l2["RTX2070"] = measure_l2_bandwidth(RTX2070)
+    l2["T4"] = measure_l2_bandwidth(T4)
+
+    rows = []
+    for spec in (RTX2070, T4):
+        p = PAPER[spec.name]
+        rows.append((spec.name, p["dram_peak"], p["dram"],
+                     round(dram[spec.name].gbps, 1), p["l2"],
+                     round(l2[spec.name].gbps, 1),
+                     p["tensor"], round(spec.tensor_peak_tflops, 1)))
+    print()
+    print(format_table(
+        ["device", "DRAM peak", "DRAM paper", "DRAM meas",
+         "L2 paper", "L2 meas", "TC paper", "TC struct"],
+        rows, title="Table II: DRAM / L2 bandwidth and Tensor Core peak"))
+
+    for spec in (RTX2070, T4):
+        p = PAPER[spec.name]
+        assert dram[spec.name].gbps == pytest.approx(p["dram"], rel=0.03)
+        assert l2[spec.name].gbps == pytest.approx(p["l2"], rel=0.05)
+        assert spec.tensor_peak_tflops == pytest.approx(p["tensor"], rel=0.01)

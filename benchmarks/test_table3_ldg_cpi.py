@@ -1,0 +1,49 @@
+"""Table III -- CPI of LDG on Turing GPUs.
+
+Paper values: L1 hits 4.04 / 4.04 / 8.00 and L2 hits 4.19 / 8.38 / 15.95
+for widths 32 / 64 / 128.
+"""
+
+import pytest
+
+from repro.arch import RTX2070
+from repro.bench import measure_ldg_cpi
+from repro.report import format_table
+
+PAPER = {
+    ("l1", 32): 4.04, ("l1", 64): 4.04, ("l1", 128): 8.00,
+    ("l2", 32): 4.19, ("l2", 64): 8.38, ("l2", 128): 15.95,
+}
+
+
+def test_table3_ldg_cpi(benchmark):
+    measured = {}
+    for level in ("l1", "l2"):
+        for width in (32, 64, 128):
+            if (level, width) == ("l2", 128):
+                result = benchmark(measure_ldg_cpi, RTX2070, width, level)
+            else:
+                result = measure_ldg_cpi(RTX2070, width, level)
+            measured[(level, width)] = result.cpi
+
+    rows = []
+    for level, label in (("l1", "LDG (data in L1 cache)"),
+                         ("l2", "LDG (data in L2 cache)")):
+        row = [label]
+        for width in (32, 64, 128):
+            row.append(f"{PAPER[(level, width)]:.2f} / "
+                       f"{measured[(level, width)]:.2f}")
+        rows.append(tuple(row))
+    print()
+    print(format_table(
+        ["Type", "32 (paper/meas)", "64 (paper/meas)", "128 (paper/meas)"],
+        rows, title="Table III: CPI of LDG"))
+
+    for key, paper in PAPER.items():
+        assert measured[key] == pytest.approx(paper, abs=0.1)
+    # From the SM's view LDG.32 and LDG.64 in L2 have equal throughput;
+    # LDG.128 is ~5.1% better (paper Section V-A).
+    assert 32 / measured[("l2", 32)] == pytest.approx(
+        64 / measured[("l2", 64)], rel=0.01)
+    edge = (128 / measured[("l2", 128)]) / (64 / measured[("l2", 64)])
+    assert edge == pytest.approx(1.051, abs=0.01)

@@ -1,0 +1,47 @@
+"""Table IV -- CPI of shared-memory load/store instructions.
+
+Paper values: LDS 2.11 / 4.00 / 8.00 and STS 4.06 / 6.00 / 10.00 for
+widths 32 / 64 / 128 (identical on RTX 2070 and T4).
+"""
+
+import pytest
+
+from repro.arch import RTX2070, T4
+from repro.bench import measure_lds_cpi, measure_sts_cpi
+from repro.report import format_table
+
+PAPER = {
+    ("LDS", 32): 2.11, ("LDS", 64): 4.00, ("LDS", 128): 8.00,
+    ("STS", 32): 4.06, ("STS", 64): 6.00, ("STS", 128): 10.00,
+}
+
+
+def test_table4_smem_cpi(benchmark):
+    measured = {}
+    for width in (32, 64, 128):
+        if width == 32:
+            measured[("LDS", width)] = benchmark(
+                measure_lds_cpi, RTX2070, width).cpi
+        else:
+            measured[("LDS", width)] = measure_lds_cpi(RTX2070, width).cpi
+        measured[("STS", width)] = measure_sts_cpi(RTX2070, width).cpi
+
+    rows = []
+    for op in ("LDS", "STS"):
+        row = [op]
+        for width in (32, 64, 128):
+            row.append(f"{PAPER[(op, width)]:.2f} / {measured[(op, width)]:.2f}")
+        rows.append(tuple(row))
+    print()
+    print(format_table(
+        ["Type", "32 (paper/meas)", "64 (paper/meas)", "128 (paper/meas)"],
+        rows, title="Table IV: CPI of shared memory instructions"))
+
+    for key, paper in PAPER.items():
+        assert measured[key] == pytest.approx(paper, abs=0.1)
+
+    # Same metrics on T4 (paper: "the CPI and throughput are the same").
+    assert measure_lds_cpi(T4, 32).cpi == pytest.approx(
+        measured[("LDS", 32)], abs=0.02)
+    assert measure_sts_cpi(T4, 128).cpi == pytest.approx(
+        measured[("STS", 128)], abs=0.02)

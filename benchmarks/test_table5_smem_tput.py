@@ -1,0 +1,55 @@
+"""Table V -- shared-memory throughput in bytes/cycle.
+
+Paper values: LDS 60.66 / 64.00 / 64.00 and STS 31.53 / 42.67 / 51.20 for
+widths 32 / 64 / 128.
+"""
+
+import pytest
+
+from repro.arch import RTX2070
+from repro.bench import (
+    measure_lds_cpi,
+    measure_sts_cpi,
+    smem_throughput_bytes_per_cycle,
+)
+from repro.report import format_table
+
+PAPER = {
+    ("LDS", 32): 60.66, ("LDS", 64): 64.00, ("LDS", 128): 64.00,
+    ("STS", 32): 31.53, ("STS", 64): 42.67, ("STS", 128): 51.20,
+}
+
+
+def test_table5_smem_throughput(benchmark):
+    measured = {}
+    for width in (32, 64, 128):
+        lds = (benchmark(measure_lds_cpi, RTX2070, width) if width == 64
+               else measure_lds_cpi(RTX2070, width))
+        sts = measure_sts_cpi(RTX2070, width)
+        measured[("LDS", width)] = smem_throughput_bytes_per_cycle(lds, width)
+        measured[("STS", width)] = smem_throughput_bytes_per_cycle(sts, width)
+
+    rows = []
+    for op in ("LDS", "STS"):
+        row = [op]
+        for width in (32, 64, 128):
+            row.append(f"{PAPER[(op, width)]:.2f} / {measured[(op, width)]:.2f}")
+        rows.append(tuple(row))
+    print()
+    print(format_table(
+        ["Type", "32 (paper/meas)", "64 (paper/meas)", "128 (paper/meas)"],
+        rows, title="Table V: shared memory throughput (bytes/cycle)"))
+
+    for key, paper in PAPER.items():
+        assert measured[key] == pytest.approx(paper, rel=0.03)
+
+    # The paper's headline readings:
+    # LDS.64/.128 reach the 64 B/cycle theoretical peak...
+    assert measured[("LDS", 64)] == pytest.approx(64.0, rel=0.01)
+    assert measured[("LDS", 128)] == pytest.approx(64.0, rel=0.01)
+    # ...and narrow STS pays a heavy penalty: .128 is 20% over .64 and
+    # 62.4% over .32.
+    assert measured[("STS", 128)] / measured[("STS", 64)] == pytest.approx(
+        1.20, abs=0.02)
+    assert measured[("STS", 128)] / measured[("STS", 32)] == pytest.approx(
+        1.624, abs=0.03)

@@ -1,0 +1,54 @@
+"""Table VI -- Tensor Core vs memory-IO pipe cycles per blocking size.
+
+Paper values (cycles per CTA iteration, measured CPIs):
+
+    (128x128x32)(64x64x8)   HMMA 1031  memory 1370
+    (128x128x32)(128x64x8)  HMMA 1031  memory 1235
+    (256x128x32)(64x64x8)   HMMA 2063  memory 2325
+    (256x128x32)(128x64x8)  HMMA 2063  memory 2055
+    (256x256x32)(64x64x8)   HMMA 4126  memory 3821
+    (256x256x32)(128x64x8)  HMMA 4126  memory 3281
+"""
+
+import pytest
+
+from repro.arch import RTX2070
+from repro.core.blocking import choose_blocking, table6_rows
+from repro.report import format_table
+
+PAPER_ROWS = {
+    ((128, 128, 32), (64, 64, 8)): (1031, 1370),
+    ((128, 128, 32), (128, 64, 8)): (1031, 1235),
+    ((256, 128, 32), (64, 64, 8)): (2063, 2325),
+    ((256, 128, 32), (128, 64, 8)): (2063, 2055),
+    ((256, 256, 32), (64, 64, 8)): (4126, 3821),
+    ((256, 256, 32), (128, 64, 8)): (4126, 3281),
+}
+
+
+def test_table6_pipe_cycles(benchmark):
+    rows = benchmark(table6_rows, RTX2070)
+
+    printable = []
+    for cta, warp, hmma, mem in rows:
+        paper_hmma, paper_mem = PAPER_ROWS[(cta, warp)]
+        printable.append((
+            f"{cta[0]}x{cta[1]}x{cta[2]}", f"{warp[0]}x{warp[1]}x{warp[2]}",
+            paper_hmma, round(hmma), paper_mem, round(mem),
+        ))
+    print()
+    print(format_table(
+        ["CTA tile", "warp tile", "HMMA paper", "HMMA ours",
+         "memIO paper", "memIO ours"],
+        printable, title="Table VI: cycles per iteration by blocking size"))
+
+    for cta, warp, hmma, mem in rows:
+        paper_hmma, paper_mem = PAPER_ROWS[(cta, warp)]
+        assert hmma == pytest.approx(paper_hmma, abs=1.0)
+        assert mem == pytest.approx(paper_mem, abs=1.0)
+
+    # The model's conclusion is the paper's conclusion: 256x256x32 with
+    # 128x64 warps is the best (most compute-bound) feasible blocking.
+    best = choose_blocking(RTX2070)
+    assert best.cta_tile == (256, 256, 32)
+    assert best.warp_tile == (128, 64, 8)

@@ -1,0 +1,59 @@
+"""Table VII -- kernel details: ours vs cuBLAS 10.1.
+
+Paper values:
+
+                        ours            cuBLAS 10.1
+    CTA tile            256x256x32      128x128x64
+    warp tile           128x64x8        64x64x8
+    shared memory/CTA   36 KB           32 KB
+    active CTAs/SM      1               2
+    active warps/SM     8               8
+
+Note: our padded layout uses 40 KB/CTA (8 pad halves on every row instead
+of every other row -- see DESIGN.md); the occupancy outcome is identical.
+"""
+
+from repro.analysis import table7
+from repro.arch import RTX2070
+from repro.core import cublas_like, ours
+from repro.report import format_table
+
+PAPER = {
+    "ours": {"cta": (256, 256, 32), "warp": (128, 64, 8),
+             "smem_kb": 36, "ctas": 1, "warps": 8},
+    "cublas-like": {"cta": (128, 128, 64), "warp": (64, 64, 8),
+                    "smem_kb": 32, "ctas": 2, "warps": 8},
+}
+
+
+def test_table7_kernel_details(benchmark):
+    rows = benchmark(table7, ours(), cublas_like(), RTX2070)
+
+    printable = []
+    for row in rows:
+        p = PAPER[row["kernel"]]
+        printable.append((
+            row["kernel"],
+            "x".join(map(str, row["cta_tile"])),
+            "x".join(map(str, row["warp_tile"])),
+            f"{p['smem_kb']} / {row['smem_per_cta_kb']:.0f}",
+            f"{p['ctas']} / {row['ctas_per_sm']}",
+            f"{p['warps']} / {row['warps_per_sm']}",
+        ))
+    print()
+    print(format_table(
+        ["kernel", "CTA tile", "warp tile", "smem KB (p/m)",
+         "CTAs/SM (p/m)", "warps/SM (p/m)"],
+        printable, title="Table VII: ours vs cuBLAS 10.1"))
+
+    by_name = {row["kernel"]: row for row in rows}
+    for name, paper in PAPER.items():
+        row = by_name[name]
+        assert row["cta_tile"] == paper["cta"]
+        assert row["warp_tile"] == paper["warp"]
+        assert row["ctas_per_sm"] == paper["ctas"]
+        assert row["warps_per_sm"] == paper["warps"]
+    # cuBLAS's economical 32 KB is exact; ours differs (40 vs 36 KB) by the
+    # documented padding-granularity substitution.
+    assert by_name["cublas-like"]["smem_per_cta_kb"] == 32.0
+    assert by_name["ours"]["smem_per_cta_kb"] == 40.0

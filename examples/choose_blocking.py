@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Walk through the paper's blocking-size analysis (Section VI-A).
+
+1. Fig. 3 -- the roofline shows why Tensor Cores turn HGEMM memory-bound;
+2. Table VI -- CPI-based pipe-cycle accounting for six blockings;
+3. Eq. (6) -- the STS interleave rule;
+4. the final selection, identical to the paper's kernel.
+
+Run:  python examples/choose_blocking.py
+"""
+
+from repro import RTX2070, T4
+from repro.analysis import Roofline
+from repro.core import cublas_like, ours
+from repro.core.blocking import (
+    choose_blocking,
+    min_hmma_between_sts,
+    table6_rows,
+)
+from repro.report import format_table
+
+
+def roofline_story() -> None:
+    print("=" * 68)
+    print("Step 1: the roofline (Fig. 3)")
+    print("=" * 68)
+    for spec in (RTX2070, T4):
+        r = Roofline(spec)
+        rows = []
+        for cfg in (cublas_like(), ours()):
+            p = r.evaluate_blocking(cfg)
+            rows.append((cfg.name, f"{cfg.b_m}x{cfg.b_n}",
+                         cfg.compute_intensity,
+                         round(p.fp16_tflops, 1),
+                         "yes" if p.memory_bound_fp16 else "no",
+                         round(p.tensor_tflops, 1),
+                         "yes" if p.memory_bound_tensor else "no"))
+        print(format_table(
+            ["kernel", "tile", "FLOP/B", "FP16 TFLOPS", "FP16 bound?",
+             "TC TFLOPS", "TC bound?"],
+            rows, title=f"{spec.name} (DRAM {spec.dram_measured_gbps} GB/s, "
+                        f"TC peak {spec.tensor_peak_tflops:.1f} TFLOPS)"))
+        print()
+    print("Reading: with FP16 units a 128x128 tile already clears the roof;")
+    print("Tensor Cores are 4x faster, so the same tile leaves them starved.")
+
+
+def table6_story() -> None:
+    print("\n" + "=" * 68)
+    print("Step 2: pipe-cycle accounting (Table VI, Eqs. 3-5)")
+    print("=" * 68)
+    rows = []
+    for cta, warp, hmma, mem in table6_rows(RTX2070):
+        verdict = "Tensor-bound (good)" if hmma >= mem else "memory-bound"
+        rows.append((f"{cta[0]}x{cta[1]}x{cta[2]}",
+                     f"{warp[0]}x{warp[1]}x{warp[2]}",
+                     round(hmma), round(mem), verdict))
+    print(format_table(
+        ["CTA tile", "warp tile", "HMMA cycles", "memory-IO cycles", ""],
+        rows))
+
+
+def schedule_story() -> None:
+    print("\n" + "=" * 68)
+    print("Step 3: instruction scheduling (Eq. 6)")
+    print("=" * 68)
+    for width in (32, 64, 128):
+        spacing = min_hmma_between_sts(RTX2070, width)
+        print(f"  STS.{width:<3d} needs >= {spacing} HMMAs of cover "
+              f"(4 blocks x CPI_STS / CPI_HMMA)")
+    print("  cuBLAS 10.1 interleaves STS.128 with only 2 HMMAs -- 'not "
+          "enough' (Fig. 4).")
+
+
+def final_choice() -> None:
+    print("\n" + "=" * 68)
+    print("Step 4: the selection")
+    print("=" * 68)
+    best = choose_blocking(RTX2070)
+    print(f"chosen: {best.describe()}")
+    assert best.cta_tile == (256, 256, 32)
+    assert best.warp_tile == (128, 64, 8)
+    print("identical to the paper's kernel (Table VII).")
+
+
+def main() -> None:
+    roofline_story()
+    table6_story()
+    schedule_story()
+    final_choice()
+    print("\nOK")
+
+
+if __name__ == "__main__":
+    main()

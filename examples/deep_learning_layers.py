@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""The paper's motivating workloads: GEMMs from deep-learning layers.
+
+Section I motivates HGEMM with fully-connected layers, convolutions
+lowered to GEMM, LSTM cells and BERT's transformer blocks.  This example
+runs representative layer shapes through both kernels:
+
+* functionally (small shapes, bit-exact against the precision model);
+* through the device performance model (production shapes, predicted
+  TFLOPS for both kernels on the RTX 2070).
+
+Run:  python examples/deep_learning_layers.py
+"""
+
+import numpy as np
+
+from repro import PerformanceModel, RTX2070, cublas_like, hgemm, hgemm_reference, ours
+from repro.report import format_table
+
+#: Production-scale layer GEMMs (m, n, k) -- all multiples of the tiles.
+LAYER_SHAPES = [
+    ("BERT-large QKV projection (seq 512)", 512, 3072, 1024),
+    ("BERT-large FFN up (seq 512)", 512, 4096, 1024),
+    ("BERT-large FFN down (seq 512)", 512, 1024, 4096),
+    ("LSTM cell, hidden 1024, batch 256", 256, 4096, 2048),
+    ("ResNet conv3x3 as GEMM (56x56x256)", 3136, 256, 2304),
+    ("classifier FC, batch 1024", 1024, 1024, 4096),
+]
+
+
+def functional_check() -> None:
+    print("Functional check (scaled-down layers, full simulator):")
+    rng = np.random.default_rng(0)
+    shapes = [("FC layer", 128, 256, 64), ("attention score", 64, 64, 64),
+              ("LSTM gates", 64, 256, 128)]
+    for name, m, n, k in shapes:
+        a = rng.normal(0, 0.5, (m, k)).astype(np.float16)
+        b = rng.normal(0, 0.5, (k, n)).astype(np.float16)
+        c = hgemm(a, b)
+        exact = np.array_equal(c, hgemm_reference(a, b))
+        print(f"  {name}: {m}x{n}x{k} -> bit-exact {exact}")
+        assert exact
+
+
+def predicted_layer_performance() -> None:
+    pm = PerformanceModel(RTX2070)
+    # A real library keeps a kernel family and picks per shape: the big
+    # 256x256 tile maximises intensity, the 128x128 variant fills more SMs
+    # on small/skinny layers (this is exactly cuBLAS's own trade, Table
+    # VII).  The analytical model does the selection.
+    family = {
+        "256x256": ours(),
+        "128x128": ours(b_m=128, b_n=128, w_m=64, w_n=64, name="ours-small"),
+    }
+    rows = []
+    for name, m, n, k in LAYER_SHAPES:
+        candidates = {
+            label: pm.estimate(cfg, m, n, k) for label, cfg in family.items()
+        }
+        label = max(candidates, key=lambda key: candidates[key].tflops)
+        o = candidates[label]
+        c = pm.estimate(cublas_like(), m, n, k, baseline_quirks=True)
+        rows.append((name, f"{m}x{n}x{k}", label, round(o.tflops, 1),
+                     round(c.tflops, 1), round(o.tflops / c.tflops, 2),
+                     o.bound))
+    print()
+    print(format_table(
+        ["layer", "GEMM", "tile", "ours TFLOPS", "cuBLAS TFLOPS",
+         "speedup", "bound"],
+        rows, title="Predicted layer GEMM performance on RTX 2070 "
+                    "(shape-aware tile selection)"))
+
+
+def main() -> None:
+    functional_check()
+    predicted_layer_performance()
+    print()
+    print("Note: the paper's kernel is tuned for large matrices ('Tensor")
+    print("Cores are targeting large matrices', Section VII); on small or")
+    print("skinny layers the baseline's 128x128x64 configuration can win --")
+    print("shape-aware kernel selection is what a production library adds.")
+    print("\nOK")
+
+
+if __name__ == "__main__":
+    main()

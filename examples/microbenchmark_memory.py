@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Microbenchmark the memory system, as the paper's Section V does.
+
+Reproduces Tables II-V on the simulated devices, plus the fine-grained
+pointer chase (Mei & Chu) detecting the L1 capacity.
+
+Run:  python examples/microbenchmark_memory.py
+"""
+
+from repro import RTX2070, T4
+from repro.bench import (
+    detect_l1_capacity,
+    measure_dram_bandwidth,
+    measure_l2_bandwidth,
+    measure_ldg_cpi,
+    measure_lds_cpi,
+    measure_sts_cpi,
+    pointer_chase,
+    smem_throughput_bytes_per_cycle,
+)
+from repro.report import format_table
+
+
+def table2() -> None:
+    rows = []
+    for spec in (RTX2070, T4):
+        dram = measure_dram_bandwidth(spec)
+        l2 = measure_l2_bandwidth(spec)
+        rows.append((spec.name, spec.dram_peak_gbps, round(dram.gbps, 1),
+                     round(l2.gbps, 1), round(spec.tensor_peak_tflops, 1)))
+    print(format_table(
+        ["device", "DRAM peak GB/s", "DRAM measured", "L2 measured",
+         "TC peak TFLOPS"],
+        rows, title="Table II: memory bandwidth (paper: 380/750 and 238/910)"))
+
+
+def table3() -> None:
+    rows = []
+    for level in ("l1", "l2"):
+        row = [f"LDG (data in {level.upper()})"]
+        for width in (32, 64, 128):
+            row.append(round(measure_ldg_cpi(RTX2070, width, level).cpi, 2))
+        rows.append(tuple(row))
+    print()
+    print(format_table(["Type", "32", "64", "128"], rows,
+                       title="Table III: CPI of LDG"))
+
+
+def tables4_5() -> None:
+    cpi_rows, tput_rows = [], []
+    for op, fn in (("LDS", measure_lds_cpi), ("STS", measure_sts_cpi)):
+        cpis, tputs = [op], [op]
+        for width in (32, 64, 128):
+            result = fn(RTX2070, width)
+            cpis.append(round(result.cpi, 2))
+            tputs.append(round(smem_throughput_bytes_per_cycle(result, width), 2))
+        cpi_rows.append(tuple(cpis))
+        tput_rows.append(tuple(tputs))
+    print()
+    print(format_table(["Type", "32", "64", "128"], cpi_rows,
+                       title="Table IV: CPI of shared memory instructions"))
+    print()
+    print(format_table(["Type", "32", "64", "128"], tput_rows,
+                       title="Table V: shared memory throughput (bytes/cycle)"))
+
+
+def pchase() -> None:
+    print("\nFine-grained pointer chase (Mei & Chu, in SASS):")
+    for footprint_kb in (8, 16, 32, 48, 64):
+        result = pointer_chase(RTX2070, footprint_kb << 10)
+        print(f"  footprint {footprint_kb:3d} KB: "
+              f"{result.cycles_per_hop:6.1f} cycles/hop")
+    capacity = detect_l1_capacity(RTX2070)
+    print(f"=> detected L1 capacity: {capacity >> 10} KB")
+
+
+def main() -> None:
+    table2()
+    table3()
+    tables4_5()
+    pchase()
+    print("\nOK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Analytical models: roofline, occupancy, and the device-level wave model."""
+
+from .autotune import Candidate, TuneResult, autotune, candidate_space
+from .bounds import BoundBreakdown, explain, sweep_transitions
+from .occupancy import OccupancyReport, occupancy, table7
+from .perf_model import (
+    LaunchEstimate,
+    PerfOptions,
+    PerformanceModel,
+    SmProfile,
+)
+from .roofline import Roofline, RooflinePoint
+
+__all__ = [
+    "Candidate",
+    "TuneResult",
+    "autotune",
+    "candidate_space",
+    "BoundBreakdown",
+    "explain",
+    "sweep_transitions",
+    "OccupancyReport",
+    "occupancy",
+    "table7",
+    "LaunchEstimate",
+    "PerfOptions",
+    "PerformanceModel",
+    "SmProfile",
+    "Roofline",
+    "RooflinePoint",
+]

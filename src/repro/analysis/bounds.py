@@ -1,0 +1,73 @@
+"""Bottleneck attribution: which resource binds a launch, and by how much.
+
+The paper's argument structure is "X is the bottleneck because its time
+exceeds the others"; this module turns a :class:`LaunchEstimate` into that
+argument explicitly -- per-pipe times, headroom percentages, and a one-line
+verdict -- and aggregates a sweep into a bound-transition report (e.g.
+"compute-bound until W=9216, DRAM-bound beyond").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import KernelConfig
+from .perf_model import LaunchEstimate, PerformanceModel
+
+__all__ = ["BoundBreakdown", "explain", "sweep_transitions"]
+
+
+@dataclass(frozen=True)
+class BoundBreakdown:
+    """Per-iteration resource times of one launch, with the verdict."""
+
+    estimate: LaunchEstimate
+    compute_us: float
+    dram_us: float
+    l2_us: float
+
+    @property
+    def bound(self) -> str:
+        return self.estimate.bound
+
+    @property
+    def headroom(self) -> float:
+        """How far the runner-up is below the binding resource (0..1)."""
+        times = sorted([self.compute_us, self.dram_us, self.l2_us])
+        if times[-1] == 0:
+            return 0.0
+        return 1.0 - times[-2] / times[-1]
+
+    def verdict(self) -> str:
+        return (f"{self.bound}-bound: compute {self.compute_us:.2f}us, "
+                f"DRAM {self.dram_us:.2f}us, L2 {self.l2_us:.2f}us per "
+                f"wave-iteration ({self.headroom:.0%} headroom)")
+
+
+def explain(estimate: LaunchEstimate) -> BoundBreakdown:
+    """Attach the per-resource breakdown to an estimate."""
+    return BoundBreakdown(
+        estimate=estimate,
+        compute_us=estimate.compute_time_per_iter * 1e6,
+        dram_us=estimate.dram_time_per_iter * 1e6,
+        l2_us=estimate.l2_time_per_iter * 1e6,
+    )
+
+
+def sweep_transitions(model: PerformanceModel, config: KernelConfig,
+                      sizes, baseline_quirks: bool = False) -> list:
+    """(size, bound, tflops) per size, collapsed into transition segments.
+
+    Returns a list of ``(first_size, last_size, bound)`` runs -- the
+    narrative form of a Fig. 6/7 curve.
+    """
+    segments = []
+    for size in sizes:
+        est = model.estimate(config, size, size, size,
+                             baseline_quirks=baseline_quirks)
+        if segments and segments[-1][2] == est.bound:
+            first, _, bound = segments[-1]
+            segments[-1] = (first, size, bound)
+        else:
+            segments.append((size, size, est.bound))
+    return segments

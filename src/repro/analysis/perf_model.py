@@ -1,0 +1,266 @@
+"""Device-level performance model: per-SM cycle profiles + memory ceilings.
+
+The paper's evaluation (Figs. 4-9) runs kernels on a whole GPU.  Simulating
+4096 CTAs cycle-by-cycle is pointless -- every full wave is statistically
+identical -- so the model composes:
+
+1. **Per-SM compute profile** (measured, not modelled): the timing simulator
+   runs one SM with the kernel's actual occupancy (CTAs/SM co-resident) at
+   two k depths; the difference isolates the marginal cycles per k-iteration
+   and the fixed prologue/epilogue cost.  Bank conflicts, STS interleave
+   quality, prefetch bubbles -- everything the paper tunes -- lands in this
+   number.
+
+2. **Wave model**: the grid executes in waves of ``num_sms * ctas_per_sm``
+   concurrent CTAs.  Per k-iteration each wave moves a predictable number of
+   bytes; the wave's wall time is the max of the compute profile, the L2
+   service time, and the DRAM service time (a roofline across three
+   ceilings, paper Section VI-A).
+
+3. **L2 reuse**: concurrent CTAs that share an A-tile row or B-tile column
+   can hit in L2 instead of DRAM.  The launch order determines the window's
+   shape (row-major vs supertile-swizzled); CTASs drift out of lockstep over
+   long k, eroding the sharing (``drift``).
+
+4. **Baseline quirk**: cuBLAS 10.1 on the RTX 2070 shows a sharp drop at
+   n >= 12032 (paper Fig. 6: "we suspect that the L2 cache blocking
+   strategy of cuBLAS fails at that size").  We reproduce it as an explicit,
+   documented quirk -- when one C tile-row exceeds ~72% of L2, the
+   baseline's inter-CTA reuse collapses.  The paper's T4 data (Fig. 7)
+   shows no cliff, so the quirk is keyed to the device.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..arch.turing import GpuSpec
+from ..core.builder import HgemmProblem, build_hgemm
+from ..core.config import KernelConfig
+from ..sim.memory import GlobalMemory
+from ..sim.timing import TimingSimulator
+
+__all__ = ["PerfOptions", "SmProfile", "LaunchEstimate", "PerformanceModel"]
+
+
+@dataclass(frozen=True)
+class PerfOptions:
+    """Tunables of the wave/L2 model (defaults documented in DESIGN.md)."""
+
+    #: Fraction of *potential* inter-CTA tile sharing served by L2 when
+    #: CTAs are roughly in lockstep.
+    l2_reuse_eta: float = 0.8
+    #: Lockstep erosion: reuse efficiency loses up to `drift_max` as the
+    #: iteration count approaches `drift_span` (long-k runs drift apart).
+    drift_span: float = 4096.0
+    drift_max: float = 0.3
+    #: cuBLAS-10.1 quirk: reuse collapses when n*b_m*2 > fraction * L2.
+    cliff_l2_fraction: float = 0.72
+    cliff_devices: tuple = ("RTX2070",)
+    #: Effective measurement k-depths for the SM profile.
+    profile_iters: tuple = (2, 6)
+
+
+@dataclass(frozen=True)
+class SmProfile:
+    """Measured per-SM cost of one kernel configuration."""
+
+    marginal_cycles: float   # wall cycles per k-iteration (all resident CTAs)
+    fixed_cycles: float      # prologue + pipeline fill + epilogue
+    ctas_per_sm: int
+
+
+@dataclass
+class LaunchEstimate:
+    """Predicted execution of one HGEMM launch on the whole device."""
+
+    m: int
+    n: int
+    k: int
+    seconds: float
+    tflops: float
+    bound: str                 # "compute", "dram" or "l2"
+    waves: int
+    concurrent_ctas: int
+    wave_rows: int
+    wave_cols: int
+    dram_bytes_per_iter: float
+    l2_bytes_per_iter: float
+    compute_time_per_iter: float
+    dram_time_per_iter: float
+    l2_time_per_iter: float
+    cliff_active: bool = False
+
+
+class PerformanceModel:
+    """Estimates whole-device HGEMM performance for one GPU."""
+
+    def __init__(self, spec: GpuSpec, options: PerfOptions = None):
+        self.spec = spec
+        self.options = options or PerfOptions()
+        self._profiles: dict = {}
+
+    # --------------------------------------------------------- SM profiling
+
+    def sm_profile(self, config: KernelConfig) -> SmProfile:
+        """Measure (and cache) the per-SM cycle profile of *config*."""
+        key = config
+        if key in self._profiles:
+            return self._profiles[key]
+        ctas_per_sm = self.ctas_per_sm(config)
+        lo, hi = self.options.profile_iters
+        cycles = {}
+        for iters in (lo, hi):
+            problem = HgemmProblem(
+                m=config.b_m, n=config.b_n, k=iters * config.b_k,
+                a_addr=0, b_addr=4 << 20, c_addr=8 << 20,
+            )
+            program = build_hgemm(config, problem, self.spec)
+            memory = GlobalMemory(16 << 20)
+            sim = TimingSimulator(self.spec, bandwidth_share=1.0)
+            cycles[iters] = sim.run(program, memory, num_ctas=ctas_per_sm).cycles
+        marginal = (cycles[hi] - cycles[lo]) / (hi - lo)
+        fixed = max(0.0, cycles[lo] - lo * marginal)
+        profile = SmProfile(marginal_cycles=marginal, fixed_cycles=fixed,
+                            ctas_per_sm=ctas_per_sm)
+        self._profiles[key] = profile
+        return profile
+
+    def ctas_per_sm(self, config: KernelConfig) -> int:
+        occ = self.spec.ctas_per_sm(
+            regs_per_thread=config.regs_per_thread,
+            smem_per_cta=config.smem_bytes,
+            threads_per_cta=config.threads_per_cta,
+        )
+        if occ < 1:
+            raise ValueError(
+                f"config {config.name!r} cannot launch on {self.spec.name}"
+            )
+        return occ
+
+    # ---------------------------------------------------------- wave model
+
+    @staticmethod
+    def wave_window(config: KernelConfig, grid_x: int, grid_y: int,
+                    concurrent: int) -> tuple:
+        """(rows, cols) of distinct C tiles covered by one wave.
+
+        Row-major order fills columns first; the supertile order walks
+        ``supertile_width`` columns down all rows before moving right,
+        keeping the window roughly square (L2-friendlier).
+        """
+        total = grid_x * grid_y
+        concurrent = min(concurrent, total)
+        if concurrent == 0:
+            return (0, 0)
+        if config.cta_order == "supertile":
+            width = min(config.supertile_width, grid_x)
+            rows = min(grid_y, math.ceil(concurrent / width))
+            cols = min(grid_x, max(width, math.ceil(concurrent / grid_y)))
+        else:
+            cols = min(grid_x, concurrent)
+            rows = min(grid_y, math.ceil(concurrent / grid_x))
+        return rows, cols
+
+    def _reuse_efficiency(self, iters: int) -> float:
+        drift = min(self.options.drift_max,
+                    self.options.drift_max * iters / self.options.drift_span)
+        return self.options.l2_reuse_eta * (1.0 - drift)
+
+    def _cliff_active(self, config: KernelConfig, n: int,
+                      baseline_quirks: bool) -> bool:
+        if not baseline_quirks:
+            return False
+        if self.spec.name not in self.options.cliff_devices:
+            return False
+        c_row_bytes = n * config.b_m * 2
+        return c_row_bytes > self.options.cliff_l2_fraction * self.spec.l2_bytes
+
+    # ----------------------------------------------------------- estimates
+
+    def estimate(self, config: KernelConfig, m: int, n: int, k: int,
+                 baseline_quirks: bool = False) -> LaunchEstimate:
+        """Predict the launch: seconds and TFLOPS for ``C[m,n] = A @ B``.
+
+        ``baseline_quirks`` enables the cuBLAS-10.1 behavioural quirks
+        (the RTX 2070 L2-blocking cliff); use it only for the baseline.
+        """
+        spec, opt = self.spec, self.options
+        profile = self.sm_profile(config)
+        grid_x, grid_y = config.grid_dim(m, n)
+        total_ctas = grid_x * grid_y
+        concurrent = spec.num_sms * profile.ctas_per_sm
+        iters = k // config.b_k
+
+        cliff = self._cliff_active(config, n, baseline_quirks)
+        eta = 0.0 if cliff else self._reuse_efficiency(iters)
+
+        clock = spec.clock_ghz * 1e9
+        compute_iter = profile.marginal_cycles / clock
+        fixed_time = profile.fixed_cycles / clock
+
+        tile_bytes = ((config.b_m + config.b_n) * config.b_k
+                      * config.ab_element_bytes)
+        epilogue_bytes_per_cta = config.b_m * config.b_n * config.c_element_bytes
+
+        def wave_time(wave_ctas: int) -> tuple:
+            rows, cols = self.wave_window(config, grid_x, grid_y, wave_ctas)
+            l2_bytes = wave_ctas * tile_bytes
+            shared_bytes = (rows * config.b_m + cols * config.b_n) * config.b_k * 2
+            dram_bytes = l2_bytes - eta * max(0.0, l2_bytes - shared_bytes)
+            # C is written once per CTA; spread its DRAM traffic over k.
+            dram_bytes += wave_ctas * epilogue_bytes_per_cta / max(1, iters)
+            dram_t = dram_bytes / (spec.dram_measured_gbps * 1e9)
+            l2_t = l2_bytes / (spec.l2_measured_gbps * 1e9)
+            t = max(compute_iter, dram_t, l2_t)
+            if t == compute_iter:
+                bound = "compute"
+            elif t == dram_t:
+                bound = "dram"
+            else:
+                bound = "l2"
+            return t, bound, rows, cols, dram_bytes, l2_bytes, dram_t, l2_t
+
+        full_waves, remainder = divmod(total_ctas, concurrent)
+        seconds = spec.kernel_launch_overhead_us * 1e-6
+        t_full = bound = rows = cols = None
+        dram_b = l2_b = dram_t = l2_t = 0.0
+        if full_waves:
+            t_full, bound, rows, cols, dram_b, l2_b, dram_t, l2_t = wave_time(concurrent)
+            seconds += full_waves * (fixed_time + iters * t_full)
+        if remainder:
+            t_part, bound_p, rows_p, cols_p, dram_bp, l2_bp, dram_tp, l2_tp = wave_time(remainder)
+            seconds += fixed_time + iters * t_part
+            if t_full is None:
+                bound, rows, cols = bound_p, rows_p, cols_p
+                dram_b, l2_b, dram_t, l2_t = dram_bp, l2_bp, dram_tp, l2_tp
+                t_full = t_part
+
+        flops = 2 * m * n * k
+        return LaunchEstimate(
+            m=m, n=n, k=k,
+            seconds=seconds,
+            tflops=flops / seconds / 1e12,
+            bound=bound,
+            waves=full_waves + (1 if remainder else 0),
+            concurrent_ctas=concurrent,
+            wave_rows=rows, wave_cols=cols,
+            dram_bytes_per_iter=dram_b,
+            l2_bytes_per_iter=l2_b,
+            compute_time_per_iter=compute_iter,
+            dram_time_per_iter=dram_t,
+            l2_time_per_iter=l2_t,
+            cliff_active=cliff,
+        )
+
+    def sweep(self, config: KernelConfig, sizes, shape=(1, 1, 1),
+              baseline_quirks: bool = False) -> list:
+        """Estimate a size sweep; ``shape`` scales (m, n, k) from W (the
+        paper's [aW x bW x cW] rectangular series)."""
+        out = []
+        for w in sizes:
+            m, n, k = (s * w for s in shape)
+            out.append(self.estimate(config, m, n, k,
+                                     baseline_quirks=baseline_quirks))
+        return out

@@ -1,0 +1,76 @@
+"""Global-memory roofline model (paper Fig. 3).
+
+Plots attainable TFLOPS against computation intensity (FLOP/byte) for the
+Tensor Core and FP16-unit peaks against the *measured* DRAM bandwidth
+(Table II).  The paper's reading: with FP16 units a 128x128 CTA tile
+(intensity 64) already clears the roof, but Tensor Cores are 4x faster, so
+the same blocking leaves HGEMM memory-bound -- the motivation for the
+256x256 tile (intensity 128).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.turing import GpuSpec
+from ..core.config import KernelConfig
+
+__all__ = ["RooflinePoint", "Roofline"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One evaluated point on the roofline."""
+
+    intensity: float          # FLOP / DRAM byte
+    tensor_tflops: float      # attainable with Tensor Cores
+    fp16_tflops: float        # attainable with FP16 units
+    memory_bound_tensor: bool
+    memory_bound_fp16: bool
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """Roofline of one device, built from measured DRAM bandwidth."""
+
+    spec: GpuSpec
+
+    @property
+    def dram_gbps(self) -> float:
+        return self.spec.dram_measured_gbps
+
+    def memory_roof_tflops(self, intensity: float) -> float:
+        """Bandwidth-limited TFLOPS at *intensity* FLOP/byte."""
+        if intensity < 0:
+            raise ValueError(f"intensity must be non-negative, got {intensity}")
+        return self.dram_gbps * intensity / 1e3
+
+    def attainable(self, intensity: float, use_tensor_cores: bool = True) -> float:
+        peak = (self.spec.tensor_peak_tflops if use_tensor_cores
+                else self.spec.fp16_peak_tflops)
+        return min(peak, self.memory_roof_tflops(intensity))
+
+    def ridge_intensity(self, use_tensor_cores: bool = True) -> float:
+        """Intensity where the compute roof meets the memory roof."""
+        peak = (self.spec.tensor_peak_tflops if use_tensor_cores
+                else self.spec.fp16_peak_tflops)
+        return peak * 1e3 / self.dram_gbps
+
+    def evaluate(self, intensity: float) -> RooflinePoint:
+        tensor = self.attainable(intensity, use_tensor_cores=True)
+        fp16 = self.attainable(intensity, use_tensor_cores=False)
+        return RooflinePoint(
+            intensity=intensity,
+            tensor_tflops=tensor,
+            fp16_tflops=fp16,
+            memory_bound_tensor=tensor < self.spec.tensor_peak_tflops,
+            memory_bound_fp16=fp16 < self.spec.fp16_peak_tflops,
+        )
+
+    def evaluate_blocking(self, config: KernelConfig) -> RooflinePoint:
+        """Roofline position of a CTA blocking (intensity b_m*b_n/(b_m+b_n))."""
+        return self.evaluate(config.compute_intensity)
+
+    def series(self, intensities) -> list:
+        """Evaluate a sweep (the Fig. 3 curves)."""
+        return [self.evaluate(x) for x in intensities]

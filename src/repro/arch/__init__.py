@@ -1,0 +1,16 @@
+"""Turing-class device descriptions and warp-level register state."""
+
+from .registers import PredicateFile, RegisterFile, WARP_LANES
+from .turing import DEVICES, GpuSpec, MemoryCpiTable, RTX2070, T4, get_device
+
+__all__ = [
+    "PredicateFile",
+    "RegisterFile",
+    "WARP_LANES",
+    "DEVICES",
+    "GpuSpec",
+    "MemoryCpiTable",
+    "RTX2070",
+    "T4",
+    "get_device",
+]

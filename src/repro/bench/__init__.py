@@ -1,0 +1,37 @@
+"""SASS-level microbenchmarks reproducing the paper's Tables I-V."""
+
+from .cpi import (
+    CpiResult,
+    measure_hmma_cpi,
+    measure_imma_cpi,
+    measure_ldg_cpi,
+    measure_lds_cpi,
+    measure_sts_cpi,
+    smem_throughput_bytes_per_cycle,
+)
+from .latency import LatencyResult, measure_hmma_latency, probe_hmma_half
+from .memband import (
+    BandwidthResult,
+    measure_dram_bandwidth,
+    measure_l2_bandwidth,
+)
+from .pchase import ChaseResult, detect_l1_capacity, pointer_chase
+
+__all__ = [
+    "CpiResult",
+    "measure_hmma_cpi",
+    "measure_imma_cpi",
+    "measure_ldg_cpi",
+    "measure_lds_cpi",
+    "measure_sts_cpi",
+    "smem_throughput_bytes_per_cycle",
+    "LatencyResult",
+    "measure_hmma_latency",
+    "probe_hmma_half",
+    "BandwidthResult",
+    "measure_dram_bandwidth",
+    "measure_l2_bandwidth",
+    "ChaseResult",
+    "detect_l1_capacity",
+    "pointer_chase",
+]

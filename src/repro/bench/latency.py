@@ -1,0 +1,110 @@
+"""HMMA result-latency probe (paper Table I, Section IV-C).
+
+"We measure the latency of HMMA.1688.F16 by varying the stall cycles and
+check if the output result is correct."  The probe issues one HMMA with a
+known input, snapshots half of its destination after exactly N stall
+cycles (via an ALU ``MOV``, which cannot be perturbed by the memory pipe),
+and compares the snapshot against the known product.  The latency of a half
+is the smallest N whose snapshot is correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..arch.turing import GpuSpec
+from ..hmma import (
+    COL_MAJOR,
+    matrix16x8_to_fragments,
+    matrix_to_fragment,
+)
+from ..isa.builder import ProgramBuilder
+from ..isa.operands import Reg
+from ..sim.memory import GlobalMemory
+from ..sim.timing import TimingSimulator
+
+__all__ = ["LatencyResult", "probe_hmma_half", "measure_hmma_latency"]
+
+_A_ADDR, _B_ADDR, _OUT_ADDR = 0x1000, 0x1100, 0x2000
+_SENTINEL = 0xDEAD
+
+
+@dataclass(frozen=True)
+class LatencyResult:
+    """Measured result latencies of HMMA.1688.F16 (cycles from issue)."""
+
+    first_half: int
+    second_half: int
+    probes: int
+
+
+def _build_probe(stall: int, half: int) -> "Program":
+    b = ProgramBuilder(name="hmma_latency", num_regs=48, block_dim=32)
+    b.mov32i(0, _SENTINEL, stall=1)           # stale sentinel in D, landed
+    b.mov32i(1, _SENTINEL, stall=1)           # long before the HMMA issues
+    b.mov(4, Reg(255), stall=1)               # C = 0
+    b.mov(5, Reg(255), stall=1)
+    b.s2r(2, "SR_TID.X", stall=6)
+    b.imad(3, Reg(2), 4, 0, stall=6)
+    b.ldg(8, 3, offset=_A_ADDR, width=32, stall=2, wb=0)
+    b.ldg(9, 3, offset=_A_ADDR + 0x80, width=32, stall=2, wb=1)
+    b.ldg(10, 3, offset=_B_ADDR, width=32, stall=2, wb=2)
+    b.nop(stall=6, wait=(0, 1, 2))            # operands resident
+    b.hmma_1688(0, 8, 10, 4, stall=max(1, min(15, stall)))
+    b.mov(30, Reg(half), stall=6)             # the timed snapshot
+    b.nop(stall=15)                           # drain remaining latencies
+    b.stg(3, 30, offset=_OUT_ADDR, width=32, stall=4)
+    b.exit()
+    return b.build()
+
+
+def probe_hmma_half(spec: GpuSpec, stall: int, half: int,
+                    seed: int = 42) -> bool:
+    """True iff D's *half* reads back correct after *stall* cycles."""
+    if half not in (0, 1):
+        raise ValueError("half must be 0 (R0) or 1 (R1)")
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-1, 1, (16, 8)).astype(np.float16)
+    bmat = rng.uniform(-1, 1, (8, 8)).astype(np.float16)
+
+    memory = GlobalMemory(1 << 20)
+    frags = matrix16x8_to_fragments(a)
+    memory.write_array(_A_ADDR, frags[0])
+    memory.write_array(_A_ADDR + 0x80, frags[1])
+    memory.write_array(_B_ADDR, matrix_to_fragment(bmat, COL_MAJOR))
+
+    TimingSimulator(spec).run(_build_probe(stall, half), memory)
+
+    expected = (a.astype(np.float32) @ bmat.astype(np.float32)).astype(np.float16)
+    exp_frags = matrix16x8_to_fragments(expected)
+    got = memory.read_array(_OUT_ADDR, np.uint32, 32)
+    if np.array_equal(got, exp_frags[half]):
+        return True
+    if not np.all(got == _SENTINEL):
+        raise RuntimeError(
+            "latency probe read a torn value: neither the sentinel nor the "
+            "HMMA result"
+        )
+    return False
+
+
+def measure_hmma_latency(spec: GpuSpec, max_stall: int = 15) -> LatencyResult:
+    """Bisect the two half-latencies of ``HMMA.1688.F16`` (Table I)."""
+    latencies = []
+    probes = 0
+    for half in (0, 1):
+        found = None
+        for stall in range(1, max_stall + 1):
+            probes += 1
+            if probe_hmma_half(spec, stall, half):
+                found = stall
+                break
+        if found is None:
+            raise RuntimeError(
+                f"HMMA half {half} still stale after {max_stall} stall cycles"
+            )
+        latencies.append(found)
+    return LatencyResult(first_half=latencies[0], second_half=latencies[1],
+                         probes=probes)

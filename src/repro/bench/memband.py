@@ -1,0 +1,89 @@
+"""DRAM and L2 bandwidth benchmarks in GB/s (paper Table II, Section V-A).
+
+Paper methodology: launch many blocks, each loading 512 KB with the L1
+bypassed (``.CG``); distinct locations per block measure DRAM, the same
+location measures L2.  We run one SM against its fair share of the device
+bandwidth (``bandwidth_share = 1 / num_sms``) and scale back up -- every SM
+streams the same way, so the device figure is the per-SM figure times the
+SM count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.turing import GpuSpec
+from ..isa.builder import ProgramBuilder
+from ..isa.operands import Pred, Reg
+from ..sim.memory import GlobalMemory
+from ..sim.timing import TimingSimulator
+
+__all__ = ["BandwidthResult", "measure_dram_bandwidth", "measure_l2_bandwidth"]
+
+
+@dataclass(frozen=True)
+class BandwidthResult:
+    """One bandwidth measurement."""
+
+    level: str
+    gbps: float
+    bytes_moved: int
+    cycles: int
+
+
+def _stream_program(per_loop: int, loops: int, advance: bool,
+                    block_dim: int = 256) -> "Program":
+    """Each warp streams LDG.E.CG.128; `advance` walks fresh addresses
+    (DRAM) or rewinds to the same footprint (L2)."""
+    b = ProgramBuilder(name="membw", num_regs=40, block_dim=block_dim)
+    b.s2r(2, "SR_TID.X", stall=6)
+    b.imad(3, Reg(2), 16, 0, stall=6)          # base = tid * 16
+    b.mov32i(1, loops, stall=6)
+    b.label("LOOP")
+    stride = block_dim * 16                     # bytes per whole-CTA burst
+    b.iadd3(1, Reg(1), -1, stall=1)             # decrement early: its ALU
+    for i in range(per_loop):                   # latency passes during the
+        b.ldg(8, 3, offset=i * stride, width=128, bypass_l1=True, stall=1,
+              wb=0)                             # load burst
+    if advance:
+        b.iadd3(3, Reg(3), per_loop * stride, stall=1)
+    b.isetp(Pred(0), Reg(1), 0, cmp="GT", stall=6)
+    b.bra("LOOP", pred=Pred(0), stall=5)
+    b.nop(stall=6, wait=(0,))                   # drain the last loads
+    b.exit()
+    return b.build()
+
+
+def _measure(spec: GpuSpec, advance: bool, per_loop: int,
+             loops: int) -> BandwidthResult:
+    block_dim = 256
+    program = _stream_program(per_loop, loops, advance, block_dim)
+    footprint = per_loop * block_dim * 16 * (loops if advance else 1)
+    memory = GlobalMemory(max(1 << 20, footprint + (1 << 16)))
+    sim = TimingSimulator(spec, bandwidth_share=1.0 / spec.num_sms)
+    result = sim.run(program, memory)
+    counters = result.traffic
+    if advance:
+        bytes_moved = counters.dram_bytes
+        level = "dram"
+    else:
+        bytes_moved = counters.l2_hit_bytes
+        level = "l2"
+    seconds = spec.cycles_to_seconds(result.cycles)
+    gbps = bytes_moved / seconds / 1e9 * spec.num_sms
+    return BandwidthResult(level=level, gbps=gbps, bytes_moved=bytes_moved,
+                           cycles=result.cycles)
+
+
+def measure_dram_bandwidth(spec: GpuSpec, per_loop: int = 32,
+                           loops: int = 24) -> BandwidthResult:
+    """Stream distinct addresses, L1 bypassed: every access misses L2 and
+    is served by DRAM (Table II, 'DRAM measured')."""
+    return _measure(spec, advance=True, per_loop=per_loop, loops=loops)
+
+
+def measure_l2_bandwidth(spec: GpuSpec, per_loop: int = 32,
+                         loops: int = 24) -> BandwidthResult:
+    """Re-stream one footprint, L1 bypassed: after the first pass every
+    access hits L2 (Table II, 'L2 measured')."""
+    return _measure(spec, advance=False, per_loop=per_loop, loops=loops)

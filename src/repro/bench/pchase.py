@@ -1,0 +1,102 @@
+"""Fine-grained pointer chase (Mei & Chu [12], implemented in SASS).
+
+A dependent load chain -- ``LDG R2, [R2]`` -- serialises on the memory
+latency, so average cycles per hop reveal which level served the chain.
+Sweeping the footprint exposes capacity boundaries as latency jumps, the
+classic way to detect cache sizes without documentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..arch.turing import GpuSpec
+from ..isa.builder import ProgramBuilder
+from ..isa.operands import Pred, Reg
+from ..sim.memory import GlobalMemory
+from ..sim.timing import TimingSimulator
+
+__all__ = ["ChaseResult", "pointer_chase", "detect_l1_capacity"]
+
+_OUT_ADDR = 0x100
+_RING_BASE = 0x10000
+
+
+@dataclass(frozen=True)
+class ChaseResult:
+    """Average per-hop latency of one pointer-chase run."""
+
+    footprint_bytes: int
+    stride_bytes: int
+    hops: int
+    cycles_per_hop: float
+
+
+def _chase_program(hops_per_loop: int, loops: int, warm_hops: int) -> "Program":
+    b = ProgramBuilder(name="pchase", num_regs=16, block_dim=32)
+    b.mov32i(2, _RING_BASE, stall=6)
+    b.mov32i(1, loops, stall=6)
+    # Walk the whole ring once so every line is cached (the paper's
+    # first-pass warm-up) before the timed traversal starts.
+    for _ in range(warm_hops):
+        b.ldg(2, 2, width=32, stall=1, wb=0)
+        b.nop(stall=1, wait=(0,))
+    b.cs2r_clock(20, stall=2)
+    b.label("LOOP")
+    for _ in range(hops_per_loop):
+        b.ldg(2, 2, width=32, stall=1, wb=0)
+        b.nop(stall=1, wait=(0,))
+    b.iadd3(1, Reg(1), -1, stall=6)
+    b.isetp(Pred(0), Reg(1), 0, cmp="GT", stall=6)
+    b.bra("LOOP", pred=Pred(0), stall=5)
+    b.cs2r_clock(21, stall=2)
+    b.s2r(2, "SR_TID.X", stall=6)
+    b.imad(3, Reg(2), 4, _OUT_ADDR, stall=6)
+    b.stg(3, 20, width=32, stall=4)
+    b.imad(3, Reg(2), 4, _OUT_ADDR + 0x80, stall=6)
+    b.stg(3, 21, width=32, stall=4)
+    b.exit()
+    return b.build()
+
+
+def pointer_chase(spec: GpuSpec, footprint_bytes: int, stride_bytes: int = 128,
+                  hops_per_loop: int = 64, loops: int = 4) -> ChaseResult:
+    """Chase a ring of pointers covering *footprint_bytes*."""
+    if stride_bytes % 4 or footprint_bytes % stride_bytes:
+        raise ValueError("stride must be word-aligned and divide the footprint")
+    n_slots = footprint_bytes // stride_bytes
+    ring = np.zeros(footprint_bytes // 4, dtype=np.uint32)
+    for i in range(n_slots):
+        nxt = ((i + 1) % n_slots) * stride_bytes + _RING_BASE
+        ring[i * stride_bytes // 4] = nxt
+
+    memory = GlobalMemory(_RING_BASE + footprint_bytes + (1 << 16))
+    memory.write_array(_RING_BASE, ring)
+    program = _chase_program(hops_per_loop, loops, warm_hops=n_slots)
+    TimingSimulator(spec).run(program, memory)
+
+    start = int(memory.read_array(_OUT_ADDR, np.uint32, 1)[0])
+    stop = int(memory.read_array(_OUT_ADDR + 0x80, np.uint32, 1)[0])
+    hops = hops_per_loop * loops
+    return ChaseResult(
+        footprint_bytes=footprint_bytes,
+        stride_bytes=stride_bytes,
+        hops=hops,
+        cycles_per_hop=(stop - start) / hops,
+    )
+
+
+def detect_l1_capacity(spec: GpuSpec, candidates=None) -> int:
+    """Locate the L1 capacity as the first footprint whose chase latency
+    jumps past the in-L1 plateau (Mei & Chu's method)."""
+    if candidates is None:
+        candidates = [8 << 10, 16 << 10, 24 << 10, 32 << 10,
+                      48 << 10, 64 << 10, 96 << 10]
+    results = [pointer_chase(spec, fp) for fp in candidates]
+    base = results[0].cycles_per_hop
+    for prev, res in zip(candidates, results[1:]):
+        if res.cycles_per_hop > 1.5 * base:
+            return prev
+    return candidates[-1]

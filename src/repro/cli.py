@@ -1,0 +1,285 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``tables``      regenerate the paper's Tables I-VII
+``roofline``    print the Fig. 3 roofline story
+``sweep``       run a Fig. 6/7-style square sweep on one device
+``hgemm``       run one simulated GEMM and verify it
+``autotune``    pick the best kernel configuration for a problem
+``disasm``      generate an HGEMM kernel and print its SASS listing
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_tables(args) -> int:
+    from .arch import RTX2070, T4
+    from .analysis import table7
+    from .bench import (
+        measure_dram_bandwidth, measure_hmma_cpi, measure_hmma_latency,
+        measure_l2_bandwidth, measure_ldg_cpi, measure_lds_cpi,
+        measure_sts_cpi, smem_throughput_bytes_per_cycle,
+    )
+    from .core import cublas_like, ours
+    from .core.blocking import table6_rows
+    from .report import format_table
+
+    print("Table I: HMMA.1688.F16")
+    cpi = measure_hmma_cpi(RTX2070)
+    lat = measure_hmma_latency(RTX2070)
+    print(format_table(["metric", "paper", "measured"], [
+        ("CPI measured", 8.06, round(cpi.cpi, 2)),
+        ("latency first half", 10, lat.first_half),
+        ("latency second half", 14, lat.second_half),
+    ]))
+
+    print("\nTable II: bandwidth (GB/s)")
+    rows = []
+    for spec in (RTX2070, T4):
+        rows.append((spec.name, round(measure_dram_bandwidth(spec).gbps, 1),
+                     round(measure_l2_bandwidth(spec).gbps, 1)))
+    print(format_table(["device", "DRAM", "L2"], rows))
+
+    print("\nTable III: LDG CPI")
+    rows = []
+    for level in ("l1", "l2"):
+        rows.append((level.upper(),) + tuple(
+            round(measure_ldg_cpi(RTX2070, w, level).cpi, 2)
+            for w in (32, 64, 128)))
+    print(format_table(["level", "32", "64", "128"], rows))
+
+    print("\nTables IV-V: shared memory CPI / bytes-per-cycle")
+    rows = []
+    for op, fn in (("LDS", measure_lds_cpi), ("STS", measure_sts_cpi)):
+        results = [fn(RTX2070, w) for w in (32, 64, 128)]
+        rows.append((op + " CPI",) + tuple(round(r.cpi, 2) for r in results))
+        rows.append((op + " B/cyc",) + tuple(
+            round(smem_throughput_bytes_per_cycle(r, w), 2)
+            for r, w in zip(results, (32, 64, 128))))
+    print(format_table(["metric", "32", "64", "128"], rows))
+
+    print("\nTable VI: pipe cycles per iteration")
+    rows = [(f"{c[0]}x{c[1]}x{c[2]}", f"{w[0]}x{w[1]}", round(h), round(m))
+            for c, w, h, m in table6_rows(RTX2070)]
+    print(format_table(["CTA tile", "warp tile", "HMMA", "memory IO"], rows))
+
+    print("\nTable VII: kernel details")
+    rows = [(r["kernel"], "x".join(map(str, r["cta_tile"])),
+             f"{r['smem_per_cta_kb']:.0f} KB", r["ctas_per_sm"],
+             r["warps_per_sm"]) for r in table7(ours(), cublas_like(), RTX2070)]
+    print(format_table(["kernel", "CTA tile", "smem", "CTAs/SM", "warps/SM"],
+                       rows))
+    return 0
+
+
+def _cmd_roofline(args) -> int:
+    from .arch import get_device
+    from .analysis import Roofline
+    from .core import cublas_like, ours
+    from .report import format_table
+
+    spec = get_device(args.device)
+    roof = Roofline(spec)
+    rows = []
+    for cfg in (cublas_like(), ours()):
+        point = roof.evaluate_blocking(cfg)
+        rows.append((cfg.name, cfg.compute_intensity,
+                     round(point.tensor_tflops, 1),
+                     "memory" if point.memory_bound_tensor else "compute"))
+    print(format_table(["blocking", "FLOP/B", "attainable TFLOPS", "bound"],
+                       rows, title=f"Roofline on {spec.name} "
+                                   f"(DRAM {spec.dram_measured_gbps} GB/s)"))
+    print(f"Tensor Core ridge: {roof.ridge_intensity():.0f} FLOP/B; "
+          f"FP16-unit ridge: {roof.ridge_intensity(False):.0f} FLOP/B")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .arch import get_device
+    from .analysis import PerformanceModel
+    from .core import cublas_like, ours
+    from .report import ascii_chart, format_series
+
+    spec = get_device(args.device)
+    pm = PerformanceModel(spec)
+    sizes = list(range(args.start, args.stop + 1, args.step))
+    print(f"simulating SM profiles for {spec.name}...", file=sys.stderr)
+    o = [pm.estimate(ours(), w, w, w).tflops for w in sizes]
+    c = [pm.estimate(cublas_like(), w, w, w,
+                     baseline_quirks=True).tflops for w in sizes]
+    print(format_series(sizes, {"ours": [round(v, 1) for v in o],
+                                "cuBLAS": [round(v, 1) for v in c]}))
+    print(ascii_chart(sizes, {"ours": o, "cuBLAS": c}))
+    speedups = [a / b for a, b in zip(o, c)]
+    print(f"avg speedup {sum(speedups) / len(speedups):.2f}, "
+          f"max {max(speedups):.2f}")
+    return 0
+
+
+def _cmd_hgemm(args) -> int:
+    from .core import hgemm, hgemm_reference
+
+    rng = np.random.default_rng(args.seed)
+    a = rng.uniform(-1, 1, (args.m, args.k)).astype(np.float16)
+    b = rng.uniform(-1, 1, (args.k, args.n)).astype(np.float16)
+    run = hgemm(a, b, kernel=args.kernel, accumulate=args.accumulate,
+                return_run=True)
+    reference = hgemm_reference(a, b, accumulate=args.accumulate)
+    exact = np.array_equal(run.c, reference)
+    print(f"kernel: {run.config.describe()}")
+    print(f"instructions: {run.stats.instructions_retired} "
+          f"({run.stats.opcode_counts.get('HMMA', 0)} HMMA), "
+          f"CTAs: {run.stats.ctas_run}")
+    print(f"bit-exact vs precision model: {exact}")
+    return 0 if exact else 1
+
+
+def _cmd_autotune(args) -> int:
+    from .arch import get_device
+    from .analysis import autotune
+
+    result = autotune(get_device(args.device), args.m, args.n, args.k,
+                      accum_f32=args.accumulate == "f32")
+    print(result.summary())
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from .arch import get_device
+    from .analysis import PerformanceModel, explain, sweep_transitions
+    from .core import cublas_like, ours
+
+    spec = get_device(args.device)
+    pm = PerformanceModel(spec)
+    kernels = {"ours": ours(), "cublas": cublas_like()}
+    config = kernels[args.kernel]
+    quirks = args.kernel == "cublas"
+
+    est = pm.estimate(config, args.m, args.n, args.k,
+                      baseline_quirks=quirks)
+    breakdown = explain(est)
+    print(f"{config.name} @ {args.m}x{args.n}x{args.k} on {spec.name}: "
+          f"{est.tflops:.1f} TFLOPS")
+    print(breakdown.verdict())
+    print(f"waves: {est.waves} of {est.concurrent_ctas} CTAs; wave window "
+          f"{est.wave_rows} x {est.wave_cols} tiles"
+          + (";  cuBLAS L2-blocking cliff ACTIVE" if est.cliff_active else ""))
+
+    sizes = list(range(2048, 16385, 2048))
+    segments = sweep_transitions(pm, config, sizes, baseline_quirks=quirks)
+    print("\nbound transitions over the square sweep:")
+    for first, last, bound in segments:
+        print(f"  W {first}..{last}: {bound}-bound")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from .core import cublas_like, ours, ours_f32, ours_int8, verify_kernel
+
+    presets = {"ours": ours, "cublas": cublas_like, "f32": ours_f32,
+               "int8": ours_int8}
+    config = presets[args.kernel]()
+    # Shrink to a test-grid-friendly size: the harness skips shapes the
+    # config cannot tile, so verify a 64/64/32 member of the family.
+    config = config.with_(
+        b_m=64, b_n=64, b_k=32 if config.ab_dtype == "s8" else 16,
+        w_m=min(config.w_m, 32), w_n=min(config.w_n, 32),
+        smem_swizzle=False,
+        smem_pad_halves=8 if not config.smem_swizzle else 8,
+    )
+    report = verify_kernel(config, seeds=tuple(range(args.seeds)))
+    print(report.summary())
+    return 0 if report.passed else 1
+
+
+def _cmd_disasm(args) -> int:
+    from .core import ours
+    from .core.builder import HgemmProblem, build_hgemm
+    from .core.hgemm import _shrink_to_fit
+    from .isa import disassemble, encode_program
+
+    cfg = _shrink_to_fit(ours(), args.m, args.n, args.k)
+    program = build_hgemm(cfg, HgemmProblem(
+        args.m, args.n, args.k, 0, 1 << 28, 1 << 29))
+    if args.binary:
+        sys.stdout.write(disassemble(encode_program(program), program.meta))
+    else:
+        print(program.listing())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tensor Core HGEMM reproduction (IPDPS 2020)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="regenerate Tables I-VII")
+
+    p = sub.add_parser("roofline", help="Fig. 3 roofline")
+    p.add_argument("--device", default="RTX2070")
+
+    p = sub.add_parser("sweep", help="square-size sweep (Figs. 6-7)")
+    p.add_argument("--device", default="RTX2070")
+    p.add_argument("--start", type=int, default=1024)
+    p.add_argument("--stop", type=int, default=16384)
+    p.add_argument("--step", type=int, default=1024)
+
+    p = sub.add_parser("hgemm", help="run one simulated GEMM")
+    p.add_argument("m", type=int)
+    p.add_argument("n", type=int)
+    p.add_argument("k", type=int)
+    p.add_argument("--kernel", default="ours",
+                   choices=["ours", "cublas"])
+    p.add_argument("--accumulate", default="f16", choices=["f16", "f32"])
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("autotune", help="pick the best kernel config")
+    p.add_argument("m", type=int)
+    p.add_argument("n", type=int)
+    p.add_argument("k", type=int)
+    p.add_argument("--device", default="RTX2070")
+    p.add_argument("--accumulate", default="f16", choices=["f16", "f32"])
+
+    p = sub.add_parser("analyze", help="bottleneck attribution for a launch")
+    p.add_argument("m", type=int)
+    p.add_argument("n", type=int)
+    p.add_argument("k", type=int)
+    p.add_argument("--device", default="RTX2070")
+    p.add_argument("--kernel", default="ours", choices=["ours", "cublas"])
+
+    p = sub.add_parser("verify", help="bit-exact verification sweep")
+    p.add_argument("--kernel", default="ours",
+                   choices=["ours", "cublas", "f32", "int8"])
+    p.add_argument("--seeds", type=int, default=2)
+
+    p = sub.add_parser("disasm", help="print a generated kernel's SASS")
+    p.add_argument("--m", type=int, default=256)
+    p.add_argument("--n", type=int, default=256)
+    p.add_argument("--k", type=int, default=64)
+    p.add_argument("--binary", action="store_true",
+                   help="round-trip through the 128-bit encoding first")
+    return parser
+
+
+_COMMANDS = {
+    "tables": _cmd_tables,
+    "roofline": _cmd_roofline,
+    "sweep": _cmd_sweep,
+    "hgemm": _cmd_hgemm,
+    "autotune": _cmd_autotune,
+    "analyze": _cmd_analyze,
+    "verify": _cmd_verify,
+    "disasm": _cmd_disasm,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)

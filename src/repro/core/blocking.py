@@ -1,0 +1,161 @@
+"""Analytical blocking-size model (paper Section VI-A, Eqs. 3-5, Table VI).
+
+The paper's method: for one CTA main-loop iteration (one ``b_k`` slice),
+count the cycles the Tensor Core pipes need versus the cycles the single
+memory-IO pipe needs, using the *measured* CPIs from Tables I/III/IV.  A
+blocking configuration is compute-bound (good) when the HMMA cycles exceed
+the memory-IO cycles with margin; otherwise the memory pipe throttles the
+Tensor Cores.
+
+The same module also evaluates Eq. (6), the STS interleave rule of
+Section VI-C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import math
+
+from ..arch.turing import GpuSpec
+from .config import KernelConfig
+
+__all__ = [
+    "PipeCycles",
+    "hmma_cycles_per_iteration",
+    "ldg_sts_cycles_per_iteration",
+    "lds_cycles_per_iteration",
+    "pipe_cycles",
+    "min_hmma_between_sts",
+    "table6_rows",
+    "choose_blocking",
+]
+
+#: The measured HMMA CPI the paper plugs into Eq. (3) (Table I: 8.06).
+MEASURED_HMMA_CPI = 8.06
+
+
+@dataclass(frozen=True)
+class PipeCycles:
+    """Cycle demand of one CTA main-loop iteration, per pipe."""
+
+    hmma: float
+    ldg_sts: float
+    lds: float
+
+    @property
+    def memory_io(self) -> float:
+        """Total memory-IO pipe cycles (LDG + STS + LDS share one pipe)."""
+        return self.ldg_sts + self.lds
+
+    @property
+    def compute_bound(self) -> bool:
+        return self.hmma >= self.memory_io
+
+
+def hmma_cycles_per_iteration(config: KernelConfig, spec: GpuSpec,
+                              hmma_cpi: float = MEASURED_HMMA_CPI) -> float:
+    """Eq. (3): tensor-pipe cycles per iteration for the whole CTA.
+
+    ``2*b_m*b_n*b_k`` operations, ``2*16*8*8`` per HMMA, spread over the
+    SM's 4 processing blocks.
+    """
+    ops = 2 * config.b_m * config.b_n * config.b_k
+    ops_per_hmma = 2 * 16 * 8 * 8
+    blocks = spec.processing_blocks_per_sm
+    return ops / (ops_per_hmma * blocks) * hmma_cpi
+
+
+def ldg_sts_cycles_per_iteration(config: KernelConfig, spec: GpuSpec) -> float:
+    """Eq. (4): memory-IO cycles to fetch the A and B tiles from global
+    memory (LDG.128) and store them to shared memory (STS.128)."""
+    halves = (config.b_m + config.b_n) * config.b_k
+    bytes_moved = halves * 2
+    per_warp_instr_bytes = 32 * 16  # 32 lanes x 16 B
+    instructions = bytes_moved / per_warp_instr_bytes
+    return instructions * (spec.ldg_l2_cpi.cpi(128) + spec.sts_cpi.cpi(128))
+
+
+def lds_cycles_per_iteration(config: KernelConfig, spec: GpuSpec) -> float:
+    """Eq. (5): memory-IO cycles for fragment loads from shared memory.
+
+    Each warp loads ``w_m/8 + w_n/8`` 8x8 fragments (one LDS.32 each) per
+    ``w_k`` slice; there are ``b_m*b_n/(w_m*w_n)`` warps and ``b_k/w_k``
+    slices.
+    """
+    warps = (config.b_m * config.b_n) / (config.w_m * config.w_n)
+    frags = config.w_m / 8 + config.w_n / 8
+    slices = config.b_k / config.w_k
+    return warps * frags * slices * spec.lds_cpi.cpi(32)
+
+
+def pipe_cycles(config: KernelConfig, spec: GpuSpec,
+                hmma_cpi: float = MEASURED_HMMA_CPI) -> PipeCycles:
+    """All three cycle terms for one iteration (the Table VI computation)."""
+    return PipeCycles(
+        hmma=hmma_cycles_per_iteration(config, spec, hmma_cpi),
+        ldg_sts=ldg_sts_cycles_per_iteration(config, spec),
+        lds=lds_cycles_per_iteration(config, spec),
+    )
+
+
+def min_hmma_between_sts(spec: GpuSpec, width: int = 128) -> int:
+    """Eq. (6): minimum HMMAs to interleave between consecutive STS.
+
+    ``#HMMA * CPI_HMMA >= 4 * CPI_STS`` -- the 4 processing blocks all
+    progress while the single memory-IO pipe digests one STS.
+    """
+    blocks = spec.processing_blocks_per_sm
+    return math.ceil(blocks * spec.sts_cpi.cpi(width) / spec.hmma_cpi)
+
+
+#: The six blocking configurations of Table VI.
+TABLE6_CONFIGS = (
+    ((128, 128, 32), (64, 64, 8)),
+    ((128, 128, 32), (128, 64, 8)),
+    ((256, 128, 32), (64, 64, 8)),
+    ((256, 128, 32), (128, 64, 8)),
+    ((256, 256, 32), (64, 64, 8)),
+    ((256, 256, 32), (128, 64, 8)),
+)
+
+
+def table6_rows(spec: GpuSpec) -> list:
+    """Regenerate Table VI: (cta_tile, warp_tile, hmma, memory_io) rows."""
+    rows = []
+    for (bm, bn, bk), (wm, wn, wk) in TABLE6_CONFIGS:
+        config = KernelConfig(b_m=bm, b_n=bn, b_k=bk, w_m=wm, w_n=wn, w_k=wk)
+        cycles = pipe_cycles(config, spec)
+        rows.append(((bm, bn, bk), (wm, wn, wk), cycles.hmma, cycles.memory_io))
+    return rows
+
+
+def choose_blocking(spec: GpuSpec, candidates=TABLE6_CONFIGS,
+                    margin: float = 1.0) -> KernelConfig:
+    """Pick the blocking the paper's analysis picks: the feasible
+    configuration with the largest compute/memory cycle ratio.
+
+    ``margin`` is the minimum hmma/memory ratio to accept; the paper wants
+    HMMA cycles "significantly greater" than memory cycles for robustness
+    to L2 misses.
+    """
+    best = None
+    best_ratio = 0.0
+    for (bm, bn, bk), (wm, wn, wk) in candidates:
+        config = KernelConfig(
+            b_m=bm, b_n=bn, b_k=bk, w_m=wm, w_n=wn, w_k=wk,
+            smem_pad_halves=8, sts_interleave=min_hmma_between_sts(spec),
+        )
+        try:
+            config.validate_against(spec)
+        except Exception:
+            continue
+        cycles = pipe_cycles(config, spec)
+        ratio = cycles.hmma / cycles.memory_io
+        if ratio >= margin and ratio > best_ratio:
+            best, best_ratio = config, ratio
+    if best is None:
+        raise ValueError(
+            "no candidate blocking is compute-bound on this device; "
+            "relax the margin or extend the candidate list"
+        )
+    return best

@@ -1,0 +1,89 @@
+"""Public INT8 GEMM API (paper Section VIII: "integer data type").
+
+``igemm`` runs the generated ``IMMA.8816.S8.S8`` kernel on the functional
+simulator: ``C[m,n] (int32) = A[m,k] (int8) @ B[k,n] (int8)``, with exact
+32-bit wrap-around accumulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..arch.turing import GpuSpec, RTX2070
+from ..sim.functional import FunctionalSimulator
+from ..sim.memory import GlobalMemory
+from .builder import HgemmProblem, build_hgemm
+from .config import ConfigError, KernelConfig, ours_int8
+
+__all__ = ["igemm", "igemm_reference"]
+
+
+def _shrink_int8(config: KernelConfig, m: int, n: int, k: int) -> KernelConfig:
+    b_m, b_n, b_k = config.b_m, config.b_n, config.b_k
+    w_m, w_n = config.w_m, config.w_n
+    while b_m > 64 and m % b_m:
+        b_m //= 2
+        w_m = min(w_m, b_m)
+    while b_n > 64 and n % b_n:
+        b_n //= 2
+        w_n = min(w_n, b_n)
+    while b_k > 32 and k % b_k:
+        b_k //= 2
+    if m % b_m or n % b_n or k % b_k:
+        raise ConfigError(
+            f"igemm needs dimensions that are multiples of (64, 64, 32); "
+            f"got {m}x{n}x{k}"
+        )
+    return config.with_(b_m=b_m, b_n=b_n, b_k=b_k, w_m=w_m, w_n=w_n)
+
+
+def igemm(a, b, kernel=None, spec: GpuSpec = RTX2070) -> np.ndarray:
+    """Compute ``C = A @ B`` on int8 operands with s32 accumulation.
+
+    Args:
+        a: (m, k) int8 array (row-major on the device).
+        b: (k, n) int8 array (stored column-major, i.e. as n x k).
+        kernel: an explicit int8 :class:`KernelConfig`, or None for the
+            :func:`ours_int8` preset (shrunk to fit the problem).
+        spec: target device.
+
+    Returns:
+        (m, n) int32 array.
+    """
+    a8 = np.ascontiguousarray(a, dtype=np.int8)
+    b8 = np.ascontiguousarray(b, dtype=np.int8)
+    if a8.ndim != 2 or b8.ndim != 2 or a8.shape[1] != b8.shape[0]:
+        raise ValueError(f"incompatible operands: A{a8.shape} @ B{b8.shape}")
+    m, k = a8.shape
+    n = b8.shape[1]
+    if kernel is None:
+        config = _shrink_int8(ours_int8(), m, n, k)
+    else:
+        if kernel.ab_dtype != "s8":
+            raise ValueError("igemm needs an int8 kernel config")
+        config = kernel
+
+    def aligned(nbytes: int) -> int:
+        return (nbytes + 255) // 256 * 256
+
+    a_addr = 256
+    b_addr = a_addr + aligned(a8.nbytes)
+    c_addr = b_addr + aligned(b8.nbytes)
+    memory = GlobalMemory(c_addr + aligned(4 * m * n) + 256)
+    memory.write_array(a_addr, a8)
+    memory.write_array(b_addr, np.ascontiguousarray(b8.T))  # n x k
+
+    problem = HgemmProblem(m=m, n=n, k=k, a_addr=a_addr, b_addr=b_addr,
+                           c_addr=c_addr)
+    program = build_hgemm(config, problem, spec)
+    FunctionalSimulator().run(program, memory,
+                              grid_dim=config.grid_dim(m, n))
+    return memory.read_array(c_addr, np.int32, m * n).reshape(m, n)
+
+
+def igemm_reference(a, b) -> np.ndarray:
+    """Exact int8 GEMM oracle with s32 wrap-around accumulation."""
+    a8 = np.ascontiguousarray(a, dtype=np.int8).astype(np.int64)
+    b8 = np.ascontiguousarray(b, dtype=np.int8).astype(np.int64)
+    full = a8 @ b8
+    return (full & 0xFFFFFFFF).astype(np.uint32).view(np.int32)

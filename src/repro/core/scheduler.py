@@ -1,0 +1,116 @@
+"""CPI-guided instruction interleaving (paper Section VI-C).
+
+The paper's principle (Eq. 6): a memory-IO instruction with cycles-per-
+instruction ``CPI_mem`` must be separated from the next one by at least
+
+    #HMMA >= 4 * CPI_mem / CPI_HMMA
+
+HMMA instructions, because the four processing blocks' tensor pipes all
+advance while the single SM-wide memory-IO pipe digests one access.  Too
+little spacing (cuBLAS's 2-HMMA STS interleave) makes warps block on the
+busy memory pipe *in order*, starving their tensor pipes -- that is the
+entire mechanism behind Fig. 4.
+
+:class:`InterleaveScheduler` performs the placement: it walks a stream of
+HMMA emitters and injects each queued memory/ALU emitter once its spacing
+requirement is met.  Emitters are thunks so the scheduler composes with the
+:class:`~repro.isa.builder.ProgramBuilder` without an IR round trip.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..arch.turing import GpuSpec
+
+__all__ = ["spacing_for", "InterleaveScheduler"]
+
+
+def spacing_for(spec: GpuSpec, kind: str, width: int = 128) -> int:
+    """Minimum HMMAs between two memory instructions of *kind* (Eq. 6)."""
+    blocks = spec.processing_blocks_per_sm
+    cpi = {
+        "sts": spec.sts_cpi.cpi(width),
+        "lds": spec.lds_cpi.cpi(width),
+        "ldg": spec.ldg_l2_cpi.cpi(width),
+        "stg": spec.stg_cpi.cpi(width),
+    }[kind]
+    return max(1, math.ceil(blocks * cpi / spec.hmma_cpi))
+
+
+@dataclass
+class _Pending:
+    emit: object          # zero-arg callable that emits one instruction
+    due_at: int           # HMMA index after which this may be emitted
+    order: int            # stable queue order
+
+
+@dataclass
+class InterleaveScheduler:
+    """Placement of memory/ALU emitters into an HMMA stream.
+
+    Two placement modes:
+
+    * **fixed** -- the emitter is due exactly ``spacing`` HMMAs after the
+      previous fixed emitter.  Used for STS, whose spacing is the paper's
+      explicit tuning knob (Fig. 4: 2 vs 5 HMMAs).  Under-spaced fixed ops
+      bunch up and throttle the memory pipe -- by design.
+    * **flexible** -- the emitters are spread evenly over the first
+      ``window_frac`` of the HMMA stream at :meth:`run` time (LDS, LDG,
+      pointer bookkeeping).  Front-loading them slightly lets the last
+      fragment loads of a slice complete before the next slice's first
+      HMMA needs them; this is what a careful SASS programmer does by hand.
+    """
+
+    fixed: list = field(default_factory=list)
+    flexible: list = field(default_factory=list)
+    window_frac: float = 0.85
+    _cursor: int = 0      # due index for the next fixed op
+
+    def add(self, emit, spacing: int = 1, count: int = 1,
+            fixed: bool = False) -> None:
+        """Queue *count* copies of *emit* (or a list of emitters)."""
+        emitters = emit if isinstance(emit, (list, tuple)) else [emit] * count
+        for fn in emitters:
+            if fixed:
+                self.fixed.append(_Pending(emit=fn, due_at=self._cursor,
+                                           order=len(self.fixed)))
+                self._cursor += spacing
+            else:
+                self.flexible.append(fn)
+
+    def run(self, hmma_emitters) -> int:
+        """Emit all HMMAs with queued ops interleaved at their due points.
+
+        Fixed ops keep their requested positions; flexible ops fill the
+        stream evenly.  Ops due past the end of the stream are emitted
+        back-to-back at the end (over-subscription: the simulator will show
+        the memory pipe throttling).  Returns the number of tail-emitted
+        ops.
+        """
+        hmmas = list(hmma_emitters)
+        n = len(hmmas)
+        window = max(1, int(n * self.window_frac))
+        pending = list(self.fixed)
+        n_flex = len(self.flexible)
+        for i, fn in enumerate(self.flexible):
+            due = (i * window) // n_flex if n_flex else 0
+            pending.append(_Pending(emit=fn, due_at=due,
+                                    order=len(self.fixed) + i))
+        pending.sort(key=lambda p: (p.due_at, p.order))
+
+        qi = 0
+        for h_index, emit_hmma in enumerate(hmmas):
+            while qi < len(pending) and pending[qi].due_at <= h_index:
+                pending[qi].emit()
+                qi += 1
+            emit_hmma()
+        leftover = len(pending) - qi
+        while qi < len(pending):
+            pending[qi].emit()
+            qi += 1
+        self.fixed.clear()
+        self.flexible.clear()
+        self._cursor = 0
+        return leftover

@@ -1,0 +1,108 @@
+"""Half-precision (IEEE binary16) numerics helpers.
+
+The Tensor Core consumes and produces IEEE binary16 ("half", FP16) values.
+This module centralises the FP16 conversions and bit-level packing used
+throughout the simulator: register lanes hold 32-bit words, each packing two
+half-precision elements (the paper, Section IV-B: "One 32-bit thread register
+stores two half elements").
+
+All routines are vectorised over NumPy arrays; nothing here allocates per
+element.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "HALF",
+    "as_half",
+    "pack_half2",
+    "unpack_half2",
+    "half_bits",
+    "bits_to_half",
+    "ulp_distance",
+    "gemm_flops",
+]
+
+#: Canonical dtype for half-precision values in this package.
+HALF = np.dtype(np.float16)
+
+
+def as_half(values) -> np.ndarray:
+    """Return *values* as a contiguous float16 array.
+
+    Values already in float16 are passed through without copying when
+    possible; anything else is converted with IEEE round-to-nearest-even,
+    which is what the hardware conversion units implement.
+    """
+    arr = np.asarray(values)
+    if arr.dtype == HALF and arr.flags.c_contiguous:
+        return arr
+    with np.errstate(over="ignore"):  # saturate to inf, as the hardware does
+        return np.ascontiguousarray(arr, dtype=HALF)
+
+
+def half_bits(values) -> np.ndarray:
+    """Reinterpret half-precision *values* as their raw uint16 bit patterns."""
+    return as_half(values).view(np.uint16)
+
+
+def bits_to_half(bits) -> np.ndarray:
+    """Reinterpret uint16 *bits* as half-precision values."""
+    arr = np.ascontiguousarray(bits, dtype=np.uint16)
+    return arr.view(HALF)
+
+
+def pack_half2(lo, hi) -> np.ndarray:
+    """Pack two half arrays into uint32 words (``lo`` in bits 0..15).
+
+    This mirrors how a 32-bit register lane stores two consecutive
+    half-precision matrix elements.
+    """
+    lo_bits = half_bits(lo).astype(np.uint32)
+    hi_bits = half_bits(hi).astype(np.uint32)
+    if lo_bits.shape != hi_bits.shape:
+        raise ValueError(
+            f"pack_half2 operands must have matching shapes, got "
+            f"{lo_bits.shape} and {hi_bits.shape}"
+        )
+    return lo_bits | (hi_bits << np.uint32(16))
+
+
+def unpack_half2(words) -> tuple[np.ndarray, np.ndarray]:
+    """Split uint32 *words* into their (lo, hi) half-precision elements."""
+    arr = np.ascontiguousarray(words, dtype=np.uint32)
+    lo = bits_to_half((arr & np.uint32(0xFFFF)).astype(np.uint16))
+    hi = bits_to_half((arr >> np.uint32(16)).astype(np.uint16))
+    return lo, hi
+
+
+def ulp_distance(a, b) -> np.ndarray:
+    """Distance in half-precision ULPs between *a* and *b*.
+
+    Used by tests to bound Tensor Core accumulation error.  The encoding
+    trick maps the sign-magnitude FP16 bit patterns onto a monotone integer
+    line so that adjacent representable values differ by exactly 1.
+    """
+    ab = half_bits(a).astype(np.int32)
+    bb = half_bits(b).astype(np.int32)
+
+    def _monotone(x: np.ndarray) -> np.ndarray:
+        neg = x >= 0x8000
+        out = x.copy()
+        out[neg] = 0x8000 - x[neg]
+        return out
+
+    return np.abs(_monotone(ab) - _monotone(bb))
+
+
+def gemm_flops(m: int, n: int, k: int) -> int:
+    """Number of floating point operations for an ``m*n*k`` GEMM.
+
+    Uses the standard 2*m*n*k convention (one multiply plus one add per
+    inner-product term), which is what the paper's TFLOPS figures use.
+    """
+    if min(m, n, k) < 0:
+        raise ValueError(f"GEMM dims must be non-negative, got {(m, n, k)}")
+    return 2 * m * n * k

@@ -1,0 +1,244 @@
+"""Register fragment layouts for Turing Tensor Cores (paper Figs. 1 and 2).
+
+The paper's central reverse-engineering result (Section IV) is that the basic
+unit of half-precision Tensor Core programming is an 8x8 matrix, stored in the
+32 lanes of a warp using **one 32-bit register per lane** ("warp register"):
+32 lanes x 4 bytes = 128 bytes = 8 x 8 half-precision elements.
+
+Two orders exist (Fig. 1):
+
+* **row-major** -- the 8x8 matrix is tiled into 8 rows x 4 cells, each cell
+  holding two horizontally adjacent elements.  The lane owning row ``r``,
+  cell ``p`` is ``4*r + p``; it stores elements ``(r, 2p)`` (low half of the
+  register) and ``(r, 2p + 1)`` (high half).
+
+* **column-major** -- the matrix is tiled into 4 cell-rows x 8 columns, each
+  cell holding two vertically adjacent elements.  The lane owning cell-row
+  ``q``, column ``c`` is ``q + 4*c``; it stores elements ``(2q, c)`` (low)
+  and ``(2q + 1, c)`` (high).
+
+``HMMA.1688`` operands (Fig. 2): D (16x8), A (16x8) and C (16x8) are each two
+row-major warp registers (top 8x8 then bottom 8x8); B (8x8) is one
+column-major warp register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .fp16 import as_half, pack_half2, unpack_half2
+
+__all__ = [
+    "WARP_SIZE",
+    "ROW_MAJOR",
+    "COL_MAJOR",
+    "FragmentLayout",
+    "lane_of_element",
+    "elements_of_lane",
+    "lane_map",
+    "matrix_to_fragment",
+    "fragment_to_matrix",
+    "matrix16x8_to_fragments",
+    "fragments_to_matrix16x8",
+    "matrix16x8_to_fragments_f32",
+    "fragments_f32_to_matrix16x8",
+    "hmma_operand_layouts",
+]
+
+#: Number of lanes cooperating on one warp register.
+WARP_SIZE = 32
+
+#: Matrix order tokens, matching the paper's terminology.
+ROW_MAJOR = "row"
+COL_MAJOR = "col"
+
+_VALID_ORDERS = (ROW_MAJOR, COL_MAJOR)
+
+
+def _check_order(order: str) -> None:
+    if order not in _VALID_ORDERS:
+        raise ValueError(f"order must be one of {_VALID_ORDERS}, got {order!r}")
+
+
+@dataclass(frozen=True)
+class FragmentLayout:
+    """Descriptor of how one 8x8 matrix maps onto 32 lanes.
+
+    Attributes:
+        order: ``"row"`` or ``"col"``.
+        lanes: 8x8 int array; ``lanes[r, c]`` is the lane holding element
+            ``(r, c)``.
+        halves: 8x8 int array; ``halves[r, c]`` is 0 if the element sits in
+            the low 16 bits of the lane's register, 1 if in the high bits.
+    """
+
+    order: str
+    lanes: np.ndarray
+    halves: np.ndarray
+
+    def __post_init__(self) -> None:
+        _check_order(self.order)
+
+    def render(self) -> str:
+        """ASCII rendering of the lane ownership grid (paper Fig. 1)."""
+        if self.order == ROW_MAJOR:
+            cells = self.lanes[:, ::2]
+        else:
+            cells = self.lanes[::2, :]
+        rows = ["  ".join(f"{int(v):2d}" for v in row) for row in cells]
+        return "\n".join(rows)
+
+
+def lane_of_element(row: int, col: int, order: str) -> tuple[int, int]:
+    """Return ``(lane, half)`` owning element ``(row, col)`` of an 8x8 matrix.
+
+    ``half`` is 0 for the low 16 bits of the lane's 32-bit register and 1 for
+    the high 16 bits.
+    """
+    _check_order(order)
+    if not (0 <= row < 8 and 0 <= col < 8):
+        raise ValueError(f"element ({row}, {col}) outside the 8x8 fragment")
+    if order == ROW_MAJOR:
+        return 4 * row + col // 2, col % 2
+    return row // 2 + 4 * col, row % 2
+
+
+def elements_of_lane(lane: int, order: str) -> tuple[tuple[int, int], tuple[int, int]]:
+    """Return the two ``(row, col)`` elements held by *lane* (low, high)."""
+    _check_order(order)
+    if not 0 <= lane < WARP_SIZE:
+        raise ValueError(f"lane must be in [0, {WARP_SIZE}), got {lane}")
+    if order == ROW_MAJOR:
+        row, cell = divmod(lane, 4)
+        return (row, 2 * cell), (row, 2 * cell + 1)
+    col, cell_row = divmod(lane, 4)  # lane = cell_row + 4 * col
+    return (2 * cell_row, col), (2 * cell_row + 1, col)
+
+
+def lane_map(order: str) -> FragmentLayout:
+    """Build the full :class:`FragmentLayout` for *order*."""
+    _check_order(order)
+    lanes = np.empty((8, 8), dtype=np.int64)
+    halves = np.empty((8, 8), dtype=np.int64)
+    for r in range(8):
+        for c in range(8):
+            lanes[r, c], halves[r, c] = lane_of_element(r, c, order)
+    return FragmentLayout(order=order, lanes=lanes, halves=halves)
+
+
+# Precomputed index tables: for each order, (rows_lo, cols_lo, rows_hi, cols_hi)
+# give the matrix coordinates of each lane's low/high element, indexed by lane.
+def _lane_tables(order: str):
+    lo = np.empty((WARP_SIZE, 2), dtype=np.int64)
+    hi = np.empty((WARP_SIZE, 2), dtype=np.int64)
+    for lane in range(WARP_SIZE):
+        (lo_rc, hi_rc) = elements_of_lane(lane, order)
+        lo[lane] = lo_rc
+        hi[lane] = hi_rc
+    return lo[:, 0], lo[:, 1], hi[:, 0], hi[:, 1]
+
+
+_TABLES = {order: _lane_tables(order) for order in _VALID_ORDERS}
+
+
+def matrix_to_fragment(matrix, order: str) -> np.ndarray:
+    """Scatter an 8x8 half matrix into a (32,) uint32 warp register."""
+    _check_order(order)
+    mat = as_half(matrix)
+    if mat.shape != (8, 8):
+        raise ValueError(f"fragment source must be 8x8, got {mat.shape}")
+    rlo, clo, rhi, chi = _TABLES[order]
+    return pack_half2(mat[rlo, clo], mat[rhi, chi])
+
+
+def fragment_to_matrix(words, order: str) -> np.ndarray:
+    """Gather a (32,) uint32 warp register back into an 8x8 half matrix."""
+    _check_order(order)
+    arr = np.ascontiguousarray(words, dtype=np.uint32)
+    if arr.shape != (WARP_SIZE,):
+        raise ValueError(f"warp register must have shape (32,), got {arr.shape}")
+    lo, hi = unpack_half2(arr)
+    rlo, clo, rhi, chi = _TABLES[order]
+    out = np.empty((8, 8), dtype=np.float16)
+    out[rlo, clo] = lo
+    out[rhi, chi] = hi
+    return out
+
+
+def matrix16x8_to_fragments(matrix) -> np.ndarray:
+    """Scatter a 16x8 half matrix into two row-major warp registers.
+
+    Returns a (2, 32) uint32 array: register 0 holds rows 0..7, register 1
+    holds rows 8..15 (the layout HMMA.1688 requires for D, A and C).
+    """
+    mat = as_half(matrix)
+    if mat.shape != (16, 8):
+        raise ValueError(f"operand must be 16x8, got {mat.shape}")
+    return np.stack(
+        [
+            matrix_to_fragment(mat[:8], ROW_MAJOR),
+            matrix_to_fragment(mat[8:], ROW_MAJOR),
+        ]
+    )
+
+
+def fragments_to_matrix16x8(words) -> np.ndarray:
+    """Gather two row-major warp registers into a 16x8 half matrix."""
+    arr = np.ascontiguousarray(words, dtype=np.uint32)
+    if arr.shape != (2, WARP_SIZE):
+        raise ValueError(f"expected shape (2, 32), got {arr.shape}")
+    return np.concatenate(
+        [
+            fragment_to_matrix(arr[0], ROW_MAJOR),
+            fragment_to_matrix(arr[1], ROW_MAJOR),
+        ]
+    )
+
+
+def matrix16x8_to_fragments_f32(matrix) -> np.ndarray:
+    """Scatter a 16x8 float32 matrix into four warp registers.
+
+    For the ``.F32`` accumulator variant the paper notes D and C live in
+    128-bit registers.  We model those as register *pairs*: where the
+    ``.F16`` layout packs elements ``(r, 2p)`` / ``(r, 2p+1)`` into the low
+    and high halves of register ``i``, the ``.F32`` layout promotes them to
+    full registers ``2i`` and ``2i + 1``.
+    """
+    mat = np.ascontiguousarray(matrix, dtype=np.float32)
+    if mat.shape != (16, 8):
+        raise ValueError(f"operand must be 16x8, got {mat.shape}")
+    rlo, clo, rhi, chi = _TABLES[ROW_MAJOR]
+    out = np.empty((4, WARP_SIZE), dtype=np.uint32)
+    for half_idx, block in enumerate((mat[:8], mat[8:])):
+        out[2 * half_idx] = block[rlo, clo].view(np.uint32)
+        out[2 * half_idx + 1] = block[rhi, chi].view(np.uint32)
+    return out
+
+
+def fragments_f32_to_matrix16x8(words) -> np.ndarray:
+    """Gather four warp registers into a 16x8 float32 matrix."""
+    arr = np.ascontiguousarray(words, dtype=np.uint32)
+    if arr.shape != (4, WARP_SIZE):
+        raise ValueError(f"expected shape (4, 32), got {arr.shape}")
+    rlo, clo, rhi, chi = _TABLES[ROW_MAJOR]
+    out = np.empty((16, 8), dtype=np.float32)
+    for half_idx in range(2):
+        block = out[8 * half_idx : 8 * half_idx + 8]
+        block[rlo, clo] = arr[2 * half_idx].view(np.float32)
+        block[rhi, chi] = arr[2 * half_idx + 1].view(np.float32)
+    return out
+
+
+def hmma_operand_layouts() -> dict:
+    """Operand-order summary of HMMA.1688 (paper Fig. 2).
+
+    Returns a mapping from operand name to ``(shape, order, registers)``.
+    """
+    return {
+        "D": ((16, 8), ROW_MAJOR, 2),
+        "A": ((16, 8), ROW_MAJOR, 2),
+        "B": ((8, 8), COL_MAJOR, 1),
+        "C": ((16, 8), ROW_MAJOR, 2),
+    }

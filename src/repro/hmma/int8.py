@@ -1,0 +1,127 @@
+"""INT8 Tensor Core semantics: the ``IMMA.8816`` instruction family.
+
+The paper's Section VIII lists "demystifying Tensor Cores with ... integer
+data type" as future work; this module does for ``IMMA`` what
+:mod:`repro.hmma.fragments`/:mod:`repro.hmma.mma` do for ``HMMA``.
+
+``IMMA.8816.S8.S8`` computes ``D[8x8,s32] = A[8x16,s8] @ B[16x8,s8] +
+C[8x8,s32]``.  Operand layouts (one 32-bit register holds four int8
+elements, so one warp register again holds a full operand):
+
+* **A, row-major**: lane ``4r + p`` holds ``A[r, 4p .. 4p+3]`` -- the same
+  8-rows-by-4-lane-groups grid as Fig. 1, with 4 bytes along k per lane.
+* **B, column-major**: lane ``q + 4c`` holds ``B[4q .. 4q+3, c]``.
+* **C/D, s32**: two registers; lane ``4r + p`` holds ``D[r, 2p]`` in the
+  first and ``D[r, 2p+1]`` in the second (the ``HMMA.1688.F32``
+  register-pair pattern on an 8x8 tile).
+
+Accumulation is exact 32-bit integer arithmetic (products of two s8 values
+summed in s32 cannot overflow for k = 16; long chains wrap modulo 2^32,
+as on hardware).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "IMMA_8816_OPS",
+    "int8_matrix_to_fragment_a",
+    "fragment_a_to_int8_matrix",
+    "int8_matrix_to_fragment_b",
+    "fragment_b_to_int8_matrix",
+    "s32_matrix_to_fragments",
+    "fragments_to_s32_matrix",
+    "imma_8816",
+]
+
+#: Integer operations per IMMA.8816 (2 * 8 * 8 * 16 multiply-adds).
+IMMA_8816_OPS = 2 * 8 * 8 * 16
+
+_LANES = 32
+
+
+def _check(shape, arr, dtype, name):
+    out = np.ascontiguousarray(arr, dtype=dtype)
+    if out.shape != shape:
+        raise ValueError(f"{name} must be {shape}, got {out.shape}")
+    return out
+
+
+def int8_matrix_to_fragment_a(matrix) -> np.ndarray:
+    """Scatter an 8x16 int8 A operand into one (32,) uint32 register."""
+    mat = _check((8, 16), matrix, np.int8, "A")
+    lanes = mat.reshape(8, 4, 4)              # row, lane-group, 4 bytes
+    return lanes.reshape(32, 4).view(np.uint8).copy().view(np.uint32).ravel()
+
+
+def fragment_a_to_int8_matrix(words) -> np.ndarray:
+    """Gather the A fragment back into an 8x16 int8 matrix."""
+    arr = _check((_LANES,), words, np.uint32, "A fragment")
+    return arr.view(np.uint8).view(np.int8).reshape(8, 16).copy()
+
+
+def int8_matrix_to_fragment_b(matrix) -> np.ndarray:
+    """Scatter a 16x8 int8 B operand (column-major) into one register.
+
+    Lane ``q + 4c`` packs ``B[4q:4q+4, c]``.
+    """
+    mat = _check((16, 8), matrix, np.int8, "B")
+    # (q, byte, col) -> transpose so lane-major order is (c, q): index
+    # [c, q, byte] flattened row-major gives lane 4c + q... we need q + 4c,
+    # which is the same flat index, so one transpose suffices.
+    lanes = mat.reshape(4, 4, 8).transpose(2, 0, 1).reshape(32, 4)
+    return lanes.view(np.uint8).copy().view(np.uint32).ravel()
+
+
+def fragment_b_to_int8_matrix(words) -> np.ndarray:
+    """Gather the B fragment back into a 16x8 int8 matrix."""
+    arr = _check((_LANES,), words, np.uint32, "B fragment")
+    lanes = arr.view(np.uint8).view(np.int8).reshape(32, 4)
+    out = np.empty((16, 8), dtype=np.int8)
+    for c in range(8):
+        for q in range(4):
+            out[4 * q : 4 * q + 4, c] = lanes[q + 4 * c]
+    return out
+
+
+def s32_matrix_to_fragments(matrix) -> np.ndarray:
+    """Scatter an 8x8 int32 C/D operand into a (2, 32) register pair."""
+    mat = _check((8, 8), matrix, np.int32, "C")
+    rows = np.repeat(np.arange(8), 4)
+    cells = np.tile(np.arange(4), 8)
+    out = np.empty((2, _LANES), dtype=np.uint32)
+    out[0] = mat[rows, 2 * cells].view(np.uint32)
+    out[1] = mat[rows, 2 * cells + 1].view(np.uint32)
+    return out
+
+
+def fragments_to_s32_matrix(words) -> np.ndarray:
+    """Gather a (2, 32) register pair back into an 8x8 int32 matrix."""
+    arr = _check((2, _LANES), words, np.uint32, "C fragments")
+    out = np.empty((8, 8), dtype=np.int32)
+    rows = np.repeat(np.arange(8), 4)
+    cells = np.tile(np.arange(4), 8)
+    out[rows, 2 * cells] = arr[0].view(np.int32)
+    out[rows, 2 * cells + 1] = arr[1].view(np.int32)
+    return out
+
+
+def imma_8816(a_reg, b_reg, c_regs) -> np.ndarray:
+    """Execute ``IMMA.8816.S8.S8`` on warp registers.
+
+    Args:
+        a_reg: (32,) uint32 -- A[8x16] int8, row-major fragment.
+        b_reg: (32,) uint32 -- B[16x8] int8, column-major fragment.
+        c_regs: (2, 32) uint32 -- C[8x8] int32 accumulator.
+
+    Returns:
+        (2, 32) uint32 -- D in the C layout.
+    """
+    a = fragment_a_to_int8_matrix(a_reg).astype(np.int64)
+    b = fragment_b_to_int8_matrix(b_reg).astype(np.int64)
+    c = fragments_to_s32_matrix(c_regs).astype(np.int64)
+    # Exact products, signed 32-bit wrap-around accumulate (hardware s32).
+    d64 = (a @ b + c) & 0xFFFFFFFF
+    d = d64.astype(np.uint32).view(np.int32)
+    return s32_matrix_to_fragments(d)

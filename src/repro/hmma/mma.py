@@ -1,0 +1,119 @@
+"""Functional semantics of the ``HMMA.1688`` Tensor Core instruction.
+
+One ``HMMA.1688`` computes ``D[16x8] = A[16x8] @ B[8x8] + C[16x8]`` (paper
+Eq. (2)) on warp-register fragments whose layout is defined in
+:mod:`repro.hmma.fragments`.
+
+Precision model
+---------------
+Tensor Cores multiply FP16 operands exactly (each product of two FP16 values
+is representable in FP32) and accumulate in higher precision *within* one
+instruction; the accumulator register type then determines the rounding of
+the result:
+
+* ``.F16`` -- the 16x8 result is rounded to half precision once per HMMA.
+* ``.F32`` -- the result stays in single precision.
+
+This matches the paper's observation (Section I) that Tensor Core results are
+*more accurate* than a chain of FP16 FMA operations, while a long K reduction
+performed by many chained ``.F16`` HMMAs still accumulates FP16 rounding
+error once per instruction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .fragments import (
+    fragment_to_matrix,
+    fragments_f32_to_matrix16x8,
+    fragments_to_matrix16x8,
+    matrix16x8_to_fragments,
+    matrix16x8_to_fragments_f32,
+    COL_MAJOR,
+)
+
+__all__ = [
+    "mma_16x8x8",
+    "hmma_1688_f16",
+    "hmma_1688_f32",
+    "hmma_884_f16",
+    "HMMA_1688_FLOPS",
+]
+
+#: Floating point operations performed by one HMMA.1688 (2 * 16 * 8 * 8).
+HMMA_1688_FLOPS = 2 * 16 * 8 * 8
+
+
+def mma_16x8x8(a, b, c, accumulate_f32: bool) -> np.ndarray:
+    """Matrix-level reference: ``A[16x8] @ B[8x8] + C``.
+
+    Products and the intra-instruction reduction happen in float32; the
+    result is rounded to float16 once iff ``accumulate_f32`` is false.
+    """
+    a32 = np.asarray(a, dtype=np.float32)
+    b32 = np.asarray(b, dtype=np.float32)
+    c32 = np.asarray(c, dtype=np.float32)
+    if a32.shape != (16, 8) or b32.shape != (8, 8) or c32.shape != (16, 8):
+        raise ValueError(
+            f"mma_16x8x8 expects A(16x8), B(8x8), C(16x8); got "
+            f"{a32.shape}, {b32.shape}, {c32.shape}"
+        )
+    d = a32 @ b32 + c32
+    if accumulate_f32:
+        return d
+    return d.astype(np.float16)
+
+
+def hmma_1688_f16(a_regs, b_reg, c_regs) -> np.ndarray:
+    """Execute ``HMMA.1688.F16`` on warp registers.
+
+    Args:
+        a_regs: (2, 32) uint32 -- A in row-major fragments.
+        b_reg: (32,) uint32 -- B in column-major fragments.
+        c_regs: (2, 32) uint32 -- C accumulator in row-major fragments.
+
+    Returns:
+        (2, 32) uint32 -- D in row-major fragments.
+    """
+    a = fragments_to_matrix16x8(a_regs)
+    b = fragment_to_matrix(b_reg, COL_MAJOR)
+    c = fragments_to_matrix16x8(c_regs)
+    d = mma_16x8x8(a, b, c, accumulate_f32=False)
+    return matrix16x8_to_fragments(d)
+
+
+def hmma_1688_f32(a_regs, b_reg, c_regs) -> np.ndarray:
+    """Execute ``HMMA.1688.F32`` on warp registers.
+
+    Args:
+        a_regs: (2, 32) uint32 -- A in row-major half fragments.
+        b_reg: (32,) uint32 -- B in column-major half fragments.
+        c_regs: (4, 32) uint32 -- C accumulator, float32 fragment pairs.
+
+    Returns:
+        (4, 32) uint32 -- D as float32 fragment pairs.
+    """
+    a = fragments_to_matrix16x8(a_regs)
+    b = fragment_to_matrix(b_reg, COL_MAJOR)
+    c = fragments_f32_to_matrix16x8(c_regs)
+    d = mma_16x8x8(a, b, c, accumulate_f32=True)
+    return matrix16x8_to_fragments_f32(d)
+
+
+def hmma_884_f16(a_reg, b_reg, c_reg) -> np.ndarray:
+    """Execute the Volta-style ``HMMA.884`` step: ``D[8x8] = A[8x8]B[8x8]+C``.
+
+    Provided for completeness (the paper focuses on ``.1688`` because it is
+    "more succinct"); A, D and C are row-major single warp registers, B is
+    column-major.
+    """
+    from .fragments import matrix_to_fragment, ROW_MAJOR
+
+    a = fragment_to_matrix(a_reg, ROW_MAJOR)
+    b = fragment_to_matrix(b_reg, COL_MAJOR)
+    c = fragment_to_matrix(c_reg, ROW_MAJOR)
+    a32 = a.astype(np.float32)
+    b32 = b.astype(np.float32)
+    d = (a32 @ b32 + c.astype(np.float32)).astype(np.float16)
+    return matrix_to_fragment(d, ROW_MAJOR)

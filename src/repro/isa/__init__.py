@@ -1,0 +1,76 @@
+"""SASS-subset ISA: operands, instructions, assembler, encoder, builder.
+
+Provides the native-assembly layer the paper's methodology depends on
+(Section II-B / V-A: CPI microbenchmarks and instruction scheduling are
+"only possible at SASS-level").
+"""
+
+from .assembler import AssemblyError, assemble, parse_control, parse_operand
+from .builder import ProgramBuilder
+from .control import NO_BARRIER, ControlInfo
+from .disassembler import disassemble, disassemble_to_program
+from .encoding import (
+    INSTRUCTION_BYTES,
+    EncodingError,
+    MOD_TABLES,
+    decode_instruction,
+    decode_program,
+    encode_instruction,
+    encode_program,
+)
+from .instructions import (
+    Instruction,
+    OPCODES,
+    OpcodeInfo,
+    Pipe,
+    memory_width,
+)
+from .operands import (
+    Imm,
+    MemRef,
+    PT,
+    PT_INDEX,
+    Pred,
+    Reg,
+    RZ,
+    RZ_INDEX,
+    SPECIAL_REGISTERS,
+    SpecialReg,
+)
+from .program import KernelMeta, Program
+
+__all__ = [
+    "AssemblyError",
+    "assemble",
+    "parse_control",
+    "parse_operand",
+    "ProgramBuilder",
+    "NO_BARRIER",
+    "ControlInfo",
+    "disassemble",
+    "disassemble_to_program",
+    "INSTRUCTION_BYTES",
+    "EncodingError",
+    "MOD_TABLES",
+    "decode_instruction",
+    "decode_program",
+    "encode_instruction",
+    "encode_program",
+    "Instruction",
+    "OPCODES",
+    "OpcodeInfo",
+    "Pipe",
+    "memory_width",
+    "Imm",
+    "MemRef",
+    "PT",
+    "PT_INDEX",
+    "Pred",
+    "Reg",
+    "RZ",
+    "RZ_INDEX",
+    "SPECIAL_REGISTERS",
+    "SpecialReg",
+    "KernelMeta",
+    "Program",
+]

@@ -1,0 +1,112 @@
+"""Turing control information attached to every SASS instruction.
+
+Since Volta/Turing, every 128-bit instruction word embeds its own scheduling
+control fields (there is no separate control word as on Maxwell/Pascal).  The
+fields, as reverse-engineered by Jia et al. and used by ``turingas``:
+
+* ``stall`` (4 bits) -- cycles the scheduler waits before issuing the *next*
+  instruction from this warp.
+* ``yield_flag`` (1 bit) -- hint allowing the scheduler to switch warps.
+* ``write_bar`` (3 bits) -- scoreboard index (0-5) set when this variable-
+  latency instruction's *result* becomes available; 7 = none.
+* ``read_bar`` (3 bits) -- scoreboard index set when this instruction has
+  *consumed* its source operands (so they may be overwritten); 7 = none.
+* ``wait_mask`` (6 bits) -- scoreboards this instruction must wait on.
+* ``reuse`` (4 bits) -- operand-reuse cache flags.  The paper observes the
+  reuse flag has **no effect** on HMMA performance; the simulator honours
+  that by treating reuse as a no-op for the tensor pipe.
+
+The paper's latency methodology ("we measure the latency of HMMA by varying
+the stall cycles and check if the output result is correct", Section IV-C)
+requires the simulator to take these fields literally: if the programmer
+stalls too few cycles and does not wait on a scoreboard, the consumer reads a
+stale register -- exactly as on silicon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["NO_BARRIER", "ControlInfo"]
+
+#: Barrier-index value meaning "no scoreboard allocated".
+NO_BARRIER = 7
+
+
+@dataclass(frozen=True)
+class ControlInfo:
+    """Per-instruction scheduling control fields."""
+
+    stall: int = 1
+    yield_flag: bool = False
+    write_bar: int = NO_BARRIER
+    read_bar: int = NO_BARRIER
+    wait_mask: int = 0
+    reuse: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.stall <= 15:
+            raise ValueError(f"stall must fit in 4 bits, got {self.stall}")
+        for name, value in (("write_bar", self.write_bar), ("read_bar", self.read_bar)):
+            if not (0 <= value <= 5 or value == NO_BARRIER):
+                raise ValueError(f"{name} must be 0-5 or {NO_BARRIER}, got {value}")
+        if not 0 <= self.wait_mask < 64:
+            raise ValueError(f"wait_mask must fit in 6 bits, got {self.wait_mask}")
+        if not 0 <= self.reuse < 16:
+            raise ValueError(f"reuse must fit in 4 bits, got {self.reuse}")
+
+    @property
+    def sets_barrier(self) -> bool:
+        return self.write_bar != NO_BARRIER or self.read_bar != NO_BARRIER
+
+    def waits_on(self, barrier: int) -> bool:
+        return bool(self.wait_mask & (1 << barrier))
+
+    def with_stall(self, stall: int) -> "ControlInfo":
+        return replace(self, stall=stall)
+
+    def with_wait(self, *barriers: int) -> "ControlInfo":
+        mask = self.wait_mask
+        for b in barriers:
+            if not 0 <= b <= 5:
+                raise ValueError(f"barrier index must be 0-5, got {b}")
+            mask |= 1 << b
+        return replace(self, wait_mask=mask)
+
+    def encode(self) -> int:
+        """Pack the control fields into the 21-bit layout used on Turing."""
+        word = self.stall
+        word |= int(self.yield_flag) << 4
+        word |= self.write_bar << 5
+        word |= self.read_bar << 8
+        word |= self.wait_mask << 11
+        word |= self.reuse << 17
+        return word
+
+    @classmethod
+    def decode(cls, word: int) -> "ControlInfo":
+        """Inverse of :meth:`encode`."""
+        if not 0 <= word < (1 << 21):
+            raise ValueError(f"control word must fit in 21 bits, got {word:#x}")
+        return cls(
+            stall=word & 0xF,
+            yield_flag=bool((word >> 4) & 1),
+            write_bar=(word >> 5) & 0x7,
+            read_bar=(word >> 8) & 0x7,
+            wait_mask=(word >> 11) & 0x3F,
+            reuse=(word >> 17) & 0xF,
+        )
+
+    def __str__(self) -> str:
+        parts = [f"stall={self.stall}"]
+        if self.yield_flag:
+            parts.append("yield")
+        if self.write_bar != NO_BARRIER:
+            parts.append(f"wb={self.write_bar}")
+        if self.read_bar != NO_BARRIER:
+            parts.append(f"rb={self.read_bar}")
+        if self.wait_mask:
+            parts.append(f"wait={self.wait_mask:#04b}".replace("0b", "0b"))
+        if self.reuse:
+            parts.append(f"reuse={self.reuse:#x}")
+        return "{" + ", ".join(parts) + "}"

@@ -1,0 +1,80 @@
+"""Disassembler: binary images back to assembleable SASS text.
+
+Completes the toolchain loop: ``assemble -> encode_program`` produces the
+binary; this module recovers a text listing that re-assembles to an
+equivalent program.  Labels are synthesised (``L0``, ``L1``, ...) at branch
+targets since the binary stores resolved indices only — the classic
+disassembler experience.
+"""
+
+from __future__ import annotations
+
+from .encoding import decode_program
+from .instructions import Instruction
+from .program import KernelMeta, Program
+
+__all__ = ["disassemble", "disassemble_to_program"]
+
+
+def _collect_labels(instructions) -> dict:
+    """Map branch-target indices to synthetic label names, in order."""
+    targets = sorted({
+        inst.target_index for inst in instructions
+        if inst.target_index is not None
+    })
+    return {index: f"L{n}" for n, index in enumerate(targets)}
+
+
+def _format_instruction(inst: Instruction, labels: dict) -> str:
+    parts = []
+    if inst.pred is not None:
+        parts.append(f"@{inst.pred}")
+    parts.append(inst.mnemonic)
+    operands = [str(op) for op in (*inst.dests, *inst.srcs)]
+    if inst.target_index is not None:
+        operands.append(labels[inst.target_index])
+    body = " ".join(parts)
+    if operands:
+        body += " " + ", ".join(operands)
+    ctrl = str(inst.ctrl)
+    if ctrl != "{stall=1}":
+        body += f" {ctrl}"
+    return body
+
+
+def disassemble(blob: bytes, meta: KernelMeta = None) -> str:
+    """Disassemble a binary image to SASS text.
+
+    The output round-trips: ``assemble(disassemble(encode_program(p)))``
+    executes identically to ``p`` (labels are renamed, immediates are
+    normalised to unsigned).
+    """
+    instructions = decode_program(blob)
+    labels = _collect_labels(instructions)
+
+    lines = []
+    if meta is not None:
+        lines.append(f".kernel {meta.name}")
+        lines.append(f".regs {meta.num_regs}")
+        lines.append(f".smem {meta.smem_bytes}")
+        lines.append(f".block {meta.block_dim}")
+        lines.append("")
+    for index, inst in enumerate(instructions):
+        if index in labels:
+            lines.append(f"{labels[index]}:")
+        lines.append(f"  {_format_instruction(inst, labels)}")
+    # A label may point one past the end (a branch to EXIT fall-through).
+    if len(instructions) in labels:
+        lines.append(f"{labels[len(instructions)]}:")
+    return "\n".join(lines) + "\n"
+
+
+def disassemble_to_program(blob: bytes, meta: KernelMeta = None) -> Program:
+    """Decode a binary image directly into an executable Program."""
+    instructions = decode_program(blob)
+    labels = _collect_labels(instructions)
+    return Program(
+        instructions=instructions,
+        meta=meta or KernelMeta(),
+        labels={name: index for index, name in labels.items()},
+    )

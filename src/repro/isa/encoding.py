@@ -1,0 +1,295 @@
+"""Binary encoding of the SASS subset into 128-bit instruction words.
+
+Turing encodes each instruction in one 128-bit word with the scheduling
+control fields embedded in the high bits (unlike Maxwell/Pascal's separate
+control words).  NVIDIA's exact bit layout is unpublished -- that opacity is
+the premise of the paper -- so this module defines a *self-consistent*
+Turing-style layout with the same structure: 8-bit opcode, guard predicate,
+register/immediate/memory operand fields, modifier index, and the 21-bit
+control block of :class:`~repro.isa.control.ControlInfo` in the top bits.
+
+Bit layout (LSB first)::
+
+    [0:8)     opcode code
+    [8)       has guard predicate
+    [9:12)    guard predicate index
+    [12)      guard negated
+    [13:15)   number of destinations (0-2)
+    [15:23)   dest0 payload (reg index, or pred index|neg<<3)
+    [23)      dest0 is a predicate
+    [24:28)   dest1 predicate payload (ISETP)
+    [28:31)   number of sources (0-3)
+    [31:37)   source tags, 2 bits each (0=Reg 1=Pred 2=Special 3=wide)
+    [37:61)   narrow source payloads, 8 bits each
+    [61)      wide source is a memory reference
+    [62:94)   wide payload: imm32, mem (base | offset<<8), or branch target
+    [94:102)  modifier-set index (per-opcode table)
+    [102:123) control info (ControlInfo.encode)
+    [123:128) reserved, zero
+
+At most one source may be "wide" (an immediate or a memory reference); the
+whole subset satisfies this, as does real SASS.
+"""
+
+from __future__ import annotations
+
+from .control import ControlInfo
+from .instructions import Instruction, opcode_by_code
+from .operands import Imm, MemRef, Pred, Reg, SpecialReg
+from .program import Program
+
+__all__ = [
+    "EncodingError",
+    "MOD_TABLES",
+    "encode_instruction",
+    "decode_instruction",
+    "encode_program",
+    "decode_program",
+    "INSTRUCTION_BYTES",
+]
+
+#: Size of one encoded instruction.
+INSTRUCTION_BYTES = 16
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction cannot be represented in the binary form."""
+
+
+def _isetp_mods():
+    return tuple((cmp, "AND") for cmp in ("LT", "LE", "GT", "GE", "EQ", "NE"))
+
+
+def _mem_mods(prefix: tuple, widths=("", "32", "64", "128"), cg=False) -> tuple:
+    out = []
+    cache_opts = ((), ("CG",)) if cg else ((),)
+    for cache in cache_opts:
+        for width in widths:
+            mods = prefix + cache + ((width,) if width else ())
+            out.append(mods)
+    return tuple(out)
+
+
+#: Canonical modifier tuples per opcode; the encoded form stores an index
+#: into this table.
+MOD_TABLES = {
+    "NOP": ((),),
+    "EXIT": ((),),
+    "MOV": ((),),
+    "MOV32I": ((),),
+    "IADD3": ((),),
+    "IMAD": ((), ("WIDE",)),
+    "SHF": (("L",), ("R",)),
+    "LOP3": (("AND",), ("OR",), ("XOR",)),
+    "ISETP": _isetp_mods(),
+    "SEL": ((),),
+    "S2R": ((),),
+    "CS2R": ((),),
+    "BAR": (("SYNC",),),
+    "BRA": ((),),
+    "HMMA": (("1688", "F16"), ("1688", "F32"), ("884", "F16")),
+    "IMMA": (("8816", "S8", "S8"),),
+    "HFMA2": ((),),
+    "LDG": _mem_mods(("E",), cg=True),
+    "STG": _mem_mods(("E",)),
+    "LDS": _mem_mods(()),
+    "STS": _mem_mods(()),
+}
+
+_TAG_REG, _TAG_PRED, _TAG_NARROW, _TAG_WIDE = range(4)
+
+#: Opcodes whose narrow-slot sources are special registers; for every
+#: other opcode the narrow slot carries a small immediate (0..255).  Real
+#: SASS makes the same distinction positionally; one shared tag keeps the
+#: 2-bit tag budget.
+_SPECIAL_SOURCE_OPS = frozenset({"S2R", "CS2R"})
+
+
+def _pred_payload(pred: Pred) -> int:
+    return pred.index | (int(pred.negated) << 3)
+
+
+def _pred_from_payload(payload: int) -> Pred:
+    return Pred(payload & 0x7, negated=bool(payload >> 3))
+
+
+def encode_instruction(inst: Instruction) -> int:
+    """Encode one instruction into its 128-bit integer word."""
+    info = inst.info
+    word = info.code
+
+    if inst.pred is not None:
+        word |= 1 << 8
+        word |= inst.pred.index << 9
+        word |= int(inst.pred.negated) << 12
+
+    if len(inst.dests) > 2:
+        raise EncodingError(f"too many destinations: {inst}")
+    word |= len(inst.dests) << 13
+    if inst.dests:
+        d0 = inst.dests[0]
+        if isinstance(d0, Reg):
+            word |= d0.index << 15
+        elif isinstance(d0, Pred):
+            word |= _pred_payload(d0) << 15
+            word |= 1 << 23
+        else:
+            raise EncodingError(f"unsupported destination {d0!r}")
+    if len(inst.dests) == 2:
+        d1 = inst.dests[1]
+        if not isinstance(d1, Pred):
+            raise EncodingError("second destination must be a predicate")
+        word |= _pred_payload(d1) << 24
+
+    if len(inst.srcs) > 3:
+        raise EncodingError(f"too many sources: {inst}")
+    word |= len(inst.srcs) << 28
+
+    # One source may use the 32-bit wide field.  When several immediates
+    # compete, the one that cannot fit the 8-bit narrow slot gets it (two
+    # non-narrow wides are unencodable, as in real SASS).
+    def _fits_narrow(op) -> bool:
+        return (isinstance(op, Imm) and 0 <= op.value <= 255
+                and inst.opcode not in _SPECIAL_SOURCE_OPS)
+
+    wide_slot = None
+    for slot, src in enumerate(inst.srcs):
+        if isinstance(src, MemRef) or (isinstance(src, Imm)
+                                       and not _fits_narrow(src)):
+            if wide_slot is not None:
+                raise EncodingError(f"more than one wide operand: {inst}")
+            wide_slot = slot
+    if wide_slot is None:  # a lone small immediate still prefers the wide slot
+        for slot, src in enumerate(inst.srcs):
+            if isinstance(src, Imm):
+                wide_slot = slot
+                break
+
+    for slot, src in enumerate(inst.srcs):
+        if isinstance(src, Reg):
+            tag, payload = _TAG_REG, src.index
+        elif isinstance(src, Pred):
+            tag, payload = _TAG_PRED, _pred_payload(src)
+        elif isinstance(src, SpecialReg):
+            tag, payload = _TAG_NARROW, src.code
+        elif slot == wide_slot:
+            tag, payload = _TAG_WIDE, 0
+            if isinstance(src, MemRef):
+                word |= 1 << 61
+                word |= (src.base.index | ((src.offset & 0xFFFFFF) << 8)) << 62
+            else:
+                word |= src.unsigned << 62
+        elif isinstance(src, Imm):
+            tag, payload = _TAG_NARROW, src.value
+        else:
+            raise EncodingError(f"unsupported source {src!r}")
+        word |= tag << (31 + 2 * slot)
+        word |= payload << (37 + 8 * slot)
+
+    if info.is_branch:
+        if inst.target_index is None:
+            raise EncodingError("cannot encode an unresolved branch")
+        if wide_slot is not None:
+            raise EncodingError("branch cannot carry a wide operand")
+        word |= (inst.target_index & 0xFFFFFFFF) << 62
+
+    try:
+        mod_index = MOD_TABLES[inst.opcode].index(inst.mods)
+    except ValueError:
+        raise EncodingError(
+            f"modifiers {inst.mods!r} not encodable for {inst.opcode}"
+        ) from None
+    word |= mod_index << 94
+
+    word |= inst.ctrl.encode() << 102
+    return word
+
+
+def decode_instruction(word: int) -> Instruction:
+    """Decode a 128-bit integer word back into an :class:`Instruction`."""
+    if not 0 <= word < (1 << 128):
+        raise EncodingError("word does not fit in 128 bits")
+    info = opcode_by_code(word & 0xFF)
+
+    pred = None
+    if (word >> 8) & 1:
+        pred = Pred((word >> 9) & 0x7, negated=bool((word >> 12) & 1))
+
+    n_dests = (word >> 13) & 0x3
+    dests = []
+    if n_dests >= 1:
+        payload = (word >> 15) & 0xFF
+        if (word >> 23) & 1:
+            dests.append(_pred_from_payload(payload & 0xF))
+        else:
+            dests.append(Reg(payload))
+    if n_dests == 2:
+        dests.append(_pred_from_payload((word >> 24) & 0xF))
+
+    n_srcs = (word >> 28) & 0x7
+    srcs = []
+    for slot in range(n_srcs):
+        tag = (word >> (31 + 2 * slot)) & 0x3
+        payload = (word >> (37 + 8 * slot)) & 0xFF
+        if tag == _TAG_REG:
+            srcs.append(Reg(payload))
+        elif tag == _TAG_PRED:
+            srcs.append(_pred_from_payload(payload & 0xF))
+        elif tag == _TAG_NARROW:
+            if info.name in _SPECIAL_SOURCE_OPS:
+                srcs.append(SpecialReg.from_code(payload))
+            else:
+                srcs.append(Imm(payload))
+        else:
+            wide = (word >> 62) & 0xFFFFFFFF
+            if (word >> 61) & 1:
+                offset = (wide >> 8) & 0xFFFFFF
+                if offset >= 1 << 23:  # sign-extend 24-bit offset
+                    offset -= 1 << 24
+                srcs.append(MemRef(Reg(wide & 0xFF), offset))
+            else:
+                srcs.append(Imm(wide))
+
+    target_index = None
+    if info.is_branch:
+        target_index = (word >> 62) & 0xFFFFFFFF
+
+    mods = MOD_TABLES[info.name][(word >> 94) & 0xFF]
+    ctrl = ControlInfo.decode((word >> 102) & ((1 << 21) - 1))
+
+    return Instruction(
+        opcode=info.name,
+        dests=tuple(dests),
+        srcs=tuple(srcs),
+        mods=mods,
+        pred=pred,
+        ctrl=ctrl,
+        target_index=target_index,
+    )
+
+
+def encode_program(program: Program) -> bytes:
+    """Encode a whole program to its little-endian binary image."""
+    chunks = []
+    for inst in program:
+        chunks.append(encode_instruction(inst).to_bytes(INSTRUCTION_BYTES, "little"))
+    return b"".join(chunks)
+
+
+def decode_program(blob: bytes) -> list:
+    """Decode a binary image into a list of instructions.
+
+    Labels are not recoverable (they are assembler-level names); branch
+    targets come back as resolved indices, which is everything the
+    simulators need.
+    """
+    if len(blob) % INSTRUCTION_BYTES:
+        raise EncodingError(
+            f"binary image length {len(blob)} is not a multiple of "
+            f"{INSTRUCTION_BYTES}"
+        )
+    out = []
+    for pos in range(0, len(blob), INSTRUCTION_BYTES):
+        word = int.from_bytes(blob[pos : pos + INSTRUCTION_BYTES], "little")
+        out.append(decode_instruction(word))
+    return out

@@ -1,0 +1,161 @@
+"""Operand model for the SASS-subset ISA.
+
+The subset mirrors what Turing SASS exposes: general-purpose registers
+``R0..R254`` with the hardwired zero register ``RZ`` (encoded as 255),
+predicate registers ``P0..P6`` with the hardwired true predicate ``PT``
+(encoded as 7), 32-bit immediates, memory references ``[Rn + offset]`` and
+special registers (thread/CTA indices, the clock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "RZ_INDEX",
+    "PT_INDEX",
+    "Reg",
+    "Pred",
+    "Imm",
+    "MemRef",
+    "SpecialReg",
+    "SPECIAL_REGISTERS",
+    "RZ",
+    "PT",
+]
+
+#: Encoding of the hardwired zero register RZ.
+RZ_INDEX = 255
+#: Encoding of the hardwired true predicate PT.
+PT_INDEX = 7
+
+
+@dataclass(frozen=True)
+class Reg:
+    """General purpose 32-bit register ``R<index>`` (``RZ`` reads as zero)."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index <= RZ_INDEX:
+            raise ValueError(f"register index out of range: {self.index}")
+
+    @property
+    def is_rz(self) -> bool:
+        return self.index == RZ_INDEX
+
+    def offset(self, delta: int) -> "Reg":
+        """Register ``delta`` slots above this one (for wide accesses)."""
+        if self.is_rz:
+            return self
+        return Reg(self.index + delta)
+
+    def __str__(self) -> str:
+        return "RZ" if self.is_rz else f"R{self.index}"
+
+
+@dataclass(frozen=True)
+class Pred:
+    """Predicate register ``P<index>`` (``PT`` is hardwired true)."""
+
+    index: int
+    negated: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index <= PT_INDEX:
+            raise ValueError(f"predicate index out of range: {self.index}")
+
+    @property
+    def is_pt(self) -> bool:
+        return self.index == PT_INDEX
+
+    def negate(self) -> "Pred":
+        return Pred(self.index, not self.negated)
+
+    def __str__(self) -> str:
+        name = "PT" if self.is_pt else f"P{self.index}"
+        return f"!{name}" if self.negated else name
+
+
+@dataclass(frozen=True)
+class Imm:
+    """32-bit immediate operand (stored as a Python int, two's complement)."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not -(2**31) <= self.value < 2**32:
+            raise ValueError(f"immediate does not fit in 32 bits: {self.value}")
+
+    @property
+    def unsigned(self) -> int:
+        return self.value & 0xFFFFFFFF
+
+    def __str__(self) -> str:
+        return f"0x{self.value & 0xFFFFFFFF:x}" if self.value >= 10 else str(self.value)
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """Memory reference ``[Rbase + offset]``.
+
+    The simulator uses a flat 32-bit address space per memory kind (global or
+    shared — the kind is determined by the opcode, as in SASS).
+    """
+
+    base: Reg
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if not -(2**23) <= self.offset < 2**23:
+            raise ValueError(f"memory offset out of range: {self.offset}")
+
+    def __str__(self) -> str:
+        if self.offset == 0:
+            return f"[{self.base}]"
+        sign = "+" if self.offset >= 0 else "-"
+        return f"[{self.base}{sign}0x{abs(self.offset):x}]"
+
+
+#: Special registers readable with S2R / CS2R, with their encoding numbers.
+SPECIAL_REGISTERS = {
+    "SR_TID.X": 0,
+    "SR_TID.Y": 1,
+    "SR_TID.Z": 2,
+    "SR_CTAID.X": 3,
+    "SR_CTAID.Y": 4,
+    "SR_CTAID.Z": 5,
+    "SR_LANEID": 6,
+    "SR_CLOCKLO": 7,
+    "SR_CLOCKHI": 8,
+    "SRZ": 9,
+}
+
+_SPECIAL_BY_CODE = {v: k for k, v in SPECIAL_REGISTERS.items()}
+
+
+@dataclass(frozen=True)
+class SpecialReg:
+    """Special register operand, e.g. ``SR_TID.X`` or ``SR_CLOCKLO``."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in SPECIAL_REGISTERS:
+            raise ValueError(f"unknown special register: {self.name}")
+
+    @property
+    def code(self) -> int:
+        return SPECIAL_REGISTERS[self.name]
+
+    @classmethod
+    def from_code(cls, code: int) -> "SpecialReg":
+        return cls(_SPECIAL_BY_CODE[code])
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Convenience singletons.
+RZ = Reg(RZ_INDEX)
+PT = Pred(PT_INDEX)

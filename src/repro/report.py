@@ -1,0 +1,77 @@
+"""Plain-text table and series formatting shared by benchmarks and examples.
+
+Everything the harness prints goes through these helpers so the regenerated
+tables visually match across benchmarks (fixed-width columns, paper-value
+deltas, ASCII series for figures).
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_comparison", "format_series", "ascii_chart"]
+
+
+def format_table(headers, rows, title: str = "") -> str:
+    """Render *rows* (sequences) under *headers* with aligned columns."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([_fmt(v) for v in row])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_comparison(name: str, paper, measured, unit: str = "") -> str:
+    """One 'paper vs measured' line with the relative delta."""
+    if isinstance(paper, (int, float)) and paper:
+        delta = (measured - paper) / paper * 100
+        return (f"{name:<42s} paper={_fmt(paper):>9s}{unit}  "
+                f"measured={_fmt(measured):>9s}{unit}  ({delta:+.1f}%)")
+    return f"{name:<42s} paper={paper}  measured={measured}"
+
+
+def format_series(xs, series: dict, x_label: str = "W") -> str:
+    """Tabulate one or more y-series against shared x values."""
+    headers = [x_label] + list(series)
+    rows = [[x] + [series[k][i] for k in series] for i, x in enumerate(xs)]
+    return format_table(headers, rows)
+
+
+def ascii_chart(xs, series: dict, width: int = 68, height: int = 16,
+                y_label: str = "TFLOPS") -> str:
+    """Tiny ASCII line chart -- enough to eyeball a figure's shape."""
+    all_y = [y for ys in series.values() for y in ys]
+    if not all_y:
+        return "(empty)"
+    y_min, y_max = 0.0, max(all_y) * 1.05 or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    marks = "*o+x#@"
+    for si, (name, ys) in enumerate(series.items()):
+        mark = marks[si % len(marks)]
+        for i, y in enumerate(ys):
+            col = int(i / max(1, len(ys) - 1) * (width - 1))
+            row = height - 1 - int((y - y_min) / (y_max - y_min) * (height - 1))
+            row = min(height - 1, max(0, row))
+            grid[row][col] = mark
+    lines = [f"{y_max:7.1f} |" + "".join(grid[0])]
+    for r in range(1, height):
+        prefix = f"{'':7s} |" if r < height - 1 else f"{y_min:7.1f} |"
+        lines.append(prefix + "".join(grid[r]))
+    lines.append(" " * 8 + "+" + "-" * width)
+    lines.append(" " * 9 + f"{xs[0]}  ...  {xs[-1]}")
+    legend = "   ".join(f"{marks[i % len(marks)]} {name}"
+                        for i, name in enumerate(series))
+    lines.append(" " * 9 + legend + f"   (y: {y_label})")
+    return "\n".join(lines)

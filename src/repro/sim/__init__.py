@@ -1,0 +1,29 @@
+"""Turing-class GPU simulator: functional + cycle-level timing substrate."""
+
+from .exec_units import Effects, ExecError, MemTransaction, execute
+from .functional import FunctionalResult, FunctionalSimulator, SimLimitError
+from .gpu import Device, LaunchTiming
+from .memory import AccessSummary, GlobalMemory, MemorySubsystem
+from .shared import SharedMemory, bank_conflict_degree, conflict_multiplier
+from .timing import ALU_LATENCY, TimingResult, TimingSimulator
+
+__all__ = [
+    "Effects",
+    "ExecError",
+    "MemTransaction",
+    "execute",
+    "FunctionalResult",
+    "FunctionalSimulator",
+    "SimLimitError",
+    "Device",
+    "LaunchTiming",
+    "AccessSummary",
+    "GlobalMemory",
+    "MemorySubsystem",
+    "SharedMemory",
+    "bank_conflict_degree",
+    "conflict_multiplier",
+    "ALU_LATENCY",
+    "TimingResult",
+    "TimingSimulator",
+]

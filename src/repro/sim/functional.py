@@ -1,0 +1,154 @@
+"""Functional (untimed) simulator: executes a kernel over a full grid.
+
+This is the correctness half of the substrate: it runs the generated HGEMM
+kernels CTA by CTA and produces bit-exact results that tests compare against
+NumPy references.  Within a CTA, warps execute round-robin in *barrier
+intervals*: each warp runs until it reaches a ``BAR.SYNC``, an ``EXIT`` or a
+configurable fuel limit; the barrier releases when every live warp arrives.
+This is exact for well-synchronised programs (all cross-warp communication
+through shared memory must be separated by barriers -- which is also the
+hardware's own correctness contract).
+
+``CS2R SR_CLOCKLO`` returns the warp's retired-instruction count here; for
+cycle-accurate clocks use :class:`repro.sim.timing.TimingSimulator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..arch.registers import PredicateFile, RegisterFile, WARP_LANES
+from ..isa.program import Program
+from .exec_units import ExecError, execute
+from .memory import GlobalMemory
+from .shared import SharedMemory
+
+__all__ = ["FunctionalSimulator", "FunctionalResult", "SimLimitError"]
+
+
+class SimLimitError(RuntimeError):
+    """Raised when a warp exceeds its instruction fuel (runaway loop)."""
+
+
+class _WarpState:
+    """Execution context of one warp (duck-typed for exec_units)."""
+
+    def __init__(self, warp_id: int, ctaid, block_dim: int,
+                 global_mem: GlobalMemory, shared_mem: SharedMemory):
+        self.warp_id = warp_id
+        self.ctaid = ctaid
+        self.lane_ids = np.arange(WARP_LANES, dtype=np.uint32)
+        self.tid = (warp_id * WARP_LANES + self.lane_ids).astype(np.uint32)
+        self.regs = RegisterFile()
+        self.preds = PredicateFile()
+        self.global_mem = global_mem
+        self.shared_mem = shared_mem
+        self.pc = 0
+        self.retired = 0
+        self.exited = False
+        self.at_barrier = False
+
+    def clock(self) -> int:
+        return self.retired
+
+
+@dataclass
+class FunctionalResult:
+    """Statistics of one functional launch."""
+
+    instructions_retired: int = 0
+    opcode_counts: dict = field(default_factory=dict)
+    ctas_run: int = 0
+
+    def _count(self, opcode: str) -> None:
+        self.instructions_retired += 1
+        self.opcode_counts[opcode] = self.opcode_counts.get(opcode, 0) + 1
+
+
+class FunctionalSimulator:
+    """Executes programs functionally over an (x, y) grid of CTAs."""
+
+    def __init__(self, max_instructions_per_warp: int = 5_000_000):
+        self.max_instructions_per_warp = max_instructions_per_warp
+
+    def run(self, program: Program, global_mem: GlobalMemory,
+            grid_dim=(1, 1)) -> FunctionalResult:
+        """Launch *program* over ``grid_dim`` CTAs against *global_mem*."""
+        gx, gy = (grid_dim if len(grid_dim) == 2 else (*grid_dim, 1)[:2])
+        result = FunctionalResult()
+        for by in range(gy):
+            for bx in range(gx):
+                self._run_cta(program, global_mem, (bx, by, 0), result)
+                result.ctas_run += 1
+        return result
+
+    # ------------------------------------------------------------ internals
+
+    def _run_cta(self, program: Program, global_mem: GlobalMemory,
+                 ctaid, result: FunctionalResult) -> None:
+        shared = SharedMemory(program.meta.smem_bytes)
+        warps = [
+            _WarpState(w, ctaid, program.meta.block_dim, global_mem, shared)
+            for w in range(program.meta.warps_per_cta)
+        ]
+        while True:
+            progressed = False
+            for warp in warps:
+                if warp.exited or warp.at_barrier:
+                    continue
+                self._run_warp_interval(program, warp, result)
+                progressed = True
+            live = [w for w in warps if not w.exited]
+            if not live:
+                return
+            if all(w.at_barrier for w in live):
+                for w in live:  # release the barrier
+                    w.at_barrier = False
+                continue
+            if not progressed:
+                raise SimLimitError(
+                    f"CTA {ctaid} deadlocked: some warps wait at a barrier "
+                    "that the others never reach"
+                )
+
+    def _run_warp_interval(self, program: Program, warp: _WarpState,
+                           result: FunctionalResult) -> None:
+        """Run one warp until barrier / exit / fuel exhaustion."""
+        while True:
+            if warp.retired >= self.max_instructions_per_warp:
+                raise SimLimitError(
+                    f"warp {warp.warp_id} exceeded "
+                    f"{self.max_instructions_per_warp} instructions"
+                )
+            if warp.pc >= len(program):
+                raise ExecError(
+                    f"warp {warp.warp_id} ran off the end of the program "
+                    f"(pc={warp.pc}); missing EXIT?"
+                )
+            inst = program[warp.pc]
+            eff = execute(inst, warp)
+            warp.retired += 1
+            result._count(inst.opcode)
+
+            for first_reg, values, mask in eff.reg_writes:
+                warp.regs.write_group(first_reg, values, mask=_opt_mask(mask))
+            for index, values, mask in eff.pred_writes:
+                warp.preds.write(index, values, mask=_opt_mask(mask))
+
+            if eff.exited:
+                warp.exited = True
+                return
+            if eff.branch_target is not None:
+                warp.pc = eff.branch_target
+            else:
+                warp.pc += 1
+            if eff.barrier:
+                warp.at_barrier = True
+                return
+
+
+def _opt_mask(mask: np.ndarray):
+    """Treat an all-active mask as no mask (fast path + full overwrite)."""
+    return None if mask.all() else mask

@@ -1,0 +1,248 @@
+"""Global memory state and the L1/L2/DRAM service model.
+
+Two concerns live here:
+
+* :class:`GlobalMemory` -- the *functional* byte store backing LDG/STG, with
+  vectorised warp-wide gather/scatter (32 lanes x 1/2/4 words each).
+
+* :class:`MemorySubsystem` -- the *timing* model the SM simulator consults
+  for every global access: which level serves it (L1 / L2 / DRAM), how many
+  32-byte sectors move, and when the data arrives.  Capacity is modelled
+  with LRU line sets; bandwidth with per-level "next free cycle" counters
+  advanced by ``bytes / (bytes per cycle)``.
+
+The bandwidth constants come from the paper's Table II *measured* values:
+the simulator is the stand-in for the silicon, so its DRAM ceiling is the
+380/238 GB/s the authors measured, not the 448/320 GB/s marketing peak.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..arch.turing import GpuSpec
+
+__all__ = ["GlobalMemory", "AccessSummary", "MemorySubsystem"]
+
+
+class GlobalMemory:
+    """Flat global memory with warp-wide vectorised access.
+
+    Addresses are byte addresses; every access must be aligned to its width
+    (the hardware faults otherwise, and so do we -- misalignment in a
+    generated kernel is a bug we want loud).
+    """
+
+    def __init__(self, size_bytes: int):
+        if size_bytes <= 0 or size_bytes % 4:
+            raise ValueError(f"size must be a positive multiple of 4, got {size_bytes}")
+        self.size = size_bytes
+        self._words = np.zeros(size_bytes // 4, dtype=np.uint32)
+
+    # ------------------------------------------------------------- host API
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        """Host-side memcpy into the device (cudaMemcpy H2D equivalent)."""
+        if addr % 4 or len(data) % 4:
+            raise ValueError("host writes must be 4-byte aligned")
+        self._bounds_check(addr, len(data))
+        self._words[addr // 4 : (addr + len(data)) // 4] = np.frombuffer(
+            data, dtype=np.uint32
+        )
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        """Host-side memcpy out of the device (cudaMemcpy D2H equivalent)."""
+        if addr % 4 or size % 4:
+            raise ValueError("host reads must be 4-byte aligned")
+        self._bounds_check(addr, size)
+        return self._words[addr // 4 : (addr + size) // 4].tobytes()
+
+    def write_array(self, addr: int, array: np.ndarray) -> None:
+        self.write_bytes(addr, np.ascontiguousarray(array).tobytes())
+
+    def read_array(self, addr: int, dtype, count: int) -> np.ndarray:
+        nbytes = np.dtype(dtype).itemsize * count
+        return np.frombuffer(self.read_bytes(addr, nbytes), dtype=dtype).copy()
+
+    # ------------------------------------------------------------- warp API
+
+    def load_warp(self, addresses: np.ndarray, width_bytes: int,
+                  mask: np.ndarray) -> np.ndarray:
+        """Gather ``width_bytes`` per active lane; returns (words, 32) uint32.
+
+        Inactive lanes return zeros.
+        """
+        idx = self._word_indices(addresses, width_bytes, mask)
+        out = np.zeros((width_bytes // 4, addresses.shape[0]), dtype=np.uint32)
+        out[:, mask] = self._words[idx[:, mask]]
+        return out
+
+    def store_warp(self, addresses: np.ndarray, data: np.ndarray,
+                   width_bytes: int, mask: np.ndarray) -> None:
+        """Scatter (words, 32) uint32 *data* to active lanes."""
+        idx = self._word_indices(addresses, width_bytes, mask)
+        self._words[idx[:, mask]] = data[:, mask]
+
+    def _word_indices(self, addresses: np.ndarray, width_bytes: int,
+                      mask: np.ndarray) -> np.ndarray:
+        active = addresses[mask]
+        if active.size:
+            if np.any(active % width_bytes):
+                bad = int(active[active % width_bytes != 0][0])
+                raise ValueError(
+                    f"misaligned {width_bytes}-byte global access at {bad:#x}"
+                )
+            last = int(active.max()) + width_bytes
+            self._bounds_check(int(active.min()), last - int(active.min()))
+        words = width_bytes // 4
+        base = (addresses // 4).astype(np.int64)
+        # Clamp inactive lanes so indexing stays in range; they are masked out.
+        base = np.where(mask, base, 0)
+        return base[None, :] + np.arange(words, dtype=np.int64)[:, None]
+
+    def _bounds_check(self, addr: int, size: int) -> None:
+        if addr < 0 or addr + size > self.size:
+            raise IndexError(
+                f"global access [{addr:#x}, {addr + size:#x}) outside "
+                f"memory of {self.size:#x} bytes"
+            )
+
+
+@dataclass
+class AccessSummary:
+    """Timing outcome of one warp-level global access."""
+
+    level: str            # "l1", "l2" or "dram"
+    sectors: int          # distinct 32-byte sectors touched
+    ready_cycle: int      # cycle when the data is available to the warp
+
+
+class _LruLineSet:
+    """Fully-associative LRU set of cache lines (capacity in bytes)."""
+
+    def __init__(self, capacity_bytes: int, line_bytes: int):
+        self.line_bytes = line_bytes
+        self.capacity_lines = max(0, capacity_bytes // line_bytes)
+        self._lines: OrderedDict = OrderedDict()
+
+    def lookup(self, line: int) -> bool:
+        if line in self._lines:
+            self._lines.move_to_end(line)
+            return True
+        return False
+
+    def insert(self, line: int) -> None:
+        if self.capacity_lines == 0:
+            return
+        self._lines[line] = True
+        self._lines.move_to_end(line)
+        while len(self._lines) > self.capacity_lines:
+            self._lines.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+
+@dataclass
+class TrafficCounters:
+    """Byte counters the bandwidth benchmarks read out."""
+
+    l1_hit_bytes: int = 0
+    l2_hit_bytes: int = 0
+    dram_bytes: int = 0
+    store_bytes: int = 0
+
+    @property
+    def loaded_bytes(self) -> int:
+        return self.l1_hit_bytes + self.l2_hit_bytes + self.dram_bytes
+
+
+class MemorySubsystem:
+    """Timing model of the global-memory path seen by one simulated SM.
+
+    ``bandwidth_share`` scales the device-level L2/DRAM bandwidth down to
+    this SM's fair share when the benchmark models a full-device launch
+    (e.g. ``1 / num_sms`` when every SM streams concurrently).
+    """
+
+    L1_LINE = 128
+
+    def __init__(self, spec: GpuSpec, bandwidth_share: float = 1.0,
+                 l1_bytes: int = 32 * 1024):
+        if not 0 < bandwidth_share <= 1.0:
+            raise ValueError(f"bandwidth_share must be in (0, 1], got {bandwidth_share}")
+        self.spec = spec
+        self.l1 = _LruLineSet(l1_bytes, self.L1_LINE)
+        self.l2 = _LruLineSet(spec.l2_bytes, spec.l2_sector_bytes)
+        bytes_per_cycle = lambda gbps: gbps * bandwidth_share / (spec.clock_ghz)
+        # GB/s / (Gcycle/s) = bytes/cycle.
+        self._l2_bpc = bytes_per_cycle(spec.l2_measured_gbps)
+        self._dram_bpc = bytes_per_cycle(spec.dram_measured_gbps)
+        self._l2_free = 0.0
+        self._dram_free = 0.0
+        self.counters = TrafficCounters()
+
+    def access(self, cycle: int, addresses: np.ndarray, width_bytes: int,
+               mask: np.ndarray, is_store: bool = False,
+               bypass_l1: bool = False) -> AccessSummary:
+        """Account one warp access and return where/when it was served."""
+        active = addresses[mask]
+        if active.size == 0:
+            return AccessSummary(level="l1", sectors=0, ready_cycle=cycle)
+
+        sector = self.spec.l2_sector_bytes
+        starts = np.repeat(active, width_bytes // 4) + np.tile(
+            np.arange(0, width_bytes, 4, dtype=addresses.dtype), active.size
+        )
+        sectors = np.unique(starts // sector)
+        nbytes = int(sectors.size) * sector
+
+        if is_store:
+            # Write-through accounting: stores consume DRAM write bandwidth.
+            self.counters.store_bytes += nbytes
+            for line in np.unique(starts // self.L1_LINE):
+                if not bypass_l1:
+                    self.l1.insert(int(line))
+            for s in sectors:
+                self.l2.insert(int(s))
+            ready = self._serve(cycle, nbytes, dram=True)
+            return AccessSummary(level="dram", sectors=int(sectors.size), ready_cycle=ready)
+
+        lines = np.unique(starts // self.L1_LINE)
+        if not bypass_l1 and all(self.l1.lookup(int(line)) for line in lines):
+            self.counters.l1_hit_bytes += nbytes
+            return AccessSummary(
+                level="l1",
+                sectors=int(sectors.size),
+                ready_cycle=cycle + self.spec.lds_latency_cycles,
+            )
+
+        l2_hit = all(self.l2.lookup(int(s)) for s in sectors)
+        for s in sectors:
+            self.l2.insert(int(s))
+        if not bypass_l1:
+            for line in lines:
+                self.l1.insert(int(line))
+
+        if l2_hit:
+            self.counters.l2_hit_bytes += nbytes
+            ready = self._serve(cycle, nbytes, dram=False)
+            level = "l2"
+        else:
+            self.counters.dram_bytes += nbytes
+            ready = self._serve(cycle, nbytes, dram=True)
+            level = "dram"
+        return AccessSummary(level=level, sectors=int(sectors.size), ready_cycle=ready)
+
+    def _serve(self, cycle: int, nbytes: int, dram: bool) -> int:
+        base_latency = self.spec.ldg_latency_cycles
+        if dram:
+            start = max(cycle, self._dram_free)
+            self._dram_free = start + nbytes / self._dram_bpc
+            return int(self._dram_free) + base_latency
+        start = max(cycle, self._l2_free)
+        self._l2_free = start + nbytes / self._l2_bpc
+        return int(self._l2_free) + base_latency // 2

@@ -1,0 +1,63 @@
+"""Tests for bottleneck attribution."""
+
+import pytest
+
+from repro.analysis import PerformanceModel, explain, sweep_transitions
+from repro.arch import RTX2070, T4
+from repro.core import cublas_like, ours
+
+
+@pytest.fixture(scope="module")
+def pm2070():
+    return PerformanceModel(RTX2070)
+
+
+@pytest.fixture(scope="module")
+def pm_t4():
+    return PerformanceModel(T4)
+
+
+class TestExplain:
+    def test_breakdown_consistent_with_estimate(self, pm2070):
+        est = pm2070.estimate(ours(), 8192, 8192, 8192)
+        bd = explain(est)
+        assert bd.bound == est.bound
+        times = {"compute": bd.compute_us, "dram": bd.dram_us, "l2": bd.l2_us}
+        assert max(times, key=times.get) == bd.bound
+
+    def test_headroom_in_unit_interval(self, pm2070):
+        for w in (2048, 8192, 16384):
+            bd = explain(pm2070.estimate(ours(), w, w, w))
+            assert 0.0 <= bd.headroom <= 1.0
+
+    def test_verdict_text(self, pm_t4):
+        bd = explain(pm_t4.estimate(ours(), 13312, 13312, 13312))
+        text = bd.verdict()
+        assert "dram-bound" in text
+        assert "headroom" in text
+
+    def test_cliff_widens_dram_gap(self, pm2070):
+        before = explain(pm2070.estimate(cublas_like(), 11776, 11776, 11776,
+                                         baseline_quirks=True))
+        after = explain(pm2070.estimate(cublas_like(), 12032, 12032, 12032,
+                                        baseline_quirks=True))
+        assert after.dram_us > 1.4 * before.dram_us
+
+
+class TestSweepTransitions:
+    def test_t4_transitions_compute_then_dram(self, pm_t4):
+        sizes = [2048, 4096, 8192, 12288, 16384]
+        segments = sweep_transitions(pm_t4, ours(), sizes)
+        assert segments[0][2] == "compute"
+        assert segments[-1][2] == "dram"
+
+    def test_segments_cover_sweep(self, pm2070):
+        sizes = [2048, 8192, 16384]
+        segments = sweep_transitions(pm2070, ours(), sizes)
+        assert segments[0][0] == 2048
+        assert segments[-1][1] == 16384
+
+    def test_single_bound_collapses_to_one_segment(self, pm2070):
+        sizes = [8192, 12288, 16384]
+        segments = sweep_transitions(pm2070, ours(), sizes)
+        assert len(segments) == 1

@@ -1,0 +1,48 @@
+"""Tests for the occupancy model (paper Table VII)."""
+
+import pytest
+
+from repro.analysis import occupancy, table7
+from repro.arch import RTX2070, T4
+from repro.core import cublas_like, ours
+
+
+class TestTable7:
+    def test_ours_one_cta_per_sm(self):
+        report = occupancy(ours(), RTX2070)
+        assert report.ctas_per_sm == 1
+        assert report.warps_per_sm == 8
+
+    def test_cublas_two_ctas_per_sm(self):
+        report = occupancy(cublas_like(), RTX2070)
+        assert report.ctas_per_sm == 2
+        assert report.warps_per_sm == 8
+
+    def test_both_reach_8_warps(self):
+        # Table VII's punchline: both kernels run 8 active warps/SM; ours
+        # spends the budget on blocking size instead of CTA count.
+        assert occupancy(ours(), RTX2070).warps_per_sm == \
+            occupancy(cublas_like(), RTX2070).warps_per_sm == 8
+
+    def test_same_on_t4(self):
+        assert occupancy(ours(), T4).ctas_per_sm == 1
+        assert occupancy(cublas_like(), T4).ctas_per_sm == 2
+
+    def test_limiting_resources_reported(self):
+        report = occupancy(ours(), RTX2070)
+        assert report.limiting_resource in report.limits
+        assert report.limits[report.limiting_resource] == report.ctas_per_sm
+
+    def test_register_override(self):
+        # Forcing a tiny register count moves the limit to shared memory.
+        report = occupancy(ours(), RTX2070, regs_per_thread=32)
+        assert report.limiting_resource == "smem"
+
+    def test_table7_rows(self):
+        rows = table7(ours(), cublas_like(), RTX2070)
+        assert len(rows) == 2
+        by_name = {r["kernel"]: r for r in rows}
+        assert by_name["ours"]["cta_tile"] == (256, 256, 32)
+        assert by_name["ours"]["ctas_per_sm"] == 1
+        assert by_name["cublas-like"]["smem_per_cta_kb"] == 32.0
+        assert by_name["cublas-like"]["ctas_per_sm"] == 2

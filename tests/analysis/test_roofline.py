@@ -1,0 +1,62 @@
+"""Tests for the roofline model (paper Fig. 3)."""
+
+import pytest
+
+from repro.analysis import Roofline
+from repro.arch import RTX2070, T4
+from repro.core import cublas_like, ours
+
+
+class TestRoofline:
+    def test_memory_roof_linear(self):
+        r = Roofline(RTX2070)
+        assert r.memory_roof_tflops(10) == pytest.approx(3.8)
+        assert r.memory_roof_tflops(20) == pytest.approx(7.6)
+
+    def test_attainable_caps_at_peak(self):
+        r = Roofline(RTX2070)
+        assert r.attainable(10_000) == pytest.approx(RTX2070.tensor_peak_tflops)
+        assert r.attainable(10_000, use_tensor_cores=False) == pytest.approx(
+            RTX2070.fp16_peak_tflops)
+
+    def test_negative_intensity(self):
+        with pytest.raises(ValueError):
+            Roofline(RTX2070).memory_roof_tflops(-1)
+
+    def test_ridge_points(self):
+        # RTX2070 tensor ridge: 59.7e3 / 380 = ~157 FLOP/B.
+        r = Roofline(RTX2070)
+        assert r.ridge_intensity() == pytest.approx(157, rel=0.02)
+        # FP16 units need only a quarter of the intensity.
+        assert r.ridge_intensity(use_tensor_cores=False) == pytest.approx(
+            r.ridge_intensity() / 4)
+
+
+class TestPaperReadings:
+    """The qualitative claims the paper draws from Fig. 3."""
+
+    def test_128_tile_suffices_for_fp16_units(self):
+        # "When using FP16 units, (128x128) is good enough."
+        point = Roofline(RTX2070).evaluate_blocking(cublas_like())
+        assert not point.memory_bound_fp16
+
+    def test_128_tile_starves_tensor_cores(self):
+        # "But for Tensor Cores, (128x128) makes DRAM a new bottleneck."
+        point = Roofline(RTX2070).evaluate_blocking(cublas_like())
+        assert point.memory_bound_tensor
+
+    def test_256_tile_still_dram_bound_on_t4(self):
+        # Even 256x256 (intensity 128) is below T4's ridge: "the
+        # performance can still be bound by DRAM bandwidth".
+        point = Roofline(T4).evaluate_blocking(ours())
+        assert point.memory_bound_tensor
+
+    def test_256_tile_close_to_roof_on_rtx2070(self):
+        point = Roofline(RTX2070).evaluate_blocking(ours())
+        # Intensity 128 vs ridge 157: attainable = 48.6 of 59.7 peak.
+        assert point.tensor_tflops == pytest.approx(48.6, rel=0.02)
+
+    def test_series_shape(self):
+        pts = Roofline(RTX2070).series([1, 10, 100, 1000])
+        assert [p.intensity for p in pts] == [1, 10, 100, 1000]
+        assert pts[0].tensor_tflops < pts[-1].tensor_tflops

@@ -1,0 +1,111 @@
+"""Tests for the warp register/predicate files."""
+
+import numpy as np
+import pytest
+
+from repro.arch import PredicateFile, RegisterFile, WARP_LANES
+from repro.isa.operands import PT_INDEX, RZ_INDEX
+
+
+class TestRegisterFile:
+    def test_initial_zero(self):
+        rf = RegisterFile()
+        assert np.all(rf.read(0) == 0)
+        assert np.all(rf.read(254) == 0)
+
+    def test_write_read(self):
+        rf = RegisterFile()
+        rf.write(5, np.arange(WARP_LANES, dtype=np.uint32))
+        np.testing.assert_array_equal(rf.read(5), np.arange(32))
+
+    def test_broadcast_scalar(self):
+        rf = RegisterFile()
+        rf.write(3, np.uint32(7))
+        assert np.all(rf.read(3) == 7)
+
+    def test_rz_reads_zero_and_ignores_writes(self):
+        rf = RegisterFile()
+        rf.write(RZ_INDEX, np.full(WARP_LANES, 99, np.uint32))
+        assert np.all(rf.read(RZ_INDEX) == 0)
+
+    def test_masked_write(self):
+        rf = RegisterFile()
+        mask = np.zeros(WARP_LANES, bool)
+        mask[::2] = True
+        rf.write(1, np.full(WARP_LANES, 5, np.uint32), mask=mask)
+        vals = rf.read(1)
+        assert np.all(vals[::2] == 5)
+        assert np.all(vals[1::2] == 0)
+
+    def test_masked_scalar_write(self):
+        rf = RegisterFile()
+        mask = np.zeros(WARP_LANES, bool)
+        mask[3] = True
+        rf.write(1, np.uint32(9), mask=mask)
+        assert rf.read(1)[3] == 9
+        assert rf.read(1)[4] == 0
+
+    def test_group_roundtrip(self):
+        rf = RegisterFile()
+        block = np.arange(4 * WARP_LANES, dtype=np.uint32).reshape(4, WARP_LANES)
+        rf.write_group(8, block)
+        np.testing.assert_array_equal(rf.read_group(8, 4), block)
+
+    def test_group_overrun_raises(self):
+        rf = RegisterFile()
+        with pytest.raises(ValueError, match="overruns"):
+            rf.write_group(253, np.zeros((4, WARP_LANES), np.uint32))
+
+    def test_group_at_rz_raises(self):
+        rf = RegisterFile()
+        with pytest.raises(ValueError):
+            rf.read_group(RZ_INDEX, 1)
+
+    def test_masked_group_write(self):
+        rf = RegisterFile()
+        block = np.ones((2, WARP_LANES), np.uint32)
+        mask = np.zeros(WARP_LANES, bool)
+        mask[:16] = True
+        rf.write_group(10, block, mask=mask)
+        assert np.all(rf.read(10)[:16] == 1)
+        assert np.all(rf.read(10)[16:] == 0)
+
+    def test_signed_view(self):
+        rf = RegisterFile()
+        rf.write(2, np.full(WARP_LANES, 0xFFFFFFFF, np.uint32))
+        assert np.all(rf.signed(2) == -1)
+        rf.write(2, np.full(WARP_LANES, 0x7FFFFFFF, np.uint32))
+        assert np.all(rf.signed(2) == 2**31 - 1)
+
+
+class TestPredicateFile:
+    def test_pt_is_true(self):
+        pf = PredicateFile()
+        assert np.all(pf.read(PT_INDEX))
+        assert not np.any(pf.read(PT_INDEX, negated=True))
+
+    def test_pt_write_ignored(self):
+        pf = PredicateFile()
+        pf.write(PT_INDEX, np.zeros(WARP_LANES, bool))
+        assert np.all(pf.read(PT_INDEX))
+
+    def test_write_read_negated(self):
+        pf = PredicateFile()
+        vals = np.zeros(WARP_LANES, bool)
+        vals[:4] = True
+        pf.write(0, vals)
+        np.testing.assert_array_equal(pf.read(0), vals)
+        np.testing.assert_array_equal(pf.read(0, negated=True), ~vals)
+
+    def test_initial_false(self):
+        pf = PredicateFile()
+        for i in range(7):
+            assert not np.any(pf.read(i))
+
+    def test_masked_write(self):
+        pf = PredicateFile()
+        mask = np.zeros(WARP_LANES, bool)
+        mask[5] = True
+        pf.write(1, np.ones(WARP_LANES, bool), mask=mask)
+        assert pf.read(1)[5]
+        assert not pf.read(1)[6]

@@ -1,0 +1,147 @@
+"""Tests for device specs: structure-derived peaks must match the paper."""
+
+import pytest
+
+from repro.arch import DEVICES, GpuSpec, MemoryCpiTable, RTX2070, T4, get_device
+
+
+class TestMemoryCpiTable:
+    def test_lookup(self):
+        table = MemoryCpiTable(2.11, 4.0, 8.0)
+        assert table.cpi(32) == 2.11
+        assert table.cpi(64) == 4.0
+        assert table.cpi(128) == 8.0
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            MemoryCpiTable(1, 2, 4).cpi(256)
+
+    def test_bytes_per_cycle_matches_table5(self):
+        # Paper Table V: LDS 60.66 / 64.00 / 64.00 bytes/cycle.
+        lds = RTX2070.lds_cpi
+        assert lds.bytes_per_cycle(32) == pytest.approx(60.66, abs=0.01)
+        assert lds.bytes_per_cycle(64) == pytest.approx(64.0)
+        assert lds.bytes_per_cycle(128) == pytest.approx(64.0)
+        # STS 31.53 / 42.67 / 51.20 bytes/cycle.
+        sts = RTX2070.sts_cpi
+        assert sts.bytes_per_cycle(32) == pytest.approx(31.53, abs=0.01)
+        assert sts.bytes_per_cycle(64) == pytest.approx(42.67, abs=0.01)
+        assert sts.bytes_per_cycle(128) == pytest.approx(51.20, abs=0.01)
+
+
+class TestDeviceStructure:
+    @pytest.mark.parametrize("spec", [RTX2070, T4])
+    def test_turing_sm_structure(self, spec):
+        assert spec.processing_blocks_per_sm == 4
+        assert spec.tensor_cores_per_sm == 8
+        assert spec.warp_schedulers_per_sm == 4
+        assert spec.registers_per_sm == 65536
+        assert spec.smem_per_sm_bytes == 65536
+        assert spec.smem_banks == 32
+
+    def test_rtx2070_tensor_peak_from_structure(self):
+        # 36 SMs x 8 TC x 64 FMA x 2 flop x 1.62 GHz = 59.7 TFLOPS (Table II).
+        assert RTX2070.tensor_peak_tflops == pytest.approx(59.7, rel=0.01)
+        assert RTX2070.tensor_tflops == pytest.approx(RTX2070.tensor_peak_tflops, rel=0.01)
+
+    def test_t4_tensor_peak_from_structure(self):
+        assert T4.tensor_peak_tflops == pytest.approx(65.0, rel=0.01)
+
+    @pytest.mark.parametrize("spec", [RTX2070, T4])
+    def test_fp16_units_are_quarter_of_tensor(self, spec):
+        # Paper Section I: "Tensor Cores offer 4x higher FLOPS than FP16 units".
+        assert spec.fp16_peak_tflops == pytest.approx(spec.tensor_peak_tflops / 4)
+
+    def test_table2_bandwidths(self):
+        assert RTX2070.dram_peak_gbps == 448.0
+        assert RTX2070.dram_measured_gbps == 380.0
+        assert RTX2070.l2_measured_gbps == 750.0
+        assert T4.dram_peak_gbps == 320.0
+        assert T4.dram_measured_gbps == 238.0
+        assert T4.l2_measured_gbps == 910.0
+
+    def test_measured_dram_fraction_of_peak(self):
+        # Paper Section V-A: 85% of peak on RTX2070, 75% on T4.
+        assert RTX2070.dram_measured_gbps / RTX2070.dram_peak_gbps == pytest.approx(0.85, abs=0.01)
+        assert T4.dram_measured_gbps / T4.dram_peak_gbps == pytest.approx(0.75, abs=0.01)
+
+    @pytest.mark.parametrize("spec", [RTX2070, T4])
+    def test_hmma_timing_constants(self, spec):
+        # Paper Table I / Section IV-C (same on both devices).
+        assert spec.hmma_cpi == 8.0
+        assert spec.hmma_latency_first_half == 10
+        assert spec.hmma_latency_second_half == 14
+
+    @pytest.mark.parametrize("spec", [RTX2070, T4])
+    def test_imma_runs_at_double_rate(self, spec):
+        # Turing whitepaper: INT8 tensor path is 2x the FP16 rate.
+        assert spec.imma_cpi == spec.hmma_cpi / 2
+
+    @pytest.mark.parametrize("spec", [RTX2070, T4])
+    def test_mio_queue_depth(self, spec):
+        assert spec.mio_queue_depth == 16
+
+    def test_cycle_time_conversion_roundtrip(self):
+        cycles = 12345.0
+        assert RTX2070.seconds_to_cycles(RTX2070.cycles_to_seconds(cycles)) == pytest.approx(cycles)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GpuSpec(name="bad", num_sms=0, clock_ghz=1.0)
+        with pytest.raises(ValueError):
+            GpuSpec(name="bad", num_sms=1, clock_ghz=-1.0)
+
+
+class TestLdgCpi:
+    def test_l1_table3(self):
+        assert RTX2070.ldg_cpi(32, hit_l1=True) == 4.04
+        assert RTX2070.ldg_cpi(64, hit_l1=True) == 4.04
+        assert RTX2070.ldg_cpi(128, hit_l1=True) == 8.00
+
+    def test_l2_table3(self):
+        assert RTX2070.ldg_cpi(32) == 4.19
+        assert RTX2070.ldg_cpi(64) == 8.38
+        assert RTX2070.ldg_cpi(128) == 15.95
+
+    def test_ldg128_l2_throughput_edge(self):
+        # Paper: "LDG.128 has 5.1% higher throughput than the other two".
+        t128 = RTX2070.ldg_l2_cpi.bytes_per_cycle(128)
+        t64 = RTX2070.ldg_l2_cpi.bytes_per_cycle(64)
+        assert t128 / t64 == pytest.approx(1.051, abs=0.002)
+
+
+class TestOccupancy:
+    def test_our_kernel_one_cta(self):
+        # Ours (Table VII): 256 threads, 36 KB smem, ~224 regs/thread -> 1 CTA/SM.
+        assert RTX2070.ctas_per_sm(regs_per_thread=224, smem_per_cta=36 * 1024,
+                                   threads_per_cta=256) == 1
+
+    def test_cublas_kernel_two_ctas(self):
+        # cuBLAS (Table VII): 32 KB smem, 128 regs -> 2 CTAs/SM.
+        assert RTX2070.ctas_per_sm(regs_per_thread=128, smem_per_cta=32 * 1024,
+                                   threads_per_cta=256) == 2
+
+    def test_register_limit_binds(self):
+        # 255 regs x 1024 threads would exceed 64K registers: 0 CTAs fit.
+        assert RTX2070.ctas_per_sm(255, 0, 1024) == 0
+
+    def test_too_many_regs_raises(self):
+        with pytest.raises(ValueError, match="hardware limit"):
+            RTX2070.ctas_per_sm(257, 0, 32)
+
+    def test_warp_limit(self):
+        # 32-thread CTAs with tiny footprints are capped by the HW CTA limit.
+        assert RTX2070.ctas_per_sm(16, 0, 32) == 16
+
+
+class TestRegistry:
+    def test_lookup_case_insensitive(self):
+        assert get_device("rtx2070") is RTX2070
+        assert get_device("T4") is T4
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError):
+            get_device("A100")
+
+    def test_registry_contents(self):
+        assert set(DEVICES) == {"RTX2070", "T4"}

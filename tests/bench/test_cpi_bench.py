@@ -1,0 +1,95 @@
+"""Tests for the CPI microbenchmarks: measured values must reproduce the
+paper's Tables I, III, IV and V."""
+
+import pytest
+
+from repro.arch import RTX2070, T4
+from repro.bench import (
+    measure_hmma_cpi,
+    measure_ldg_cpi,
+    measure_lds_cpi,
+    measure_sts_cpi,
+    smem_throughput_bytes_per_cycle,
+)
+
+
+class TestTable1Hmma:
+    def test_cpi_close_to_measured_8_06(self):
+        result = measure_hmma_cpi(RTX2070)
+        assert result.cpi == pytest.approx(8.06, abs=0.1)
+
+    def test_cpi_above_theoretical(self):
+        # Loop overhead pushes the measurement above the 8.00 theory.
+        result = measure_hmma_cpi(RTX2070)
+        assert result.cpi > 8.0
+
+    def test_same_on_t4(self):
+        # Paper Section IV-C: metrics identical on RTX2070 and T4.
+        assert measure_hmma_cpi(T4).cpi == pytest.approx(
+            measure_hmma_cpi(RTX2070).cpi, abs=0.02
+        )
+
+
+class TestTable4SharedCpi:
+    @pytest.mark.parametrize("width,expected", [(32, 2.11), (64, 4.00), (128, 8.00)])
+    def test_lds(self, width, expected):
+        result = measure_lds_cpi(RTX2070, width)
+        assert result.cpi == pytest.approx(expected, abs=0.1)
+
+    @pytest.mark.parametrize("width,expected", [(32, 4.06), (64, 6.00), (128, 10.00)])
+    def test_sts(self, width, expected):
+        result = measure_sts_cpi(RTX2070, width)
+        assert result.cpi == pytest.approx(expected, abs=0.1)
+
+    def test_conflicted_stride_multiplies_cpi(self):
+        free = measure_lds_cpi(RTX2070, 32)
+        conflicted = measure_lds_cpi(RTX2070, 32, conflict_stride=128)
+        assert conflicted.cpi / free.cpi == pytest.approx(32, rel=0.05)
+
+
+class TestTable5Throughput:
+    def test_lds_throughput(self):
+        # Paper Table V: 60.66 / 64.00 / 64.00 bytes/cycle.
+        expected = {32: 60.66, 64: 64.0, 128: 64.0}
+        for width, value in expected.items():
+            result = measure_lds_cpi(RTX2070, width)
+            got = smem_throughput_bytes_per_cycle(result, width)
+            assert got == pytest.approx(value, rel=0.03)
+
+    def test_sts_throughput_ordering(self):
+        # "STS.128 has 20% higher throughput than STS.64 and 62.4% higher
+        # than STS.32."
+        t = {w: smem_throughput_bytes_per_cycle(measure_sts_cpi(RTX2070, w), w)
+             for w in (32, 64, 128)}
+        assert t[128] / t[64] == pytest.approx(1.20, abs=0.03)
+        assert t[128] / t[32] == pytest.approx(1.624, abs=0.05)
+
+    def test_lds_wide_reaches_theoretical_peak(self):
+        # LDS.64/.128 hit the 64 B/cycle bank-array peak.
+        for width in (64, 128):
+            got = smem_throughput_bytes_per_cycle(
+                measure_lds_cpi(RTX2070, width), width)
+            assert got == pytest.approx(64.0, rel=0.01)
+
+
+class TestTable3LdgCpi:
+    @pytest.mark.parametrize("width,expected", [(32, 4.04), (64, 4.04), (128, 8.00)])
+    def test_l1(self, width, expected):
+        result = measure_ldg_cpi(RTX2070, width, level="l1")
+        assert result.cpi == pytest.approx(expected, abs=0.1)
+
+    @pytest.mark.parametrize("width,expected", [(32, 4.19), (64, 8.38), (128, 15.95)])
+    def test_l2(self, width, expected):
+        result = measure_ldg_cpi(RTX2070, width, level="l2")
+        assert result.cpi == pytest.approx(expected, abs=0.1)
+
+    def test_ldg128_l2_throughput_edge(self):
+        # "LDG.128 has 5.1% higher throughput than the other two."
+        r64 = measure_ldg_cpi(RTX2070, 64, level="l2")
+        r128 = measure_ldg_cpi(RTX2070, 128, level="l2")
+        ratio = (512 / r128.cpi) / (256 / r64.cpi)
+        assert ratio == pytest.approx(1.051, abs=0.01)
+
+    def test_bad_level(self):
+        with pytest.raises(ValueError):
+            measure_ldg_cpi(RTX2070, 32, level="l3")

@@ -1,0 +1,41 @@
+"""Tests for the HMMA latency probe (paper Table I)."""
+
+import pytest
+
+from repro.arch import RTX2070, T4
+from repro.bench import measure_hmma_latency, probe_hmma_half
+
+
+class TestProbe:
+    def test_first_half_boundary(self):
+        assert not probe_hmma_half(RTX2070, 9, half=0)
+        assert probe_hmma_half(RTX2070, 10, half=0)
+
+    def test_second_half_boundary(self):
+        assert not probe_hmma_half(RTX2070, 13, half=1)
+        assert probe_hmma_half(RTX2070, 14, half=1)
+
+    def test_bad_half(self):
+        with pytest.raises(ValueError):
+            probe_hmma_half(RTX2070, 10, half=2)
+
+    def test_different_seeds_agree(self):
+        for seed in (1, 2, 3):
+            assert probe_hmma_half(RTX2070, 10, half=0, seed=seed)
+            assert not probe_hmma_half(RTX2070, 9, half=0, seed=seed)
+
+
+class TestMeasurement:
+    def test_table1_latencies(self):
+        result = measure_hmma_latency(RTX2070)
+        assert result.first_half == 10
+        assert result.second_half == 14
+
+    def test_same_on_t4(self):
+        result = measure_hmma_latency(T4)
+        assert (result.first_half, result.second_half) == (10, 14)
+
+    def test_probe_budget(self):
+        # The bisection should stop as soon as each half reads correct.
+        result = measure_hmma_latency(RTX2070)
+        assert result.probes == 10 + 14

@@ -1,0 +1,44 @@
+"""Tests for the DRAM/L2 bandwidth benchmarks (paper Table II)."""
+
+import pytest
+
+from repro.arch import RTX2070, T4
+from repro.bench import measure_dram_bandwidth, measure_l2_bandwidth
+
+
+class TestDram:
+    def test_rtx2070_matches_table2(self):
+        result = measure_dram_bandwidth(RTX2070)
+        assert result.level == "dram"
+        assert result.gbps == pytest.approx(380.0, rel=0.03)
+
+    def test_t4_matches_table2(self):
+        assert measure_dram_bandwidth(T4).gbps == pytest.approx(238.0, rel=0.03)
+
+    def test_below_marketing_peak(self):
+        # Measured is 85% / 75% of the theoretical peak (Section V-A).
+        for spec in (RTX2070, T4):
+            got = measure_dram_bandwidth(spec).gbps
+            assert got < spec.dram_peak_gbps
+
+    def test_traffic_actually_hit_dram(self):
+        result = measure_dram_bandwidth(RTX2070)
+        assert result.bytes_moved > 1 << 20
+
+
+class TestL2:
+    def test_rtx2070_matches_table2(self):
+        assert measure_l2_bandwidth(RTX2070).gbps == pytest.approx(750.0, rel=0.05)
+
+    def test_t4_matches_table2(self):
+        assert measure_l2_bandwidth(T4).gbps == pytest.approx(910.0, rel=0.05)
+
+    def test_l2_faster_than_dram(self):
+        for spec in (RTX2070, T4):
+            assert measure_l2_bandwidth(spec).gbps > measure_dram_bandwidth(spec).gbps
+
+    def test_t4_inversion(self):
+        # The paper's notable observation: T4 has *less* DRAM but *more* L2
+        # bandwidth than the RTX 2070.
+        assert measure_dram_bandwidth(T4).gbps < measure_dram_bandwidth(RTX2070).gbps
+        assert measure_l2_bandwidth(T4).gbps > measure_l2_bandwidth(RTX2070).gbps

@@ -1,0 +1,42 @@
+"""Tests for the SASS pointer-chase benchmark (Mei & Chu methodology)."""
+
+import pytest
+
+from repro.arch import RTX2070
+from repro.bench import detect_l1_capacity, pointer_chase
+
+
+class TestPointerChase:
+    def test_small_footprint_fast(self):
+        result = pointer_chase(RTX2070, 8 << 10)
+        assert result.cycles_per_hop < 40  # L1-resident
+
+    def test_large_footprint_slow(self):
+        result = pointer_chase(RTX2070, 64 << 10)
+        assert result.cycles_per_hop > 100  # beyond L1
+
+    def test_latency_monotone_in_footprint(self):
+        lat = [pointer_chase(RTX2070, fp << 10).cycles_per_hop
+               for fp in (8, 32, 64)]
+        assert lat[0] <= lat[1] <= lat[2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pointer_chase(RTX2070, 8 << 10, stride_bytes=3)
+        with pytest.raises(ValueError):
+            pointer_chase(RTX2070, 1000, stride_bytes=128)
+
+    def test_result_fields(self):
+        result = pointer_chase(RTX2070, 16 << 10, hops_per_loop=32, loops=2)
+        assert result.hops == 64
+        assert result.footprint_bytes == 16 << 10
+
+
+class TestL1Detection:
+    def test_detects_modelled_capacity(self):
+        assert detect_l1_capacity(RTX2070) == 32 << 10
+
+    def test_custom_candidates(self):
+        got = detect_l1_capacity(RTX2070, candidates=[16 << 10, 32 << 10,
+                                                      48 << 10])
+        assert got == 32 << 10

@@ -1,0 +1,126 @@
+"""Tests for the analytical blocking model (paper Eqs. 3-6, Table VI)."""
+
+import pytest
+
+from repro.arch import RTX2070, T4
+from repro.core import KernelConfig, blocking, cublas_like, ours
+from repro.core.blocking import (
+    TABLE6_CONFIGS,
+    choose_blocking,
+    hmma_cycles_per_iteration,
+    ldg_sts_cycles_per_iteration,
+    lds_cycles_per_iteration,
+    min_hmma_between_sts,
+    pipe_cycles,
+    table6_rows,
+)
+
+
+def cfg(bm, bn, bk, wm, wn, wk=8):
+    return KernelConfig(b_m=bm, b_n=bn, b_k=bk, w_m=wm, w_n=wn, w_k=wk)
+
+
+class TestTable6Reproduction:
+    """Pin the exact Table VI values (computed with measured CPIs)."""
+
+    EXPECTED = {
+        ((128, 128, 32), (64, 64, 8)): (1031, 1370),
+        ((128, 128, 32), (128, 64, 8)): (1031, 1235),
+        ((256, 128, 32), (64, 64, 8)): (2063, 2325),
+        ((256, 128, 32), (128, 64, 8)): (2063, 2055),
+        ((256, 256, 32), (64, 64, 8)): (4126, 3821),
+        ((256, 256, 32), (128, 64, 8)): (4126, 3281),
+    }
+
+    @pytest.mark.parametrize("cta,warp", TABLE6_CONFIGS)
+    def test_row_matches_paper(self, cta, warp):
+        config = cfg(*cta, *warp)
+        cycles = pipe_cycles(config, RTX2070)
+        hmma_exp, mem_exp = self.EXPECTED[(cta, warp)]
+        assert cycles.hmma == pytest.approx(hmma_exp, abs=1.0)
+        assert cycles.memory_io == pytest.approx(mem_exp, abs=1.0)
+
+    def test_table6_rows_cover_all_configs(self):
+        rows = table6_rows(RTX2070)
+        assert len(rows) == 6
+        assert {(r[0], r[1]) for r in rows} == set(TABLE6_CONFIGS)
+
+    def test_bound_classification_matches_paper(self):
+        # 128x128 is memory-bound in both warp tilings; 256x128 flips with
+        # the warp tile; 256x256 is compute-bound in both.
+        assert not pipe_cycles(cfg(128, 128, 32, 64, 64), RTX2070).compute_bound
+        assert not pipe_cycles(cfg(128, 128, 32, 128, 64), RTX2070).compute_bound
+        assert not pipe_cycles(cfg(256, 128, 32, 64, 64), RTX2070).compute_bound
+        assert pipe_cycles(cfg(256, 128, 32, 128, 64), RTX2070).compute_bound
+        assert pipe_cycles(cfg(256, 256, 32, 64, 64), RTX2070).compute_bound
+        assert pipe_cycles(cfg(256, 256, 32, 128, 64), RTX2070).compute_bound
+
+
+class TestEquationTerms:
+    def test_eq3_scales_with_volume(self):
+        base = hmma_cycles_per_iteration(cfg(128, 128, 32, 64, 64), RTX2070)
+        doubled = hmma_cycles_per_iteration(cfg(256, 128, 32, 64, 64), RTX2070)
+        assert doubled == pytest.approx(2 * base)
+
+    def test_eq4_scales_with_tile_perimeter(self):
+        small = ldg_sts_cycles_per_iteration(cfg(128, 128, 32, 64, 64), RTX2070)
+        large = ldg_sts_cycles_per_iteration(cfg(256, 256, 32, 64, 64), RTX2070)
+        assert large == pytest.approx(2 * small)
+
+    def test_eq5_depends_on_warp_tile(self):
+        # Larger warp tiles load fewer fragments per FLOP.
+        coarse = lds_cycles_per_iteration(cfg(256, 256, 32, 128, 64), RTX2070)
+        fine = lds_cycles_per_iteration(cfg(256, 256, 32, 64, 64), RTX2070)
+        assert coarse < fine
+
+    def test_eq5_value_for_ours(self):
+        # 8 warps x 24 fragments x 4 slices x 2.11 CPI = 1620.5 cycles.
+        val = lds_cycles_per_iteration(cfg(256, 256, 32, 128, 64), RTX2070)
+        assert val == pytest.approx(1620.5, abs=0.5)
+
+    def test_same_on_t4(self):
+        # CPIs are identical on both devices (paper Section IV-C).
+        for cta, warp in TABLE6_CONFIGS:
+            assert pipe_cycles(cfg(*cta, *warp), RTX2070) == \
+                pipe_cycles(cfg(*cta, *warp), T4)
+
+
+class TestEq6Interleave:
+    def test_sts128_needs_5_hmmas(self):
+        # Paper Section VI-C: ceil(4 * 10 / 8.06)... with CPI_HMMA = 8:
+        # ceil(40/8) = 5.
+        assert min_hmma_between_sts(RTX2070) == 5
+
+    def test_narrower_sts_needs_fewer(self):
+        assert min_hmma_between_sts(RTX2070, width=32) <= \
+            min_hmma_between_sts(RTX2070, width=128)
+
+    def test_ours_preset_uses_eq6_value(self):
+        assert ours().sts_interleave == min_hmma_between_sts(RTX2070)
+
+    def test_cublas_preset_below_eq6(self):
+        # The paper's point: cuBLAS's 2 is "not enough".
+        assert cublas_like().sts_interleave < min_hmma_between_sts(RTX2070)
+
+
+class TestChooseBlocking:
+    def test_picks_the_papers_choice(self):
+        best = choose_blocking(RTX2070)
+        assert best.cta_tile == (256, 256, 32)
+        assert best.warp_tile == (128, 64, 8)
+
+    def test_same_choice_on_t4(self):
+        best = choose_blocking(T4)
+        assert best.cta_tile == (256, 256, 32)
+
+    def test_margin_too_high_raises(self):
+        with pytest.raises(ValueError, match="compute-bound"):
+            choose_blocking(RTX2070, margin=10.0)
+
+    def test_restricted_candidates(self):
+        best = choose_blocking(
+            RTX2070,
+            candidates=(((256, 128, 32), (128, 64, 8)),
+                        ((256, 128, 32), (64, 64, 8))),
+        )
+        assert best.warp_tile == (128, 64, 8)

@@ -1,0 +1,202 @@
+"""Tests for the HGEMM kernel generator (structure + functional runs)."""
+
+import numpy as np
+import pytest
+
+from repro.arch import RTX2070
+from repro.core import ConfigError, KernelConfig, cublas_like, ours
+from repro.core.builder import HgemmProblem, RegisterPlan, build_hgemm
+from repro.core.scheduler import spacing_for
+from repro.sim import FunctionalSimulator, GlobalMemory
+
+TINY = KernelConfig(b_m=64, b_n=64, b_k=16, w_m=32, w_n=32, w_k=8, name="tiny")
+
+
+def run_functional(config, m, n, k, seed=0):
+    a_addr, b_addr, c_addr = 0, 8 << 20, 16 << 20
+    program = build_hgemm(config, HgemmProblem(m, n, k, a_addr, b_addr, c_addr))
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-1, 1, (m, k)).astype(np.float16)
+    b = rng.uniform(-1, 1, (k, n)).astype(np.float16)
+    memory = GlobalMemory(32 << 20)
+    memory.write_array(a_addr, a)
+    memory.write_array(b_addr, np.ascontiguousarray(b.T))
+    FunctionalSimulator().run(program, memory, grid_dim=config.grid_dim(m, n))
+    c = memory.read_array(c_addr, np.float16, m * n).reshape(m, n)
+    return a, b, c
+
+
+def chained_reference(a, b, w_k=8):
+    acc = np.zeros((a.shape[0], b.shape[1]), np.float16)
+    for s in range(0, a.shape[1], w_k):
+        acc = (a[:, s:s + w_k].astype(np.float32)
+               @ b[s:s + w_k].astype(np.float32)
+               + acc.astype(np.float32)).astype(np.float16)
+    return acc
+
+
+class TestProblem:
+    def test_validation_multiples(self):
+        with pytest.raises(ConfigError, match="multiple"):
+            HgemmProblem(100, 256, 32).validate(ours())
+
+    def test_validation_alignment(self):
+        with pytest.raises(ConfigError, match="aligned"):
+            HgemmProblem(256, 256, 32, a_addr=4).validate(ours())
+
+    def test_flops(self):
+        assert HgemmProblem(256, 256, 32).flops == 2 * 256 * 256 * 32
+
+
+class TestRegisterPlan:
+    def test_ours_plan_fits(self):
+        plan = RegisterPlan.for_config(ours(), 256)
+        assert plan.n_acc == 128
+        assert plan.a_frag_per_buf == 16
+        assert plan.b_frag_per_buf == 8
+        assert plan.n_ldg_a == plan.n_ldg_b == 4
+        assert plan.top <= 255
+
+    def test_cublas_plan_fits(self):
+        plan = RegisterPlan.for_config(cublas_like(), 128)
+        assert plan.n_acc == 64
+        assert plan.n_ldg_a == plan.n_ldg_b == 8
+        assert plan.top <= 255
+
+    def test_no_register_overlap(self):
+        plan = RegisterPlan.for_config(ours(), 256)
+        ranges = [
+            range(plan.acc, plan.acc + plan.n_acc),
+            range(plan.a_frag, plan.a_frag + 2 * plan.a_frag_per_buf),
+            range(plan.b_frag, plan.b_frag + 2 * plan.b_frag_per_buf),
+            range(plan.stage_a, plan.stage_a + 4 * plan.n_ldg_a),
+            range(plan.stage_b, plan.stage_b + 4 * plan.n_ldg_b),
+            range(plan.ldg_base_a, plan.ldg_base_a + plan.n_ldg_a),
+            range(plan.ldg_base_b, plan.ldg_base_b + plan.n_ldg_b),
+        ]
+        seen = set()
+        for rng_ in ranges:
+            for reg in rng_:
+                # LDG bases may live in the freed prologue scratch R11..R28;
+                # everything else sits above R31.
+                assert reg >= 11
+                assert reg not in seen
+                seen.add(reg)
+
+    def test_ldg_bases_avoid_live_scratch(self):
+        # Bases reuse R11..R28 but must never touch the persistent address
+        # registers R1..R10 or the prologue's live sources R29..R31.
+        for cfg in (ours(), cublas_like()):
+            plan = RegisterPlan.for_config(cfg, cfg.threads_per_cta)
+            if plan.ldg_base_a < 32:
+                assert plan.ldg_base_a >= 11
+                assert plan.ldg_base_b + plan.n_ldg_b - 1 <= 28
+
+    def test_too_small_tile_rejected(self):
+        with pytest.raises(ConfigError, match="at least one LDG"):
+            RegisterPlan.for_config(TINY, 512)
+
+
+class TestProgramStructure:
+    def test_instruction_counts_ours(self):
+        program = build_hgemm(ours(), HgemmProblem(256, 256, 64, 0, 1 << 22, 1 << 23))
+        # Per iteration: 256 HMMAs per warp-program.
+        assert program.count_opcode("HMMA") == 256
+        # 8 LDG.128 per thread per tile (4 A + 4 B) + bases advance.
+        assert program.count_opcode("LDG") == 16  # fill batch + loop batch
+        assert program.count_opcode("STS") == 16
+        # 2 barriers in the loop + 1 in the pipeline fill.
+        assert program.count_opcode("BAR") == 3
+        assert program.count_opcode("EXIT") == 1
+
+    def test_lds_counts_match_eq5(self):
+        # Eq. (5): (w_m/8 + w_n/8) fragments per slice per warp.
+        program = build_hgemm(ours(), HgemmProblem(256, 256, 64, 0, 1 << 22, 1 << 23))
+        cfg = ours()
+        per_slice = cfg.w_m // 8 + cfg.w_n // 8
+        slices = cfg.b_k // cfg.w_k
+        # One full slice-set per iteration (pipeline-fill head + in-loop
+        # tail + slices 1..S-1 + next-tile head) plus the fill's head again.
+        head = 2 * 1 + cfg.w_n // 8  # split A op + all B ops
+        assert program.count_opcode("LDS") == per_slice * slices + head
+
+    def test_sts_interleave_distance(self):
+        """The emitted STS stream honours the config's interleave knob."""
+        for interleave in (2, 5):
+            program = build_hgemm(
+                ours(sts_interleave=interleave),
+                HgemmProblem(256, 256, 64, 0, 1 << 22, 1 << 23),
+            )
+            ops = [inst.opcode for inst in program]
+            start = program.labels["KLOOP"]
+            sts_positions = [i for i, op in enumerate(ops) if op == "STS" and i > start]
+            gaps = []
+            for a, b in zip(sts_positions, sts_positions[1:]):
+                gaps.append(sum(1 for op in ops[a + 1 : b] if op == "HMMA"))
+            assert gaps, "no STS pairs found in the main loop"
+            assert min(gaps) >= interleave - 1
+            assert max(g for g in gaps) <= interleave + 1
+
+    def test_metadata(self):
+        program = build_hgemm(ours(), HgemmProblem(256, 256, 32, 0, 1 << 22, 1 << 23))
+        assert program.meta.block_dim == 256
+        assert program.meta.smem_bytes == 40 * 1024
+        assert program.meta.num_regs <= 255
+
+    def test_odd_slice_count_rejected(self):
+        cfg = KernelConfig(b_m=64, b_n=64, b_k=24, w_m=32, w_n=32, w_k=8)
+        with pytest.raises(ConfigError, match="even"):
+            build_hgemm(cfg, HgemmProblem(64, 64, 24))
+
+    def test_ldg_spread_across_slices(self):
+        """Prefetch LDGs must not bunch into slice 0 (MIO oversubscription)."""
+        program = build_hgemm(ours(), HgemmProblem(256, 256, 64, 0, 1 << 22, 1 << 23))
+        ops = [inst.opcode for inst in program]
+        start = program.labels["KLOOP"]
+        hmma_seen = 0
+        ldg_hmma_index = []
+        for op in ops[start:]:
+            if op == "HMMA":
+                hmma_seen += 1
+            elif op == "LDG":
+                ldg_hmma_index.append(hmma_seen)
+        # 8 LDGs spread over slices 0..2 (HMMA indices 0..192).
+        assert len(ldg_hmma_index) == 8
+        assert max(ldg_hmma_index) > 64  # beyond slice 0
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("m,n,k", [(64, 64, 32), (128, 64, 48),
+                                       (64, 128, 64), (192, 64, 32)])
+    def test_tiny_config_bit_exact(self, m, n, k):
+        a, b, c = run_functional(TINY, m, n, k)
+        np.testing.assert_array_equal(c, chained_reference(a, b))
+
+    def test_ours_bit_exact(self):
+        a, b, c = run_functional(ours(), 256, 256, 96)
+        np.testing.assert_array_equal(c, chained_reference(a, b))
+
+    def test_cublas_bit_exact(self):
+        a, b, c = run_functional(cublas_like(), 128, 256, 128)
+        np.testing.assert_array_equal(c, chained_reference(a, b))
+
+    def test_no_prefetch_variant_bit_exact(self):
+        a, b, c = run_functional(TINY.with_(prefetch=False), 64, 64, 64)
+        np.testing.assert_array_equal(c, chained_reference(a, b))
+
+    def test_naive_layout_bit_exact(self):
+        # Fig. 5's slow layout must still be *correct*.
+        a, b, c = run_functional(TINY.with_(smem_pad_halves=0), 64, 64, 48)
+        np.testing.assert_array_equal(c, chained_reference(a, b))
+
+    def test_sts2_variant_bit_exact(self):
+        a, b, c = run_functional(TINY.with_(sts_interleave=2), 64, 64, 32)
+        np.testing.assert_array_equal(c, chained_reference(a, b))
+
+    def test_single_iteration(self):
+        a, b, c = run_functional(TINY, 64, 64, 16)
+        np.testing.assert_array_equal(c, chained_reference(a, b))
+
+    def test_grid_of_ctas(self):
+        a, b, c = run_functional(TINY, 192, 128, 32)
+        np.testing.assert_array_equal(c, chained_reference(a, b))

@@ -1,0 +1,109 @@
+"""Golden structural tests: the generated kernels' instruction anatomy.
+
+These pin the *shape* of the generated programs (counts per opcode and
+per pipeline segment) so schedule regressions show up as structured diffs
+rather than only as cycle changes.
+"""
+
+import pytest
+
+from repro.core import KernelConfig, cublas_like, ours, ours_f32, ours_int8
+from repro.core.builder import HgemmProblem, build_hgemm
+
+
+def opcode_histogram(program):
+    out = {}
+    for inst in program:
+        out[inst.opcode] = out.get(inst.opcode, 0) + 1
+    return out
+
+
+def build(config, iters=2):
+    return build_hgemm(config, HgemmProblem(
+        config.b_m, config.b_n, iters * config.b_k, 0, 1 << 24, 1 << 25))
+
+
+class TestOursAnatomy:
+    def test_histogram(self):
+        hist = opcode_histogram(build(ours()))
+        # One iteration's worth per opcode (the loop body is emitted once).
+        assert hist["HMMA"] == 256       # 64 per slice x 4 slices
+        assert hist["LDG"] == 16         # fill batch + loop batch (8 each)
+        assert hist["STS"] == 16
+        assert hist["STG"] == 128        # 64 acc pairs x 2 halves
+        assert hist["BAR"] == 3
+        assert hist["EXIT"] == 1
+        assert hist["BRA"] == 1
+
+    def test_every_lds_has_write_barrier(self):
+        from repro.isa import NO_BARRIER
+        for inst in build(ours()):
+            if inst.opcode == "LDS":
+                assert inst.ctrl.write_bar != NO_BARRIER
+
+    def test_every_ldg_in_loop_is_predicated(self):
+        program = build(ours())
+        start = program.labels["KLOOP"]
+        for inst in list(program)[start:]:
+            if inst.opcode == "LDG":
+                assert inst.pred is not None
+
+    def test_hmma_waits_exist_per_slice(self):
+        program = build(ours())
+        waits = [i for i in program
+                 if i.opcode == "HMMA" and i.ctrl.wait_mask]
+        # 4 slice-entry waits + slice-0 deferred-A wait, for the loop body.
+        assert len(waits) >= 5
+
+
+class TestVariantAnatomy:
+    def test_f32_kernel_uses_f32_hmma(self):
+        program = build(ours_f32())
+        mods = {i.mods for i in program if i.opcode == "HMMA"}
+        assert mods == {("1688", "F32")}
+
+    def test_int8_kernel_uses_imma(self):
+        program = build(ours_int8())
+        hist = opcode_histogram(program)
+        assert "IMMA" in hist and "HMMA" not in hist
+        # 256x128 / 64x64 warps: 8 warps... per-warp ops: (64/8)x(64/8) = 64
+        # per slice x 4 slices.
+        assert hist["IMMA"] == 256
+        # s32 epilogue: one STG.64 per 8x8 op = 64 stores.
+        assert hist["STG"] == 64
+
+    def test_cublas_kernel_has_swizzle_bases(self):
+        program = build(cublas_like())
+        # Swizzle mode precomputes per-slice bases with LOP3.XOR.
+        xors = [i for i in program
+                if i.opcode == "LOP3" and "XOR" in i.mods]
+        assert len(xors) >= cublas_like().b_k // cublas_like().w_k
+
+    def test_scaled_epilogue_has_hfma2(self):
+        cfg = KernelConfig(b_m=64, b_n=64, b_k=16, w_m=32, w_n=32, w_k=8)
+        program = build_hgemm(cfg, HgemmProblem(
+            64, 64, 32, 0, 1 << 20, 1 << 21, alpha=2.0, beta=1.0))
+        hist = opcode_histogram(program)
+        # Per acc pair: 2 alpha HFMA2 + 2 beta HFMA2; 8 pairs per warp.
+        assert hist["HFMA2"] == 8 * 4
+        # Beta reloads C: extra LDGs beyond the tile loads.
+        plain = opcode_histogram(build_hgemm(cfg, HgemmProblem(
+            64, 64, 32, 0, 1 << 20, 1 << 21)))
+        assert hist["LDG"] > plain["LDG"]
+
+    def test_no_prefetch_moves_ldgs_to_last_slice(self):
+        cfg = KernelConfig(b_m=64, b_n=64, b_k=16, w_m=32, w_n=32, w_k=8,
+                           prefetch=False)
+        program = build_hgemm(cfg, HgemmProblem(64, 64, 32, 0, 1 << 20, 1 << 21))
+        ops = [i.opcode for i in program]
+        start = program.labels["KLOOP"]
+        # Per warp program: (w_m/16)(w_n/8) HMMAs x slices.
+        total_hmma = (32 // 16) * (32 // 8) * (16 // 8)
+        # In-loop LDGs must appear only in the last slice (after at least
+        # half the HMMAs).
+        hmma_seen = 0
+        for op in ops[start:]:
+            if op == "HMMA":
+                hmma_seen += 1
+            elif op == "LDG":
+                assert hmma_seen >= total_hmma // 2

@@ -1,0 +1,144 @@
+"""Tests for the public HGEMM API, including hypothesis property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ConfigError, KernelConfig, hgemm, hgemm_reference
+from repro.core.hgemm import HgemmRun, _shrink_to_fit
+from repro.core.config import cublas_like, ours
+
+
+def rand(shape, seed):
+    return np.random.default_rng(seed).uniform(-2, 2, shape).astype(np.float16)
+
+
+class TestHgemmApi:
+    def test_basic(self):
+        a, b = rand((64, 32), 0), rand((32, 64), 1)
+        c = hgemm(a, b)
+        assert c.shape == (64, 64)
+        assert c.dtype == np.float16
+        np.testing.assert_array_equal(c, hgemm_reference(a, b))
+
+    def test_cublas_kernel_same_result(self):
+        # Both kernels accumulate per 8-wide k-slice: identical numerics.
+        a, b = rand((128, 64), 2), rand((64, 128), 3)
+        np.testing.assert_array_equal(
+            hgemm(a, b, kernel="ours"), hgemm(a, b, kernel="cublas")
+        )
+
+    def test_explicit_config(self):
+        cfg = KernelConfig(b_m=64, b_n=64, b_k=16, w_m=32, w_n=32, w_k=8)
+        a, b = rand((64, 16), 4), rand((16, 64), 5)
+        np.testing.assert_array_equal(hgemm(a, b, kernel=cfg),
+                                      hgemm_reference(a, b))
+
+    def test_float32_inputs_are_converted(self):
+        a = np.ones((64, 16), np.float32)
+        b = np.ones((16, 64), np.float32)
+        c = hgemm(a, b)
+        assert np.all(c == 16.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="incompatible"):
+            hgemm(np.zeros((64, 32), np.float16), np.zeros((16, 64), np.float16))
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            hgemm(np.zeros((64, 16), np.float16),
+                  np.zeros((16, 64), np.float16), kernel="magma")
+
+    def test_unsupported_dims(self):
+        with pytest.raises(ConfigError, match="multiples"):
+            hgemm(np.zeros((100, 64), np.float16), np.zeros((64, 64), np.float16))
+
+    def test_return_run(self):
+        a, b = rand((64, 16), 6), rand((16, 64), 7)
+        run = hgemm(a, b, return_run=True)
+        assert isinstance(run, HgemmRun)
+        assert run.stats.opcode_counts["HMMA"] > 0
+        np.testing.assert_array_equal(np.asarray(run), run.c)
+
+    def test_rectangular_shapes(self):
+        # The paper's rectangular series: [2W x W x W] etc.
+        a, b = rand((128, 64), 8), rand((64, 64), 9)
+        np.testing.assert_array_equal(hgemm(a, b), hgemm_reference(a, b))
+
+
+class TestShrinkToFit:
+    def test_full_size_untouched(self):
+        cfg = _shrink_to_fit(ours(), 1024, 1024, 1024)
+        assert cfg.cta_tile == (256, 256, 32)
+
+    def test_shrinks_m(self):
+        cfg = _shrink_to_fit(ours(), 128, 256, 64)
+        assert cfg.b_m == 128
+        assert 128 % cfg.b_m == 0
+
+    def test_shrinks_all(self):
+        cfg = _shrink_to_fit(ours(), 64, 64, 16)
+        assert cfg.cta_tile == (64, 64, 16)
+        assert cfg.w_m <= 64 and cfg.w_n <= 64
+
+    def test_swizzle_dropped_when_bk_changes(self):
+        cfg = _shrink_to_fit(cublas_like(), 128, 128, 32)
+        assert not cfg.smem_swizzle
+
+    def test_infeasible_raises(self):
+        with pytest.raises(ConfigError):
+            _shrink_to_fit(ours(), 50, 64, 16)
+
+
+class TestReference:
+    def test_reference_matches_float32_for_short_k(self):
+        # With k == w_k there is a single accumulation step: the chained
+        # reference equals a plain f32 matmul rounded once.
+        a, b = rand((16, 8), 10), rand((8, 16), 11)
+        expected = (a.astype(np.float32) @ b.astype(np.float32)).astype(np.float16)
+        np.testing.assert_array_equal(hgemm_reference(a, b), expected)
+
+    def test_reference_differs_from_naive_for_long_k(self):
+        # FP16 accumulator rounding is visible over many slices.
+        a = np.full((16, 512), 0.1, np.float16)
+        b = np.full((512, 16), 0.1, np.float16)
+        chained = hgemm_reference(a, b)
+        naive = (a.astype(np.float32) @ b.astype(np.float32)).astype(np.float16)
+        assert not np.array_equal(chained, naive)
+
+
+class TestHgemmProperties:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        m=st.sampled_from([64, 128]),
+        n=st.sampled_from([64, 128]),
+        k=st.sampled_from([16, 32, 48]),
+        seed=st.integers(0, 1000),
+    )
+    def test_matches_reference(self, m, n, k, seed):
+        a, b = rand((m, k), seed), rand((k, n), seed + 1)
+        np.testing.assert_array_equal(hgemm(a, b), hgemm_reference(a, b))
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_zero_b_gives_zero(self, seed):
+        a = rand((64, 16), seed)
+        b = np.zeros((16, 64), np.float16)
+        assert np.all(hgemm(a, b) == 0.0)
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_identity_b(self, seed):
+        a = rand((64, 64), seed)
+        np.testing.assert_array_equal(hgemm(a, np.eye(64, dtype=np.float16)), a)
+
+    @settings(max_examples=5, deadline=None)
+    @given(scale=st.sampled_from([0.25, 0.5, 2.0, 4.0]), seed=st.integers(0, 100))
+    def test_scaling_linearity(self, scale, seed):
+        # Exact power-of-two scaling commutes with FP16 rounding.
+        a = rand((64, 16), seed)
+        b = rand((16, 64), seed + 1)
+        np.testing.assert_array_equal(
+            hgemm(a * np.float16(scale), b),
+            hgemm_reference(a * np.float16(scale), b),
+        )

@@ -1,0 +1,98 @@
+"""Tests for the FP32-accumulator HGEMM (paper Section VIII future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConfigError, KernelConfig, hgemm, hgemm_reference, ours_f32
+from repro.core.builder import RegisterPlan
+from repro.arch import RTX2070
+
+
+def rand(shape, seed):
+    return np.random.default_rng(seed).uniform(-2, 2, shape).astype(np.float16)
+
+
+class TestConfig:
+    def test_preset(self):
+        cfg = ours_f32()
+        assert cfg.accum_f32
+        assert cfg.cta_tile == (256, 128, 32)
+        assert cfg.warp_tile == (64, 64, 8)
+        assert cfg.c_element_bytes == 4
+
+    def test_accumulators_doubled(self):
+        assert ours_f32().accumulator_regs == 128  # 64x64/64 * 2
+
+    def test_fits_the_device(self):
+        ours_f32().validate_against(RTX2070)
+        plan = RegisterPlan.for_config(ours_f32(), 256)
+        assert plan.n_acc == 128
+        assert plan.top <= 255
+
+    def test_paper_warp_tile_infeasible_with_f32(self):
+        # The paper's 128x64 warp tile needs 256 FP32 accumulator registers
+        # alone: impossible, which is why .F16 was the paper's focus.
+        cfg = KernelConfig(b_m=256, b_n=128, b_k=32, w_m=128, w_n=64, w_k=8,
+                           smem_pad_halves=8, accum_f32=True)
+        with pytest.raises(ConfigError):
+            cfg.validate_against(RTX2070)
+
+    def test_256x256_infeasible_with_f32(self):
+        cfg = KernelConfig(b_m=256, b_n=256, b_k=32, w_m=64, w_n=64, w_k=8,
+                           smem_pad_halves=8, accum_f32=True)
+        with pytest.raises(ConfigError, match="register"):
+            cfg.validate_against(RTX2070)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("m,n,k", [(64, 64, 32), (128, 128, 64),
+                                       (256, 128, 96)])
+    def test_bit_exact_vs_reference(self, m, n, k):
+        a, b = rand((m, k), m + n), rand((k, n), k)
+        c = hgemm(a, b, accumulate="f32")
+        assert c.dtype == np.float32
+        np.testing.assert_array_equal(
+            c, hgemm_reference(a, b, accumulate="f32"))
+
+    def test_explicit_config(self):
+        cfg = KernelConfig(b_m=64, b_n=64, b_k=16, w_m=32, w_n=32, w_k=8,
+                           accum_f32=True)
+        a, b = rand((64, 16), 1), rand((16, 64), 2)
+        c = hgemm(a, b, kernel=cfg, accumulate="f32")
+        np.testing.assert_array_equal(
+            c, hgemm_reference(a, b, accumulate="f32"))
+
+    def test_f32_request_needs_f32_config(self):
+        cfg = KernelConfig(b_m=64, b_n=64, b_k=16, w_m=32, w_n=32, w_k=8)
+        with pytest.raises(ValueError, match="accum_f32"):
+            hgemm(rand((64, 16), 0), rand((16, 64), 1), kernel=cfg,
+                  accumulate="f32")
+
+    def test_baseline_has_no_f32_variant(self):
+        with pytest.raises(ValueError, match="FP16"):
+            hgemm(rand((128, 64), 0), rand((64, 128), 1), kernel="cublas",
+                  accumulate="f32")
+
+    def test_bad_accumulate_value(self):
+        with pytest.raises(ValueError, match="f16.*f32"):
+            hgemm(rand((64, 16), 0), rand((16, 64), 1), accumulate="f64")
+
+
+class TestAccuracy:
+    def test_f32_beats_f16_on_long_k(self):
+        # The point of FP32 accumulation: long reductions stop losing bits.
+        rng = np.random.default_rng(3)
+        a = rng.uniform(0, 1, (64, 1024)).astype(np.float16)
+        b = rng.uniform(0, 1, (1024, 64)).astype(np.float16)
+        exact = a.astype(np.float64) @ b.astype(np.float64)
+        err16 = np.abs(hgemm(a, b).astype(np.float64) - exact).max()
+        err32 = np.abs(hgemm(a, b, accumulate="f32").astype(np.float64)
+                       - exact).max()
+        assert err32 < err16 / 100
+
+    def test_f32_short_k_equals_float32_matmul(self):
+        a, b = rand((64, 16), 5), rand((16, 64), 6)
+        c = hgemm(a, b, accumulate="f32")
+        # Same value up to FP32 association-order rounding.
+        f32 = a.astype(np.float32) @ b.astype(np.float32)
+        np.testing.assert_allclose(c, f32, rtol=1e-4, atol=1e-5)

@@ -1,0 +1,127 @@
+"""Tests for shared-memory tile layouts, including machine-checked
+bank-conflict properties of all three layout modes."""
+
+import numpy as np
+import pytest
+
+from repro.core import KernelConfig, SmemPlan, TileLayout, cublas_like, ours
+from repro.sim.shared import conflict_multiplier
+
+
+class TestTileLayout:
+    def test_padded_stride(self):
+        t = TileLayout(rows=256, cols=32, pad_halves=8, base_bytes=0)
+        assert t.row_stride_halves == 40
+        assert t.size_bytes == 256 * 40 * 2
+
+    def test_offsets_never_overlap(self):
+        t = TileLayout(rows=64, cols=32, pad_halves=8, base_bytes=0)
+        seen = set()
+        for r in range(64):
+            for c in range(32):
+                off = t.offset_halves(r, c)
+                assert off not in seen
+                seen.add(off)
+
+    def test_address_includes_base(self):
+        t = TileLayout(rows=8, cols=32, pad_halves=0, base_bytes=4096)
+        assert t.address(0, 0) == 4096
+        assert t.address(1, 0) == 4096 + 64
+
+    def test_out_of_range(self):
+        t = TileLayout(rows=8, cols=32, pad_halves=0, base_bytes=0)
+        with pytest.raises(IndexError):
+            t.offset_halves(8, 0)
+        with pytest.raises(IndexError):
+            t.offset_halves(0, 32)
+
+    def test_swizzle_validation(self):
+        with pytest.raises(ValueError):
+            TileLayout(rows=8, cols=32, pad_halves=0, base_bytes=0, swizzle=True)
+        with pytest.raises(ValueError):
+            TileLayout(rows=8, cols=64, pad_halves=8, base_bytes=0, swizzle=True)
+
+    def test_swizzle_is_a_permutation_per_row(self):
+        t = TileLayout(rows=16, cols=64, pad_halves=0, base_bytes=0, swizzle=True)
+        for r in range(16):
+            offsets = {t.offset_halves(r, c) for c in range(64)}
+            assert offsets == set(range(r * 64, (r + 1) * 64))
+
+    def test_swizzle_row0_identity(self):
+        t = TileLayout(rows=8, cols=64, pad_halves=0, base_bytes=0, swizzle=True)
+        assert [t.offset_halves(0, c) for c in range(64)] == list(range(64))
+
+
+def lds32_fragment_addresses(layout: TileLayout, base_row: int, k_col: int):
+    """Per-lane addresses of one LDS.32 fragment gather (the kernel's
+    pattern: lane l reads row base_row + l//4, halves k_col + 2*(l%4))."""
+    return np.array([
+        layout.address(base_row + l // 4, k_col + 2 * (l % 4))
+        for l in range(32)
+    ])
+
+
+def sts128_addresses(layout: TileLayout, base_row: int):
+    """Per-lane addresses of one STS.128 tile store (4 lanes per row)."""
+    cpr = layout.cols // 8
+    return np.array([
+        layout.address(base_row + l // cpr, (l % cpr) * 8) for l in range(32)
+    ])
+
+
+class TestConflictProperties:
+    """The Fig. 5 claims, verified mechanically from addresses."""
+
+    def test_padded_lds_conflict_free_all_rows_and_slices(self):
+        t = TileLayout(rows=256, cols=32, pad_halves=8, base_bytes=0)
+        for base_row in range(0, 256, 8):
+            for k in range(0, 32, 8):
+                addrs = lds32_fragment_addresses(t, base_row, k)
+                assert conflict_multiplier(addrs, 4) == 1.0
+
+    def test_naive_lds_is_4way_conflicted(self):
+        t = TileLayout(rows=256, cols=32, pad_halves=0, base_bytes=0)
+        addrs = lds32_fragment_addresses(t, 0, 0)
+        assert conflict_multiplier(addrs, 4) == 4.0
+
+    def test_swizzled_lds_conflict_free(self):
+        t = TileLayout(rows=128, cols=64, pad_halves=0, base_bytes=0, swizzle=True)
+        for base_row in range(0, 128, 8):
+            for k in range(0, 64, 8):
+                addrs = lds32_fragment_addresses(t, base_row, k)
+                assert conflict_multiplier(addrs, 4) == 1.0
+
+    def test_unswizzled_bk64_lds_is_8way(self):
+        # This is why cuBLAS *must* swizzle its 32 KB layout.
+        t = TileLayout(rows=128, cols=64, pad_halves=0, base_bytes=0)
+        addrs = lds32_fragment_addresses(t, 0, 0)
+        assert conflict_multiplier(addrs, 4) == 8.0
+
+    @pytest.mark.parametrize("pad,swizzle,cols", [(8, False, 32), (0, False, 32),
+                                                  (0, True, 64)])
+    def test_sts128_conflict_free_in_all_layouts(self, pad, swizzle, cols):
+        t = TileLayout(rows=256, cols=cols, pad_halves=pad, base_bytes=0,
+                       swizzle=swizzle)
+        rows_per_warp = 32 // (cols // 8)
+        for base_row in range(0, 64, rows_per_warp):
+            addrs = sts128_addresses(t, base_row)
+            assert conflict_multiplier(addrs, 16) == 1.0
+
+
+class TestSmemPlan:
+    def test_ours_plan(self):
+        plan = SmemPlan.for_config(ours())
+        assert plan.a.rows == 256 and plan.a.cols == 32
+        assert plan.b.base_bytes == plan.a.size_bytes
+        assert plan.total_bytes == ours().smem_bytes == 40 * 1024
+
+    def test_cublas_plan(self):
+        plan = SmemPlan.for_config(cublas_like())
+        assert plan.a.swizzle and plan.b.swizzle
+        assert plan.total_bytes == 32 * 1024
+
+    def test_tiles_do_not_overlap(self):
+        plan = SmemPlan.for_config(ours())
+        a_last = plan.a.address(255, 31)
+        b_first = plan.b.address(0, 0)
+        assert a_last + 2 <= b_first

@@ -1,0 +1,102 @@
+"""Tests for CPI-guided instruction interleaving."""
+
+import pytest
+
+from repro.arch import RTX2070
+from repro.core.scheduler import InterleaveScheduler, spacing_for
+
+
+class TestSpacingFor:
+    def test_sts128_is_5(self):
+        # Eq. (6): ceil(4 * 10.0 / 8.0) = 5 (the paper's headline value).
+        assert spacing_for(RTX2070, "sts", 128) == 5
+
+    def test_lds32_is_2(self):
+        assert spacing_for(RTX2070, "lds", 32) == 2
+
+    def test_ldg128_is_8(self):
+        assert spacing_for(RTX2070, "ldg", 128) == 8
+
+    def test_unknown_kind(self):
+        with pytest.raises(KeyError):
+            spacing_for(RTX2070, "frob")
+
+    def test_minimum_is_one(self):
+        assert spacing_for(RTX2070, "lds", 32) >= 1
+
+
+def mem_emitters(out, names):
+    return [lambda n=n: out.append(n) for n in names]
+
+
+def run_stream(sched, out, n_hmma):
+    """Run the scheduler; HMMAs and queued ops record into *out*."""
+    leftover = sched.run([lambda i=i: out.append(f"H{i}")
+                          for i in range(n_hmma)])
+    return out, leftover
+
+
+class TestInterleaveScheduler:
+    def test_fixed_spacing_positions(self):
+        out = []
+        sched = InterleaveScheduler()
+        sched.add(mem_emitters(out, ["M0", "M1", "M2"]), fixed=True, spacing=5)
+        stream, leftover = run_stream(sched, out, 16)
+        assert leftover == 0
+        # M0 before H0, M1 before H5, M2 before H10.
+        assert stream.index("M0") == 0
+        assert stream.index("M1") == stream.index("H5") - 1
+        assert stream.index("M2") == stream.index("H10") - 1
+
+    def test_flexible_spread_in_window(self):
+        out = []
+        sched = InterleaveScheduler(window_frac=0.5)
+        sched.add(mem_emitters(out, [f"M{k}" for k in range(4)]))
+        stream, leftover = run_stream(sched, out, 16)
+        assert leftover == 0
+        # All memory ops land in the first ~half of the stream.
+        last_mem = max(i for i, s in enumerate(stream) if s.startswith("M"))
+        assert last_mem < len(stream) * 0.6
+
+    def test_flexible_preserves_relative_order(self):
+        out = []
+        sched = InterleaveScheduler()
+        sched.add(mem_emitters(out, list(range(6))))
+        stream, _ = run_stream(sched, out, 32)
+        mems = [s for s in stream if isinstance(s, int)]
+        assert mems == sorted(mems)
+
+    def test_oversubscription_spills_to_tail(self):
+        out = []
+        sched = InterleaveScheduler()
+        sched.add(mem_emitters(out, [f"M{k}" for k in range(4)]),
+                  fixed=True, spacing=10)
+        stream, leftover = run_stream(sched, out, 8)
+        # M0 due 0; M1 due 10, M2 due 20, M3 due 30 all past the stream end.
+        assert leftover == 3
+        assert stream[-3:] == ["M1", "M2", "M3"]
+
+    def test_run_clears_state(self):
+        out = []
+        sched = InterleaveScheduler()
+        sched.add(mem_emitters(out, ["A", "B", "C"]))
+        run_stream(sched, out, 4)
+        assert not sched.flexible and not sched.fixed
+        out2, leftover = run_stream(sched, [], 4)
+        assert leftover == 0
+        assert out2 == [f"H{i}" for i in range(4)]
+
+    def test_empty_queue_passthrough(self):
+        stream, leftover = run_stream(InterleaveScheduler(), [], 5)
+        assert stream == [f"H{i}" for i in range(5)]
+        assert leftover == 0
+
+    def test_mixed_fixed_and_flexible(self):
+        out = []
+        sched = InterleaveScheduler()
+        sched.add(mem_emitters(out, ["F0", "F1"]), fixed=True, spacing=8)
+        sched.add(mem_emitters(out, ["X0", "X1"]))
+        stream, leftover = run_stream(sched, out, 16)
+        assert leftover == 0
+        assert set(stream) >= {"F0", "F1", "X0", "X1"}
+        assert stream.index("F1") == stream.index("H8") - 1

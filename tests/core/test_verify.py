@@ -1,0 +1,65 @@
+"""Tests for the kernel verification harness."""
+
+import pytest
+
+from repro.core import KernelConfig, verify_kernel
+from repro.core.verify import DEFAULT_SHAPES
+
+TINY = KernelConfig(b_m=64, b_n=64, b_k=16, w_m=32, w_n=32, w_k=8,
+                    name="tiny")
+TINY_INT8 = KernelConfig(b_m=64, b_n=64, b_k=32, w_m=32, w_n=32, w_k=16,
+                         ab_dtype="s8", name="tiny-int8")
+
+
+class TestVerifyKernel:
+    def test_tiny_passes_everything(self):
+        report = verify_kernel(TINY, seeds=(0,))
+        assert report.passed
+        assert len(report.cases) == len(DEFAULT_SHAPES)
+        assert "PASS" in report.summary()
+
+    def test_skips_untileable_shapes(self):
+        big = KernelConfig(b_m=128, b_n=128, b_k=32, w_m=64, w_n=64, w_k=8,
+                           name="big")
+        report = verify_kernel(big, seeds=(0,))
+        assert report.passed
+        # Only the 128x128 shapes from the default grid qualify.
+        assert all(c.m % 128 == 0 and c.n % 128 == 0 for c in report.cases)
+        assert 0 < len(report.cases) < len(DEFAULT_SHAPES)
+
+    def test_int8_kernel_verifies(self):
+        report = verify_kernel(TINY_INT8, shapes=((64, 64, 32), (128, 64, 64)),
+                               seeds=(0, 1))
+        assert report.passed
+        assert len(report.cases) == 4
+
+    def test_f32_kernel_verifies(self):
+        cfg = KernelConfig(b_m=64, b_n=64, b_k=16, w_m=32, w_n=32, w_k=8,
+                           accum_f32=True, name="tiny-f32")
+        report = verify_kernel(cfg, shapes=((64, 64, 32),), seeds=(0,))
+        assert report.passed
+
+    def test_broken_kernel_reports_failure(self):
+        # A kernel that explodes must be caught and reported, not crash
+        # the harness.
+        cfg = TINY.with_(name="sabotaged")
+        # Monkeypatch hgemm to blow up for this config name.
+        import repro.core.verify as verify_mod
+        original = verify_mod.hgemm
+
+        def exploding(*args, **kwargs):
+            raise RuntimeError("injected failure")
+
+        verify_mod.hgemm = exploding
+        try:
+            report = verify_kernel(cfg, shapes=((64, 64, 16),), seeds=(0,))
+        finally:
+            verify_mod.hgemm = original
+        assert not report.passed
+        assert "injected failure" in report.failures[0].message
+        assert "FAIL" in report.summary()
+
+    def test_multiple_seeds(self):
+        report = verify_kernel(TINY, shapes=((64, 64, 16),), seeds=(0, 1, 2))
+        assert len(report.cases) == 3
+        assert {c.seed for c in report.cases} == {0, 1, 2}

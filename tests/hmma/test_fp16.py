@@ -1,0 +1,106 @@
+"""Unit tests for half-precision helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hmma import fp16
+
+
+class TestAsHalf:
+    def test_converts_float64(self):
+        out = fp16.as_half([1.0, 2.5, -3.25])
+        assert out.dtype == np.float16
+        np.testing.assert_array_equal(out, np.array([1.0, 2.5, -3.25], np.float16))
+
+    def test_passthrough_no_copy(self):
+        src = np.ones(8, dtype=np.float16)
+        out = fp16.as_half(src)
+        assert out is src
+
+    def test_rounds_to_nearest_even(self):
+        # 2048 + 1 is not representable in fp16 (ulp at 2048 is 2) -> rounds to 2048.
+        assert float(fp16.as_half([2049.0])[0]) == 2048.0
+        assert float(fp16.as_half([2051.0])[0]) == 2052.0
+
+    def test_overflow_to_inf(self):
+        assert np.isinf(fp16.as_half([1e6])[0])
+
+
+class TestBitCasts:
+    def test_known_patterns(self):
+        assert int(fp16.half_bits([1.0])[0]) == 0x3C00
+        assert int(fp16.half_bits([-2.0])[0]) == 0xC000
+        assert int(fp16.half_bits([0.0])[0]) == 0x0000
+
+    def test_roundtrip(self):
+        bits = np.arange(0, 0x7C00, 97, dtype=np.uint16)  # finite positives
+        vals = fp16.bits_to_half(bits)
+        np.testing.assert_array_equal(fp16.half_bits(vals), bits)
+
+
+class TestPackHalf2:
+    def test_pack_order(self):
+        word = fp16.pack_half2([1.0], [-2.0])
+        assert int(word[0]) == (0xC000 << 16) | 0x3C00
+
+    def test_unpack_roundtrip(self):
+        lo = np.array([0.5, 1.5, -7.0], np.float16)
+        hi = np.array([2.0, -0.125, 64.0], np.float16)
+        got_lo, got_hi = fp16.unpack_half2(fp16.pack_half2(lo, hi))
+        np.testing.assert_array_equal(got_lo, lo)
+        np.testing.assert_array_equal(got_hi, hi)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="matching shapes"):
+            fp16.pack_half2(np.zeros(3, np.float16), np.zeros(4, np.float16))
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1000, max_value=1000, width=16),
+            min_size=1,
+            max_size=64,
+        )
+    )
+    def test_pack_unpack_property(self, values):
+        arr = np.array(values, dtype=np.float16)
+        lo, hi = fp16.unpack_half2(fp16.pack_half2(arr, arr[::-1].copy()))
+        np.testing.assert_array_equal(lo, arr)
+        np.testing.assert_array_equal(hi, arr[::-1])
+
+
+class TestUlpDistance:
+    def test_zero_for_equal(self):
+        vals = np.array([0.0, 1.0, -3.5], np.float16)
+        assert np.all(fp16.ulp_distance(vals, vals) == 0)
+
+    def test_adjacent_values(self):
+        one = np.float16(1.0)
+        next_up = np.nextafter(one, np.float16(2.0), dtype=np.float16)
+        assert int(fp16.ulp_distance([one], [next_up])[0]) == 1
+
+    def test_across_zero(self):
+        tiny = fp16.bits_to_half(np.array([1], np.uint16))  # smallest subnormal
+        neg_tiny = -tiny
+        assert int(fp16.ulp_distance(tiny, neg_tiny)[0]) == 2
+
+    def test_symmetry(self):
+        a = np.array([1.5], np.float16)
+        b = np.array([1.75], np.float16)
+        assert fp16.ulp_distance(a, b) == fp16.ulp_distance(b, a)
+
+
+class TestGemmFlops:
+    def test_standard_convention(self):
+        assert fp16.gemm_flops(16, 8, 8) == 2048
+
+    def test_zero_dim(self):
+        assert fp16.gemm_flops(0, 128, 128) == 0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            fp16.gemm_flops(-1, 2, 3)
+
+    def test_paper_square(self):
+        # 16384^3 square GEMM ~ 8.8 TFLOP, the largest point in Fig. 6.
+        assert fp16.gemm_flops(16384, 16384, 16384) == 2 * 16384**3

@@ -1,0 +1,188 @@
+"""Unit + property tests for the Fig. 1 / Fig. 2 fragment layouts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hmma import fragments as fr
+
+
+def random_half(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-4, 4, size=shape).astype(np.float16)
+
+
+class TestLaneOfElement:
+    def test_row_major_matches_fig1_left(self):
+        # Fig. 1 (left): row r holds lanes 4r..4r+3, two elements per lane.
+        assert fr.lane_of_element(0, 0, fr.ROW_MAJOR) == (0, 0)
+        assert fr.lane_of_element(0, 1, fr.ROW_MAJOR) == (0, 1)
+        assert fr.lane_of_element(0, 7, fr.ROW_MAJOR) == (3, 1)
+        assert fr.lane_of_element(1, 0, fr.ROW_MAJOR) == (4, 0)
+        assert fr.lane_of_element(7, 6, fr.ROW_MAJOR) == (31, 0)
+        assert fr.lane_of_element(7, 7, fr.ROW_MAJOR) == (31, 1)
+
+    def test_col_major_matches_fig1_right(self):
+        # Fig. 1 (right): column c holds lanes 4c..4c+3, two row-elements per lane.
+        assert fr.lane_of_element(0, 0, fr.COL_MAJOR) == (0, 0)
+        assert fr.lane_of_element(1, 0, fr.COL_MAJOR) == (0, 1)
+        assert fr.lane_of_element(2, 0, fr.COL_MAJOR) == (1, 0)
+        assert fr.lane_of_element(0, 1, fr.COL_MAJOR) == (4, 0)
+        assert fr.lane_of_element(6, 7, fr.COL_MAJOR) == (31, 0)
+        assert fr.lane_of_element(7, 7, fr.COL_MAJOR) == (31, 1)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            fr.lane_of_element(8, 0, fr.ROW_MAJOR)
+        with pytest.raises(ValueError):
+            fr.lane_of_element(0, -1, fr.COL_MAJOR)
+
+    def test_bad_order_raises(self):
+        with pytest.raises(ValueError, match="order"):
+            fr.lane_of_element(0, 0, "diagonal")
+
+
+class TestElementsOfLane:
+    @pytest.mark.parametrize("order", [fr.ROW_MAJOR, fr.COL_MAJOR])
+    def test_inverse_of_lane_of_element(self, order):
+        for lane in range(fr.WARP_SIZE):
+            (lo, hi) = fr.elements_of_lane(lane, order)
+            assert fr.lane_of_element(*lo, order) == (lane, 0)
+            assert fr.lane_of_element(*hi, order) == (lane, 1)
+
+    @pytest.mark.parametrize("order", [fr.ROW_MAJOR, fr.COL_MAJOR])
+    def test_every_element_owned_exactly_once(self, order):
+        seen = set()
+        for lane in range(fr.WARP_SIZE):
+            for rc in fr.elements_of_lane(lane, order):
+                assert rc not in seen
+                seen.add(rc)
+        assert len(seen) == 64
+
+    def test_bad_lane_raises(self):
+        with pytest.raises(ValueError):
+            fr.elements_of_lane(32, fr.ROW_MAJOR)
+
+
+class TestLaneMap:
+    def test_row_major_grid(self):
+        layout = fr.lane_map(fr.ROW_MAJOR)
+        expected_first_row = [0, 0, 1, 1, 2, 2, 3, 3]
+        assert list(layout.lanes[0]) == expected_first_row
+        assert list(layout.halves[0]) == [0, 1] * 4
+
+    def test_col_major_grid(self):
+        layout = fr.lane_map(fr.COL_MAJOR)
+        expected_first_col = [0, 0, 1, 1, 2, 2, 3, 3]
+        assert list(layout.lanes[:, 0]) == expected_first_col
+        assert list(layout.halves[:, 0]) == [0, 1] * 4
+
+    def test_render_row_major_matches_paper(self):
+        text = fr.lane_map(fr.ROW_MAJOR).render()
+        rows = [line.split() for line in text.splitlines()]
+        assert rows[0] == ["0", "1", "2", "3"]
+        assert rows[-1] == ["28", "29", "30", "31"]
+
+    def test_render_col_major_matches_paper(self):
+        text = fr.lane_map(fr.COL_MAJOR).render()
+        rows = [line.split() for line in text.splitlines()]
+        assert rows[0] == ["0", "4", "8", "12", "16", "20", "24", "28"]
+        assert rows[-1] == ["3", "7", "11", "15", "19", "23", "27", "31"]
+
+
+class TestFragmentRoundTrip:
+    @pytest.mark.parametrize("order", [fr.ROW_MAJOR, fr.COL_MAJOR])
+    def test_roundtrip_identity(self, order):
+        mat = random_half((8, 8), seed=7)
+        words = fr.matrix_to_fragment(mat, order)
+        assert words.shape == (32,)
+        assert words.dtype == np.uint32
+        np.testing.assert_array_equal(fr.fragment_to_matrix(words, order), mat)
+
+    def test_row_and_col_give_different_scatter(self):
+        mat = np.arange(64, dtype=np.float16).reshape(8, 8)
+        row_words = fr.matrix_to_fragment(mat, fr.ROW_MAJOR)
+        col_words = fr.matrix_to_fragment(mat, fr.COL_MAJOR)
+        assert not np.array_equal(row_words, col_words)
+
+    def test_cross_order_transposes(self):
+        # Scattering M row-major then gathering col-major yields M^T.
+        mat = random_half((8, 8), seed=3)
+        words = fr.matrix_to_fragment(mat, fr.ROW_MAJOR)
+        got = fr.fragment_to_matrix(words, fr.COL_MAJOR)
+        np.testing.assert_array_equal(got, mat.T)
+
+    def test_wrong_shape_raises(self):
+        with pytest.raises(ValueError):
+            fr.matrix_to_fragment(np.zeros((4, 4), np.float16), fr.ROW_MAJOR)
+        with pytest.raises(ValueError):
+            fr.fragment_to_matrix(np.zeros(31, np.uint32), fr.ROW_MAJOR)
+
+    @settings(max_examples=30)
+    @given(st.integers(0, 2**31 - 1), st.sampled_from([fr.ROW_MAJOR, fr.COL_MAJOR]))
+    def test_roundtrip_property(self, seed, order):
+        mat = random_half((8, 8), seed=seed)
+        got = fr.fragment_to_matrix(fr.matrix_to_fragment(mat, order), order)
+        np.testing.assert_array_equal(got, mat)
+
+
+class Test16x8Fragments:
+    def test_roundtrip(self):
+        mat = random_half((16, 8), seed=11)
+        regs = fr.matrix16x8_to_fragments(mat)
+        assert regs.shape == (2, 32)
+        np.testing.assert_array_equal(fr.fragments_to_matrix16x8(regs), mat)
+
+    def test_register_split_top_bottom(self):
+        mat = np.zeros((16, 8), np.float16)
+        mat[:8] = 1.0
+        regs = fr.matrix16x8_to_fragments(mat)
+        top = fr.fragment_to_matrix(regs[0], fr.ROW_MAJOR)
+        bottom = fr.fragment_to_matrix(regs[1], fr.ROW_MAJOR)
+        assert np.all(top == 1.0)
+        assert np.all(bottom == 0.0)
+
+    def test_wrong_shape_raises(self):
+        with pytest.raises(ValueError):
+            fr.matrix16x8_to_fragments(np.zeros((8, 8), np.float16))
+        with pytest.raises(ValueError):
+            fr.fragments_to_matrix16x8(np.zeros((3, 32), np.uint32))
+
+
+class TestF32Fragments:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(5)
+        mat = rng.normal(size=(16, 8)).astype(np.float32)
+        regs = fr.matrix16x8_to_fragments_f32(mat)
+        assert regs.shape == (4, 32)
+        np.testing.assert_array_equal(fr.fragments_f32_to_matrix16x8(regs), mat)
+
+    def test_register_pair_promotion(self):
+        # Element (0, 0) lives in the low half of .F16 reg 0 => .F32 reg 0;
+        # element (0, 1) in the high half => .F32 reg 1; both in lane 0.
+        mat = np.zeros((16, 8), np.float32)
+        mat[0, 0] = 2.0
+        mat[0, 1] = 3.0
+        regs = fr.matrix16x8_to_fragments_f32(mat)
+        assert regs[0, 0].view(np.float32) == np.float32(2.0)
+        assert regs[1, 0].view(np.float32) == np.float32(3.0)
+
+    def test_wrong_shape_raises(self):
+        with pytest.raises(ValueError):
+            fr.matrix16x8_to_fragments_f32(np.zeros((16, 16), np.float32))
+        with pytest.raises(ValueError):
+            fr.fragments_f32_to_matrix16x8(np.zeros((2, 32), np.uint32))
+
+
+class TestOperandLayouts:
+    def test_fig2_operand_table(self):
+        layouts = fr.hmma_operand_layouts()
+        assert layouts["D"] == ((16, 8), fr.ROW_MAJOR, 2)
+        assert layouts["A"] == ((16, 8), fr.ROW_MAJOR, 2)
+        assert layouts["B"] == ((8, 8), fr.COL_MAJOR, 1)
+        assert layouts["C"] == ((16, 8), fr.ROW_MAJOR, 2)
+
+    def test_total_register_budget(self):
+        # One HMMA.1688.F16 touches 2 + 2 + 1 + 2 = 7 warp registers.
+        layouts = fr.hmma_operand_layouts()
+        assert sum(regs for _, _, regs in layouts.values()) == 7

@@ -1,0 +1,168 @@
+"""Failure injection: break the kernel's scheduling contracts and verify
+the simulator catches it.
+
+The paper's whole methodology rests on timing being *semantically load-
+bearing* at the SASS level: too few stall cycles or a missing scoreboard
+wait silently produces wrong numbers on real silicon.  These tests prove
+our timing simulator reproduces that property -- each injected violation
+corrupts the result (or trips a simulator check), and the uncorrupted
+program stays bit-exact.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.arch import RTX2070
+from repro.core import KernelConfig
+from repro.core.builder import HgemmProblem, build_hgemm
+from repro.isa import NO_BARRIER, assemble
+from repro.sim import GlobalMemory, TimingSimulator
+from repro.sim.exec_units import ExecError
+
+TINY = KernelConfig(b_m=64, b_n=64, b_k=16, w_m=32, w_n=32, w_k=8)
+M, N, K = 64, 64, 32
+
+
+def run_timed(program, a, b):
+    memory = GlobalMemory(4 << 20)
+    memory.write_array(0, a)
+    memory.write_array(1 << 20, np.ascontiguousarray(b.T))
+    TimingSimulator(RTX2070).run(program, memory, num_ctas=1)
+    return memory.read_array(1 << 21, np.float16, M * N).reshape(M, N)
+
+
+def reference(a, b):
+    acc = np.zeros((M, N), np.float16)
+    for s in range(0, K, 8):
+        acc = (a[:, s:s + 8].astype(np.float32)
+               @ b[s:s + 8].astype(np.float32)
+               + acc.astype(np.float32)).astype(np.float16)
+    return acc
+
+
+@pytest.fixture(scope="module")
+def operands():
+    rng = np.random.default_rng(0)
+    a = rng.uniform(-1, 1, (M, K)).astype(np.float16)
+    b = rng.uniform(-1, 1, (K, N)).astype(np.float16)
+    return a, b
+
+
+@pytest.fixture(scope="module")
+def clean_program():
+    return build_hgemm(TINY, HgemmProblem(M, N, K, 0, 1 << 20, 1 << 21))
+
+
+class TestBaseline:
+    def test_clean_program_correct_under_timing(self, clean_program, operands):
+        a, b = operands
+        np.testing.assert_array_equal(run_timed(clean_program, a, b),
+                                      reference(a, b))
+
+
+def mutate(program, predicate, transform):
+    """Copy the program with `transform` applied to instructions matching
+    `predicate` (first match only)."""
+    instructions = list(program.instructions)
+    for index, inst in enumerate(instructions):
+        if predicate(inst):
+            instructions[index] = transform(inst)
+            break
+    else:
+        raise AssertionError("no instruction matched the mutation target")
+    clone = type(program)(instructions=instructions, meta=program.meta,
+                          labels=dict(program.labels))
+    return clone
+
+
+class TestInjectedViolations:
+    def test_dropped_fragment_wait_corrupts_result(self, clean_program,
+                                                   operands):
+        # Remove the scoreboard wait on the first HMMA after the fragment
+        # loads: it now reads stale fragments.
+        a, b = operands
+        broken = mutate(
+            clean_program,
+            lambda i: i.opcode == "HMMA" and i.ctrl.wait_mask,
+            lambda i: i.with_ctrl(replace(i.ctrl, wait_mask=0)),
+        )
+        got = run_timed(broken, a, b)
+        assert not np.array_equal(got, reference(a, b))
+
+    def test_dropped_sts_wait_corrupts_result(self, clean_program, operands):
+        # The STS that waits on the LDG barrier now stores whatever junk is
+        # in the staging registers.
+        a, b = operands
+        broken = mutate(
+            clean_program,
+            lambda i: i.opcode == "STS" and i.ctrl.wait_mask,
+            lambda i: i.with_ctrl(replace(i.ctrl, wait_mask=0)),
+        )
+        got = run_timed(broken, a, b)
+        assert not np.array_equal(got, reference(a, b))
+
+    def test_dropped_ldg_writebar_corrupts_result(self, clean_program,
+                                                  operands):
+        # The LDG no longer signals completion; the STS's wait becomes a
+        # no-op for it and consumes stale data.
+        a, b = operands
+        broken = mutate(
+            clean_program,
+            lambda i: i.opcode == "LDG" and i.ctrl.write_bar != NO_BARRIER,
+            lambda i: i.with_ctrl(replace(i.ctrl, write_bar=NO_BARRIER)),
+        )
+        got = run_timed(broken, a, b)
+        assert not np.array_equal(got, reference(a, b))
+
+    def test_missing_barrier_detected_or_corrupts(self, clean_program,
+                                                  operands):
+        # Replace the mid-iteration BAR.SYNC with a NOP: warps race on the
+        # shared tile.  With four warps the functional interleaving still
+        # often *happens* to work, so accept either corruption or a clean
+        # pass -- but the deadlock detector must never fire.
+        from repro.isa import Instruction
+
+        a, b = operands
+        broken = mutate(
+            clean_program,
+            lambda i: i.opcode == "BAR",
+            lambda i: Instruction("NOP", ctrl=i.ctrl),
+        )
+        run_timed(broken, a, b)  # must not raise
+
+
+class TestLatencyContract:
+    def test_understalled_hmma_consumer_reads_stale(self):
+        # The Table-I contract, straight from assembly: reading D 9 cycles
+        # after issue yields the old register value.
+        src = """
+        .block 32
+          MOV32I R0, 0x3C003C00 {stall=1}
+          MOV32I R4, 0 {stall=1}
+          MOV32I R5, 0 {stall=6}
+          HMMA.1688.F16 R4, R0, R0, R4 {stall=9}
+          MOV R30, R4 {stall=6}
+          NOP {stall=15}
+          S2R R1, SR_TID.X {stall=6}
+          IMAD R2, R1, 4, 0x100 {stall=6}
+          STG.E.32 [R2], R30 {stall=4}
+          EXIT
+        """
+        memory = GlobalMemory(1 << 16)
+        TimingSimulator(RTX2070).run(assemble(src), memory)
+        out = memory.read_array(0x100, np.uint32, 32)
+        assert np.all(out == 0)  # stale pre-HMMA zeros
+
+    def test_divergent_branch_rejected(self):
+        src = """
+        .block 32
+          S2R R1, SR_TID.X {stall=6}
+          ISETP.LT.AND P0, PT, R1, 16, PT {stall=6}
+        L:
+          @P0 BRA L {stall=5}
+          EXIT
+        """
+        with pytest.raises(ExecError, match="divergent"):
+            TimingSimulator(RTX2070).run(assemble(src), GlobalMemory(1 << 16))

@@ -1,0 +1,92 @@
+"""Tests for control-info fields and their 21-bit packing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import ControlInfo, NO_BARRIER
+
+
+class TestValidation:
+    def test_defaults(self):
+        ctrl = ControlInfo()
+        assert ctrl.stall == 1
+        assert ctrl.write_bar == NO_BARRIER
+        assert ctrl.read_bar == NO_BARRIER
+        assert ctrl.wait_mask == 0
+        assert not ctrl.sets_barrier
+
+    def test_stall_bounds(self):
+        ControlInfo(stall=0)
+        ControlInfo(stall=15)
+        with pytest.raises(ValueError):
+            ControlInfo(stall=16)
+        with pytest.raises(ValueError):
+            ControlInfo(stall=-1)
+
+    def test_barrier_bounds(self):
+        ControlInfo(write_bar=5)
+        with pytest.raises(ValueError):
+            ControlInfo(write_bar=6)
+        ControlInfo(read_bar=NO_BARRIER)
+
+    def test_wait_mask_bounds(self):
+        ControlInfo(wait_mask=0b111111)
+        with pytest.raises(ValueError):
+            ControlInfo(wait_mask=64)
+
+    def test_sets_barrier(self):
+        assert ControlInfo(write_bar=0).sets_barrier
+        assert ControlInfo(read_bar=3).sets_barrier
+
+
+class TestHelpers:
+    def test_waits_on(self):
+        ctrl = ControlInfo(wait_mask=0b000101)
+        assert ctrl.waits_on(0)
+        assert not ctrl.waits_on(1)
+        assert ctrl.waits_on(2)
+
+    def test_with_wait_accumulates(self):
+        ctrl = ControlInfo().with_wait(0).with_wait(3)
+        assert ctrl.wait_mask == 0b001001
+
+    def test_with_wait_rejects_bad_index(self):
+        with pytest.raises(ValueError):
+            ControlInfo().with_wait(6)
+
+    def test_with_stall(self):
+        assert ControlInfo(stall=1).with_stall(8).stall == 8
+
+    def test_str_mentions_fields(self):
+        text = str(ControlInfo(stall=4, write_bar=0, wait_mask=0b10))
+        assert "stall=4" in text and "wb=0" in text and "wait" in text
+
+
+class TestEncoding:
+    def test_known_value(self):
+        ctrl = ControlInfo(stall=8)
+        # stall in low 4 bits; no-barrier indices (7) in both barrier fields.
+        assert ctrl.encode() == 8 | (7 << 5) | (7 << 8)
+
+    def test_decode_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            ControlInfo.decode(1 << 21)
+
+    @given(
+        st.integers(0, 15),
+        st.booleans(),
+        st.sampled_from([0, 1, 2, 3, 4, 5, NO_BARRIER]),
+        st.sampled_from([0, 1, 2, 3, 4, 5, NO_BARRIER]),
+        st.integers(0, 63),
+        st.integers(0, 15),
+    )
+    def test_roundtrip(self, stall, yf, wb, rb, wait, reuse):
+        ctrl = ControlInfo(
+            stall=stall,
+            yield_flag=yf,
+            write_bar=wb,
+            read_bar=rb,
+            wait_mask=wait,
+            reuse=reuse,
+        )
+        assert ControlInfo.decode(ctrl.encode()) == ctrl

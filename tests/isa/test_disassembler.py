@@ -1,0 +1,130 @@
+"""Tests for the disassembler: the toolchain's closing loop."""
+
+import numpy as np
+
+from repro.core import KernelConfig, ours
+from repro.core.builder import HgemmProblem, build_hgemm
+from repro.isa import (
+    assemble,
+    disassemble,
+    disassemble_to_program,
+    encode_program,
+)
+from repro.sim import FunctionalSimulator, GlobalMemory
+
+SOURCE = """
+.kernel demo
+.regs 64
+.smem 1024
+.block 64
+START:
+  S2R R1, SR_TID.X {stall=6}
+  MOV32I R2, 0x1234
+LOOP:
+  HMMA.1688.F16 R4, R8, R10, R4 {stall=8}
+  LDG.E.64 R16, [R2+0x40] {wb=0}
+  STS.128 [R20], R16 {wait=0b1, stall=2}
+  IADD3 R1, R1, -1, RZ
+  ISETP.NE.AND P0, PT, R1, RZ, PT {stall=6}
+  @P0 BRA LOOP {stall=5}
+  EXIT
+"""
+
+
+class TestTextRoundTrip:
+    def test_reassembles(self):
+        prog = assemble(SOURCE)
+        text = disassemble(encode_program(prog), prog.meta)
+        prog2 = assemble(text)
+        assert len(prog2) == len(prog)
+        assert prog2.meta.num_regs == prog.meta.num_regs
+        assert prog2.meta.smem_bytes == prog.meta.smem_bytes
+
+    def test_binary_fixed_point(self):
+        # disassemble(encode(p)) must re-encode to the identical binary.
+        prog = assemble(SOURCE)
+        blob = encode_program(prog)
+        blob2 = encode_program(assemble(disassemble(blob, prog.meta)))
+        assert blob2 == blob
+
+    def test_synthetic_labels_at_targets(self):
+        prog = assemble(SOURCE)
+        text = disassemble(encode_program(prog), prog.meta)
+        assert "L0:" in text
+        assert "BRA L0" in text
+
+    def test_meta_directives_optional(self):
+        prog = assemble("NOP\nEXIT")
+        text = disassemble(encode_program(prog))
+        assert ".kernel" not in text
+        assert "NOP" in text
+
+    def test_default_control_suppressed(self):
+        prog = assemble("NOP\nEXIT")
+        text = disassemble(encode_program(prog))
+        assert "{stall=1}" not in text
+
+
+class TestProgramRoundTrip:
+    def test_executes_identically(self):
+        src = """
+        .block 32
+          S2R R1, SR_TID.X {stall=6}
+          IMAD R2, R1, 4, RZ {stall=6}
+          MOV32I R3, 0
+        LOOP:
+          IADD3 R3, R3, R1, RZ
+          IADD3 R4, R4, 1, RZ {stall=6}
+          ISETP.LT.AND P0, PT, R4, 3, PT {stall=6}
+          @P0 BRA LOOP {stall=5}
+          STG.E.32 [R2], R3 {stall=4}
+          EXIT
+        """
+        prog = assemble(src)
+        prog2 = disassemble_to_program(encode_program(prog), prog.meta)
+
+        out = []
+        for p in (prog, prog2):
+            gm = GlobalMemory(1024)
+            FunctionalSimulator().run(p, gm)
+            out.append(gm.read_array(0, np.uint32, 32))
+        np.testing.assert_array_equal(out[0], out[1])
+        assert np.all(out[0] == np.arange(32) * 3)
+
+
+class TestGeneratedKernels:
+    """The whole generated-kernel family must survive the binary loop."""
+
+    def test_hgemm_kernels_encodable_and_fixed_point(self):
+        tiny = KernelConfig(b_m=64, b_n=64, b_k=16, w_m=32, w_n=32, w_k=8)
+        for cfg in (ours(), tiny):
+            prog = build_hgemm(cfg, HgemmProblem(
+                cfg.b_m, cfg.b_n, 2 * cfg.b_k, 0, 1 << 22, 1 << 23))
+            blob = encode_program(prog)
+            assert len(blob) == 16 * len(prog)
+            text = disassemble(blob, prog.meta)
+            blob2 = encode_program(assemble(text))
+            assert blob2 == blob
+
+    def test_decoded_hgemm_still_computes(self):
+        cfg = KernelConfig(b_m=64, b_n=64, b_k=16, w_m=32, w_n=32, w_k=8)
+        m, n, k = 64, 64, 32
+        prob = HgemmProblem(m, n, k, 0, 1 << 20, 1 << 21)
+        prog = build_hgemm(cfg, prob)
+        prog2 = disassemble_to_program(encode_program(prog), prog.meta)
+
+        rng = np.random.default_rng(0)
+        a = rng.uniform(-1, 1, (m, k)).astype(np.float16)
+        b = rng.uniform(-1, 1, (k, n)).astype(np.float16)
+        gm = GlobalMemory(4 << 20)
+        gm.write_array(0, a)
+        gm.write_array(1 << 20, np.ascontiguousarray(b.T))
+        FunctionalSimulator().run(prog2, gm, grid_dim=cfg.grid_dim(m, n))
+        c = gm.read_array(1 << 21, np.float16, m * n).reshape(m, n)
+
+        acc = np.zeros((m, n), np.float16)
+        for s in range(0, k, 8):
+            acc = (a[:, s:s + 8].astype(np.float32)
+                   @ b[s:s + 8].astype(np.float32)
+                   + acc.astype(np.float32)).astype(np.float16)
+        np.testing.assert_array_equal(c, acc)

@@ -1,0 +1,217 @@
+"""Round-trip tests for the 128-bit binary encoding."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import (
+    ControlInfo,
+    EncodingError,
+    Imm,
+    Instruction,
+    MemRef,
+    MOD_TABLES,
+    PT,
+    Pred,
+    Reg,
+    assemble,
+    decode_instruction,
+    decode_program,
+    encode_instruction,
+    encode_program,
+    INSTRUCTION_BYTES,
+)
+
+
+def roundtrip(inst: Instruction) -> Instruction:
+    word = encode_instruction(inst)
+    assert 0 <= word < (1 << 128)
+    return decode_instruction(word)
+
+
+class TestBasicRoundTrips:
+    def test_nop(self):
+        inst = Instruction("NOP")
+        assert roundtrip(inst) == inst
+
+    def test_hmma(self):
+        inst = Instruction(
+            "HMMA",
+            dests=(Reg(0),),
+            srcs=(Reg(2), Reg(6), Reg(4)),
+            mods=("1688", "F16"),
+            ctrl=ControlInfo(stall=8),
+        )
+        assert roundtrip(inst) == inst
+
+    def test_predicated(self):
+        inst = Instruction("NOP", pred=Pred(3, negated=True))
+        assert roundtrip(inst) == inst
+
+    def test_mov32i(self):
+        inst = Instruction("MOV32I", dests=(Reg(1),), srcs=(Imm(0xDEADBEEF - 2**32),))
+        got = roundtrip(inst)
+        assert got.srcs[0].unsigned == 0xDEADBEEF
+
+    def test_ldg_with_memref(self):
+        inst = Instruction(
+            "LDG",
+            dests=(Reg(16),),
+            srcs=(MemRef(Reg(2), 0x100),),
+            mods=("E", "CG", "128"),
+            ctrl=ControlInfo(stall=1, write_bar=2),
+        )
+        assert roundtrip(inst) == inst
+
+    def test_negative_mem_offset(self):
+        inst = Instruction(
+            "LDS", dests=(Reg(0),), srcs=(MemRef(Reg(1), -64),), mods=()
+        )
+        assert roundtrip(inst) == inst
+
+    def test_sts(self):
+        inst = Instruction(
+            "STS", srcs=(MemRef(Reg(20), 8), Reg(16)), mods=("128",)
+        )
+        assert roundtrip(inst) == inst
+
+    def test_isetp(self):
+        inst = Instruction(
+            "ISETP",
+            dests=(Pred(0), PT),
+            srcs=(Reg(1), Reg(255), PT),
+            mods=("GT", "AND"),
+        )
+        assert roundtrip(inst) == inst
+
+    def test_branch_target_index(self):
+        inst = Instruction("BRA", target="X", target_index=17)
+        got = roundtrip(inst)
+        assert got.target_index == 17
+
+
+class TestEncodingErrors:
+    def test_unresolved_branch(self):
+        inst = Instruction("BRA", target="X")
+        with pytest.raises(EncodingError, match="unresolved"):
+            encode_instruction(inst)
+
+    def test_two_wide_operands(self):
+        inst = Instruction("IADD3", dests=(Reg(0),),
+                           srcs=(Imm(1 << 20), Imm(2 << 20), Reg(3)))
+        with pytest.raises(EncodingError, match="wide"):
+            encode_instruction(inst)
+
+    def test_small_second_immediate_uses_narrow_slot(self):
+        # IMAD Rd, Ra, 4, 0x1000: the small multiplier rides the 8-bit
+        # narrow slot, the large addend gets the wide field.
+        inst = Instruction("IMAD", dests=(Reg(2),),
+                           srcs=(Reg(1), Imm(4), Imm(0x1000)))
+        got = roundtrip(inst)
+        assert [s.value for s in got.srcs[1:]] == [4, 0x1000]
+
+    def test_memref_beats_small_imm_for_wide_slot(self):
+        inst = Instruction("LDS", dests=(Reg(0),),
+                           srcs=(MemRef(Reg(1), 64),), mods=())
+        assert roundtrip(inst) == inst
+
+    def test_unknown_modifier_combo(self):
+        inst = Instruction("LDG", dests=(Reg(0),), srcs=(MemRef(Reg(1)),), mods=("Z",))
+        with pytest.raises(EncodingError, match="modifiers"):
+            encode_instruction(inst)
+
+    def test_bad_blob_length(self):
+        with pytest.raises(EncodingError, match="multiple"):
+            decode_program(b"\x00" * 7)
+
+
+class TestProgramImage:
+    SOURCE = """
+    .kernel img
+    LOOP:
+      HMMA.1688.F16 R4, R8, R10, R4 {stall=8}
+      LDG.E.64 R16, [R2+0x40] {wb=0}
+      STS [R20], R16 {wait=0b1}
+      IADD3 R1, R1, -1, RZ
+      ISETP.NE.AND P0, PT, R1, RZ, PT
+      @P0 BRA LOOP {stall=5}
+      EXIT
+    """
+
+    def test_image_size(self):
+        prog = assemble(self.SOURCE)
+        blob = encode_program(prog)
+        assert len(blob) == len(prog) * INSTRUCTION_BYTES
+
+    def test_program_roundtrip(self):
+        prog = assemble(self.SOURCE)
+        decoded = decode_program(encode_program(prog))
+        assert len(decoded) == len(prog)
+        for orig, got in zip(prog, decoded):
+            assert got.opcode == orig.opcode
+            assert got.mods == orig.mods
+            assert got.dests == orig.dests
+            assert got.ctrl == orig.ctrl
+            assert got.pred == orig.pred
+            # Immediates normalise to unsigned 32-bit on decode.
+            assert len(got.srcs) == len(orig.srcs)
+            for a, b in zip(got.srcs, orig.srcs):
+                if isinstance(b, Imm):
+                    assert isinstance(a, Imm) and a.unsigned == b.unsigned
+                else:
+                    assert a == b
+            if orig.target_index is not None:
+                assert got.target_index == orig.target_index
+
+
+_ALU_OPS = st.sampled_from(["MOV", "IADD3", "IMAD", "SEL"])
+
+
+@st.composite
+def alu_instructions(draw):
+    opcode = draw(_ALU_OPS)
+    n_srcs = {"MOV": 1, "IADD3": 3, "IMAD": 3, "SEL": 3}[opcode]
+    srcs = []
+    wide_allowed = True
+    for i in range(n_srcs):
+        if opcode == "SEL" and i == 2:
+            srcs.append(Pred(draw(st.integers(0, 7))))
+            continue
+        if wide_allowed and draw(st.booleans()):
+            srcs.append(Imm(draw(st.integers(-(2**31), 2**32 - 1))))
+            wide_allowed = False
+        else:
+            srcs.append(Reg(draw(st.integers(0, 255))))
+    mods = () if opcode != "IMAD" else draw(st.sampled_from(MOD_TABLES["IMAD"]))
+    pred = None
+    if draw(st.booleans()):
+        pred = Pred(draw(st.integers(0, 7)), negated=draw(st.booleans()))
+    ctrl = ControlInfo(
+        stall=draw(st.integers(0, 15)),
+        yield_flag=draw(st.booleans()),
+        write_bar=draw(st.sampled_from([0, 3, 5, 7])),
+        read_bar=draw(st.sampled_from([0, 2, 7])),
+        wait_mask=draw(st.integers(0, 63)),
+        reuse=draw(st.integers(0, 15)),
+    )
+    return Instruction(
+        opcode, dests=(Reg(draw(st.integers(0, 255))),), srcs=tuple(srcs),
+        mods=mods, pred=pred, ctrl=ctrl,
+    )
+
+
+class TestPropertyRoundTrip:
+    @settings(max_examples=200)
+    @given(alu_instructions())
+    def test_alu_roundtrip(self, inst):
+        got = roundtrip(inst)
+        # Immediates normalise to their unsigned 32-bit value.
+        assert got.opcode == inst.opcode
+        assert got.dests == inst.dests
+        assert got.pred == inst.pred
+        assert got.ctrl == inst.ctrl
+        assert len(got.srcs) == len(inst.srcs)
+        for a, b in zip(got.srcs, inst.srcs):
+            if isinstance(b, Imm):
+                assert isinstance(a, Imm) and a.unsigned == b.unsigned
+            else:
+                assert a == b

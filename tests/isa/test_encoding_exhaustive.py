@@ -1,0 +1,117 @@
+"""Exhaustive/property coverage of the binary encoding across the ISA.
+
+Every opcode, every modifier set in the canonical tables, and randomized
+operand/control combinations must survive the 128-bit round trip.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import (
+    ControlInfo,
+    Imm,
+    Instruction,
+    MemRef,
+    MOD_TABLES,
+    OPCODES,
+    PT,
+    Pred,
+    Reg,
+    decode_instruction,
+    encode_instruction,
+)
+
+#: Operand templates per opcode: (dests, srcs) builders.
+def _operands_for(opcode, reg):
+    r = lambda i: Reg((reg + i) % 255)
+    mem = MemRef(r(1), (reg % 1000) * 4)
+    table = {
+        "NOP": ((), ()),
+        "EXIT": ((), ()),
+        "BAR": ((), ()),
+        "MOV": ((r(0),), (r(1),)),
+        "MOV32I": ((r(0),), (Imm(reg * 7919 % (2**32)),)),
+        "IADD3": ((r(0),), (r(1), r(2), r(3))),
+        "IMAD": ((r(0),), (r(1), r(2), r(3))),
+        "SHF": ((r(0),), (r(1), r(2))),
+        "LOP3": ((r(0),), (r(1), r(2))),
+        "ISETP": ((Pred(reg % 7), PT), (r(1), r(2), PT)),
+        "SEL": ((r(0),), (r(1), r(2), Pred(reg % 7))),
+        "S2R": ((r(0),), ()),       # special source added separately
+        "CS2R": ((r(0),), ()),
+        "HMMA": ((r(0),), (r(2), r(6), r(4))),
+        "IMMA": ((r(0),), (r(2), r(6), r(4))),
+        "HFMA2": ((r(0),), (r(1), r(2), r(3))),
+        "LDG": ((r(0),), (mem,)),
+        "STG": ((), (mem, r(2))),
+        "LDS": ((r(0),), (mem,)),
+        "STS": ((), (mem, r(2))),
+        "BRA": ((), ()),
+    }
+    return table[opcode]
+
+
+def roundtrip_equal(inst):
+    got = decode_instruction(encode_instruction(inst))
+    assert got.opcode == inst.opcode
+    assert got.mods == inst.mods
+    assert got.dests == inst.dests
+    assert got.pred == inst.pred
+    assert got.ctrl == inst.ctrl
+    assert len(got.srcs) == len(inst.srcs)
+    for a, b in zip(got.srcs, inst.srcs):
+        if isinstance(b, Imm):
+            assert isinstance(a, Imm) and a.unsigned == b.unsigned
+        else:
+            assert a == b
+    if inst.target_index is not None:
+        assert got.target_index == inst.target_index
+
+
+class TestEveryOpcodeAndModifier:
+    @pytest.mark.parametrize("opcode", sorted(OPCODES))
+    def test_all_canonical_modifier_sets(self, opcode):
+        from repro.isa.operands import SpecialReg
+
+        for mods in MOD_TABLES[opcode]:
+            dests, srcs = _operands_for(opcode, reg=40)
+            kwargs = {}
+            if opcode in ("S2R", "CS2R"):
+                srcs = (SpecialReg("SR_TID.X"),)
+            if opcode == "BRA":
+                kwargs["target"] = "X"
+                kwargs["target_index"] = 5
+            inst = Instruction(opcode, dests=dests, srcs=srcs, mods=mods,
+                               **kwargs)
+            roundtrip_equal(inst)
+
+
+class TestRandomizedControlAndGuards:
+    @settings(max_examples=120)
+    @given(
+        opcode=st.sampled_from(sorted(OPCODES)),
+        reg=st.integers(0, 250),
+        stall=st.integers(0, 15),
+        wait=st.integers(0, 63),
+        wb=st.sampled_from([0, 1, 5, 7]),
+        guard=st.one_of(st.none(),
+                        st.builds(Pred, st.integers(0, 7), st.booleans())),
+    )
+    def test_roundtrip(self, opcode, reg, stall, wait, wb, guard):
+        from repro.isa.operands import SpecialReg
+
+        dests, srcs = _operands_for(opcode, reg)
+        kwargs = {}
+        if opcode in ("S2R", "CS2R"):
+            srcs = (SpecialReg("SR_CLOCKLO"),)
+        if opcode == "BRA":
+            kwargs["target"] = "L"
+            kwargs["target_index"] = reg
+        inst = Instruction(
+            opcode, dests=dests, srcs=srcs,
+            mods=MOD_TABLES[opcode][reg % len(MOD_TABLES[opcode])],
+            pred=guard,
+            ctrl=ControlInfo(stall=stall, wait_mask=wait, write_bar=wb),
+            **kwargs,
+        )
+        roundtrip_equal(inst)

@@ -1,0 +1,97 @@
+"""Tests for operand types."""
+
+import pytest
+
+from repro.isa import Imm, MemRef, PT, Pred, Reg, RZ, SpecialReg
+from repro.isa.operands import PT_INDEX, RZ_INDEX
+
+
+class TestReg:
+    def test_str(self):
+        assert str(Reg(0)) == "R0"
+        assert str(Reg(254)) == "R254"
+        assert str(RZ) == "RZ"
+
+    def test_rz_flag(self):
+        assert RZ.is_rz
+        assert not Reg(0).is_rz
+        assert RZ.index == RZ_INDEX
+
+    def test_offset(self):
+        assert Reg(8).offset(3) == Reg(11)
+
+    def test_offset_of_rz_stays_rz(self):
+        assert RZ.offset(2) is RZ
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            Reg(256)
+        with pytest.raises(ValueError):
+            Reg(-1)
+
+    def test_hashable_equality(self):
+        assert Reg(5) == Reg(5)
+        assert len({Reg(5), Reg(5), Reg(6)}) == 2
+
+
+class TestPred:
+    def test_str(self):
+        assert str(Pred(0)) == "P0"
+        assert str(Pred(2, negated=True)) == "!P2"
+        assert str(PT) == "PT"
+
+    def test_pt(self):
+        assert PT.is_pt
+        assert PT.index == PT_INDEX
+
+    def test_negate(self):
+        assert Pred(1).negate() == Pred(1, negated=True)
+        assert Pred(1).negate().negate() == Pred(1)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            Pred(8)
+
+
+class TestImm:
+    def test_unsigned_of_negative(self):
+        assert Imm(-1).unsigned == 0xFFFFFFFF
+        assert Imm(-2**31).unsigned == 0x80000000
+
+    def test_range_check(self):
+        Imm(2**32 - 1)
+        with pytest.raises(ValueError):
+            Imm(2**32)
+        with pytest.raises(ValueError):
+            Imm(-(2**31) - 1)
+
+    def test_str_small_decimal(self):
+        assert str(Imm(4)) == "4"
+        assert str(Imm(255)) == "0xff"
+
+
+class TestMemRef:
+    def test_str(self):
+        assert str(MemRef(Reg(4))) == "[R4]"
+        assert str(MemRef(Reg(4), 0x80)) == "[R4+0x80]"
+        assert str(MemRef(Reg(4), -8)) == "[R4-0x8]"
+
+    def test_offset_range(self):
+        MemRef(Reg(0), 2**23 - 1)
+        with pytest.raises(ValueError):
+            MemRef(Reg(0), 2**23)
+
+
+class TestSpecialReg:
+    def test_known_names(self):
+        assert SpecialReg("SR_TID.X").code == 0
+        assert SpecialReg("SR_CLOCKLO").code == 7
+
+    def test_roundtrip_code(self):
+        for name in ("SR_TID.X", "SR_CTAID.Y", "SR_LANEID", "SR_CLOCKLO"):
+            sr = SpecialReg(name)
+            assert SpecialReg.from_code(sr.code) == sr
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            SpecialReg("SR_BOGUS")

@@ -1,0 +1,84 @@
+"""Tests for the Device front end."""
+
+import numpy as np
+import pytest
+
+from repro.arch import RTX2070, T4
+from repro.isa import assemble
+from repro.sim import Device
+
+STORE_TID = """
+.block 64
+  S2R R1, SR_TID.X
+  IMAD R2, R1, 4, 0x100
+  STG.E.32 [R2], R1
+  EXIT
+"""
+
+
+class TestAllocation:
+    def test_malloc_aligned_and_disjoint(self):
+        dev = Device(RTX2070, memory_bytes=1 << 20)
+        a = dev.malloc(100)
+        b = dev.malloc(100)
+        assert a % 256 == 0 and b % 256 == 0
+        assert b >= a + 100
+        assert a != 0  # address 0 stays unmapped
+
+    def test_oom(self):
+        dev = Device(RTX2070, memory_bytes=4096)
+        with pytest.raises(MemoryError):
+            dev.malloc(1 << 20)
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            Device(RTX2070, memory_bytes=4096).malloc(0)
+
+    def test_malloc_array_roundtrip(self):
+        dev = Device(RTX2070, memory_bytes=1 << 20)
+        data = np.arange(100, dtype=np.float16)
+        addr = dev.malloc_array(data)
+        np.testing.assert_array_equal(
+            dev.memcpy_dtoh(addr, np.float16, 100), data)
+
+
+class TestLaunch:
+    def test_functional_launch(self):
+        dev = Device(RTX2070, memory_bytes=1 << 20)
+        stats = dev.launch(assemble(STORE_TID))
+        assert stats.ctas_run == 1
+        np.testing.assert_array_equal(
+            dev.memcpy_dtoh(0x100, np.uint32, 64), np.arange(64))
+
+    def test_grid_launch(self):
+        src = """
+        .block 32
+          S2R R1, SR_CTAID.X
+          IMAD R2, R1, 4, 0x100
+          STG.E.32 [R2], R1
+          EXIT
+        """
+        dev = Device(RTX2070, memory_bytes=1 << 20)
+        dev.launch(assemble(src), grid=(4, 1))
+        np.testing.assert_array_equal(
+            dev.memcpy_dtoh(0x100, np.uint32, 4), np.arange(4))
+
+    def test_timed_launch(self):
+        dev = Device(RTX2070, memory_bytes=1 << 20)
+        timing = dev.launch_timed(assemble(STORE_TID))
+        assert timing.cycles > 0
+        assert timing.seconds == pytest.approx(
+            RTX2070.cycles_to_seconds(timing.cycles))
+
+    def test_timed_launch_device_clock(self):
+        # The same cycle count converts through each device's own clock.
+        prog = assemble(STORE_TID)
+        t_fast = Device(RTX2070, memory_bytes=1 << 20).launch_timed(prog)
+        t_slow = Device(T4, memory_bytes=1 << 20).launch_timed(prog)
+        assert t_fast.seconds < t_slow.seconds or \
+            t_fast.cycles != t_slow.cycles
+
+    def test_bandwidth_share_default(self):
+        dev = Device(RTX2070, memory_bytes=1 << 20)
+        timing = dev.launch_timed(assemble(STORE_TID), bandwidth_share=1.0)
+        assert timing.cycles > 0

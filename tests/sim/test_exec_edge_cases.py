@@ -1,0 +1,147 @@
+"""Edge-case tests for the functional executors: wraparound, shift
+masking, predicate interplay, and address arithmetic at the corners."""
+
+import numpy as np
+import pytest
+
+from repro.arch import PredicateFile, RegisterFile
+from repro.isa import assemble
+from repro.sim.exec_units import execute
+from repro.sim.memory import GlobalMemory
+from repro.sim.shared import SharedMemory
+
+
+class Ctx:
+    def __init__(self):
+        self.regs = RegisterFile()
+        self.preds = PredicateFile()
+        self.tid = np.arange(32, dtype=np.uint32)
+        self.lane_ids = np.arange(32, dtype=np.uint32)
+        self.ctaid = (0, 0, 0)
+        self.global_mem = GlobalMemory(64 * 1024)
+        self.shared_mem = SharedMemory(16 * 1024)
+
+    def clock(self):
+        return 0
+
+
+def run1(ctx, line):
+    prog = assemble(line + "\nEXIT")
+    eff = execute(prog[0], ctx)
+    for first, values, mask in eff.reg_writes:
+        ctx.regs.write_group(first, values, mask=None if mask.all() else mask)
+    for idx, values, mask in eff.pred_writes:
+        ctx.preds.write(idx, values, mask=None if mask.all() else mask)
+    return eff
+
+
+class TestIntegerWraparound:
+    def test_iadd3_unsigned_overflow(self):
+        ctx = Ctx()
+        ctx.regs.write(1, np.full(32, 0xFFFFFFFF, np.uint32))
+        run1(ctx, "IADD3 R0, R1, 1, RZ")
+        assert np.all(ctx.regs.read(0) == 0)
+
+    def test_imad_wraps_modulo_32(self):
+        ctx = Ctx()
+        ctx.regs.write(1, np.full(32, 0x10000, np.uint32))
+        ctx.regs.write(2, np.full(32, 0x10000, np.uint32))
+        run1(ctx, "IMAD R0, R1, R2, 7")  # 2^32 + 7 mod 2^32
+        assert np.all(ctx.regs.read(0) == 7)
+
+    def test_imad_signed_operands(self):
+        ctx = Ctx()
+        ctx.regs.write(1, np.full(32, 0xFFFFFFFE, np.uint32))  # -2
+        run1(ctx, "IMAD R0, R1, 3, RZ")                        # -6
+        assert np.all(ctx.regs.read(0) == 0xFFFFFFFA)
+
+
+class TestShiftMasking:
+    def test_shift_amount_masked_to_5_bits(self):
+        ctx = Ctx()
+        ctx.regs.write(1, np.full(32, 0b1, np.uint32))
+        run1(ctx, "SHF.L R0, R1, 33")  # 33 & 31 == 1
+        assert np.all(ctx.regs.read(0) == 2)
+
+    def test_logical_right_shift(self):
+        ctx = Ctx()
+        ctx.regs.write(1, np.full(32, 0x80000000, np.uint32))
+        run1(ctx, "SHF.R R0, R1, 31")
+        assert np.all(ctx.regs.read(0) == 1)  # logical, not arithmetic
+
+    def test_shift_by_register(self):
+        ctx = Ctx()
+        ctx.regs.write(1, np.full(32, 4, np.uint32))
+        ctx.regs.write(2, np.arange(32, dtype=np.uint32) % 3)
+        run1(ctx, "SHF.L R0, R1, R2")
+        expected = 4 << (np.arange(32) % 3)
+        np.testing.assert_array_equal(ctx.regs.read(0), expected)
+
+
+class TestPredicateCombinators:
+    def test_isetp_and_combine_with_false(self):
+        ctx = Ctx()
+        ctx.regs.write(1, np.zeros(32, np.uint32))
+        run1(ctx, "ISETP.EQ.AND P0, PT, R1, RZ, !PT")  # combine with false
+        assert not np.any(ctx.preds.read(0))
+
+    def test_isetp_negated_combine_pred(self):
+        ctx = Ctx()
+        vals = np.zeros(32, bool)
+        vals[:16] = True
+        ctx.preds.write(1, vals)
+        ctx.regs.write(2, np.zeros(32, np.uint32))
+        run1(ctx, "ISETP.EQ.AND P0, PT, R2, RZ, !P1")
+        np.testing.assert_array_equal(ctx.preds.read(0), ~vals)
+
+    def test_sel_with_negated_pred(self):
+        ctx = Ctx()
+        ctx.regs.write(1, np.full(32, 5, np.uint32))
+        ctx.regs.write(2, np.full(32, 9, np.uint32))
+        run1(ctx, "SEL R0, R1, R2, !PT")  # !PT = false -> picks b
+        assert np.all(ctx.regs.read(0) == 9)
+
+
+class TestMemoryEdges:
+    def test_negative_memref_offset(self):
+        ctx = Ctx()
+        ctx.global_mem.write_array(0x100, np.arange(32, dtype=np.uint32))
+        run1(ctx, "S2R R1, SR_TID.X")
+        run1(ctx, "IMAD R2, R1, 4, 0x180")
+        run1(ctx, "LDG.E.32 R3, [R2-0x80]")
+        np.testing.assert_array_equal(ctx.regs.read(3), np.arange(32))
+
+    def test_store_then_partial_overwrite(self):
+        ctx = Ctx()
+        run1(ctx, "S2R R1, SR_TID.X")
+        run1(ctx, "IMAD R2, R1, 4, RZ")
+        run1(ctx, "MOV32I R3, 0x11111111")
+        run1(ctx, "STS [R2], R3")
+        # Odd lanes overwrite with a different value.
+        odd = np.zeros(32, bool)
+        odd[1::2] = True
+        ctx.preds.write(0, odd)
+        run1(ctx, "MOV32I R4, 0x22222222")
+        run1(ctx, "@P0 STS [R2], R4")
+        run1(ctx, "LDS R5, [R2]")
+        vals = ctx.regs.read(5)
+        assert np.all(vals[0::2] == 0x11111111)
+        assert np.all(vals[1::2] == 0x22222222)
+
+    def test_widest_load_at_boundary(self):
+        ctx = Ctx()
+        size = ctx.shared_mem.size
+        run1(ctx, "S2R R1, SR_TID.X")
+        run1(ctx, "IMAD R2, R1, 16, RZ")
+        base = size - 32 * 16
+        run1(ctx, f"IADD3 R2, R2, {base}, RZ")
+        run1(ctx, "LDS.128 R4, [R2]")  # exactly touches the last byte
+
+    def test_one_past_boundary_faults(self):
+        ctx = Ctx()
+        size = ctx.shared_mem.size
+        run1(ctx, "S2R R1, SR_TID.X")
+        run1(ctx, "IMAD R2, R1, 16, RZ")
+        run1(ctx, f"IADD3 R2, R2, {size - 32 * 16 + 16}, RZ")
+        with pytest.raises(IndexError):
+            run1(ctx, "LDS.128 R4, [R2]")

@@ -1,0 +1,367 @@
+"""Tests for the cycle-level SM timing simulator.
+
+These pin the paper's Table I behaviours: HMMA CPI ~8, D-half latencies of
+10 and 14 cycles observable through under-stalled consumers, and memory-pipe
+CPIs flowing through to issue timing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import RTX2070
+from repro.isa import ProgramBuilder, Reg, assemble
+from repro.sim import GlobalMemory, TimingSimulator
+from repro.sim.exec_units import ExecError
+
+
+def run(program, mem_size=1 << 20, num_ctas=1):
+    gm = GlobalMemory(mem_size)
+    sim = TimingSimulator(RTX2070)
+    result = sim.run(program, gm, num_ctas=num_ctas)
+    return result, gm
+
+
+def hmma_loop_program(n_hmma=64, iters=4):
+    """A CPI microbenchmark loop: n_hmma HMMAs, loop control hidden."""
+    b = ProgramBuilder(name="hmma_cpi", num_regs=32, block_dim=32)
+    b.mov32i(1, iters, stall=2)
+    b.cs2r_clock(20, stall=2)
+    b.label("LOOP")
+    for _ in range(n_hmma):
+        b.hmma_1688(4, 8, 10, 4, stall=8)
+    b.iadd3(1, Reg(1), -1, stall=6)
+    b.isetp(b_pred(0), Reg(1), 0, cmp="GT", stall=6)
+    b.bra("LOOP", pred=b_pred(0), stall=5)
+    b.cs2r_clock(21, stall=2)
+    # store both clocks
+    b.s2r(2, "SR_TID.X", stall=6)
+    b.imad(3, Reg(2), 4, 0, stall=6)
+    b.stg(3, 20, width=32, stall=4)
+    b.imad(3, Reg(2), 4, 128, stall=6)
+    b.stg(3, 21, width=32, stall=4)
+    b.exit()
+    return b.build(), n_hmma * iters
+
+
+def b_pred(i):
+    from repro.isa import Pred
+
+    return Pred(i)
+
+
+class TestHmmaCpi:
+    def test_cpi_close_to_8(self):
+        prog, total = hmma_loop_program(n_hmma=64, iters=4)
+        result, gm = run(prog)
+        start = gm.read_array(0, np.uint32, 1)[0]
+        stop = gm.read_array(128, np.uint32, 1)[0]
+        cpi = (int(stop) - int(start)) / total
+        # Paper Table I: theoretical 8.00, measured 8.06 (loop overhead).
+        assert 8.0 <= cpi <= 8.6
+
+    def test_pipe_busy_accounting(self):
+        prog, total = hmma_loop_program(n_hmma=16, iters=2)
+        result, _ = run(prog)
+        assert result.opcode_counts["HMMA"] == 32
+        assert result.pipe_busy["tensor"] == pytest.approx(32 * 8.0)
+
+    def test_four_warps_share_schedulers_perfectly(self):
+        # 4 warps -> one per scheduler -> each has its own tensor pipe:
+        # aggregate HMMA throughput scales 4x (no interference).
+        b = ProgramBuilder(name="par", block_dim=128)
+        for _ in range(32):
+            b.hmma_1688(4, 8, 10, 4, stall=8)
+        b.exit()
+        result, _ = run(b.build())
+        # 32 HMMAs x 8 cycles, concurrent across 4 warps: ~256 cycles total.
+        assert result.cycles <= 300
+        assert result.opcode_counts["HMMA"] == 128
+
+    def test_two_warps_same_scheduler_serialize(self):
+        # 8 warps -> 2 per scheduler sharing one tensor pipe: ~2x cycles.
+        b = ProgramBuilder(name="par8", block_dim=256)
+        for _ in range(32):
+            b.hmma_1688(4, 8, 10, 4, stall=8)
+        b.exit()
+        result, _ = run(b.build())
+        assert 480 <= result.cycles <= 600  # ~2 x 256
+
+
+class TestHmmaLatency:
+    """Reproduce the paper's stall-varying latency probe (Table I)."""
+
+    @staticmethod
+    def _probe(stall_cycles, half):
+        """HMMA writes D = R0,R1; a MOV snapshot taken exactly
+        ``stall_cycles`` after the HMMA issue reads half ``half`` of D.
+
+        Returns True iff the snapshot observed the HMMA result (not the
+        stale pre-HMMA register value).  The MOV runs on the ALU pipe, so
+        nothing else perturbs the issue offset -- this is the paper's
+        "vary the stall cycles and check if the output result is correct"
+        methodology verbatim.
+        """
+        from repro.hmma import (
+            COL_MAJOR,
+            matrix16x8_to_fragments,
+            matrix_to_fragment,
+        )
+
+        b = ProgramBuilder(name="lat", block_dim=32)
+        # Operand setup: load A, B fragments from global memory; D=C=0... but
+        # preload D registers with a sentinel so staleness is observable.
+        b.s2r(2, "SR_TID.X", stall=6)
+        b.imad(3, Reg(2), 4, 0, stall=6)          # lane*4
+        b.ldg(8, 3, offset=0x1000, width=32, stall=2, wb=0)    # A reg 0
+        b.ldg(9, 3, offset=0x1080, width=32, stall=2, wb=1)    # A reg 1
+        b.ldg(10, 3, offset=0x1100, width=32, stall=2, wb=2)   # B
+        b.mov(4, Reg(255), stall=1)
+        b.mov(5, Reg(255), stall=2)
+        b.mov32i(0, 0xDEAD, stall=2)
+        b.mov32i(1, 0xDEAD, stall=2, wait=(0, 1, 2))
+        b.hmma_1688(0, 8, 10, 4, stall=max(1, min(15, stall_cycles)))
+        b.mov(30, Reg(half), stall=6)             # the probe snapshot
+        b.nop(stall=15)                           # drain all latencies
+        b.stg(3, 30, offset=0x2000, width=32, stall=4)
+        b.exit()
+
+        gm = GlobalMemory(1 << 20)
+        rng = np.random.default_rng(42)
+        a = rng.uniform(-1, 1, (16, 8)).astype(np.float16)
+        bmat = rng.uniform(-1, 1, (8, 8)).astype(np.float16)
+        a_frags = matrix16x8_to_fragments(a)
+        gm.write_array(0x1000, a_frags[0])
+        gm.write_array(0x1080, a_frags[1])
+        gm.write_array(0x1100, matrix_to_fragment(bmat, COL_MAJOR))
+
+        TimingSimulator(RTX2070).run(b.build(), gm)
+
+        expected = (a.astype(np.float32) @ bmat.astype(np.float32)).astype(np.float16)
+        exp_frags = matrix16x8_to_fragments(expected)
+        got = gm.read_array(0x2000, np.uint32, 32)
+        if np.array_equal(got, exp_frags[half]):
+            return True
+        assert np.all(got == 0xDEAD), "snapshot is neither fresh nor stale"
+        return False
+
+    def test_first_half_latency_is_10(self):
+        # Paper Table I: first half of D ready after 10 cycles.
+        assert not self._probe(9, half=0)
+        assert self._probe(10, half=0)
+
+    def test_second_half_latency_is_14(self):
+        # Paper Table I: second half of D ready after 14 cycles.
+        assert not self._probe(13, half=1)
+        assert self._probe(14, half=1)
+
+    def test_second_half_stale_at_first_half_boundary(self):
+        assert not self._probe(10, half=1)
+
+    def test_both_halves_fresh_at_15(self):
+        assert self._probe(15, half=0)
+        assert self._probe(15, half=1)
+
+
+class TestBackToBackAccumulation:
+    def test_chained_hmma_forwarding(self):
+        """K accumulating HMMAs at 8-cycle spacing still produce the right
+        sum (intra-tensor-pipe forwarding), even though 8 < 10."""
+        from repro.hmma import (
+            COL_MAJOR,
+            fragments_to_matrix16x8,
+            matrix16x8_to_fragments,
+            matrix_to_fragment,
+        )
+
+        b = ProgramBuilder(name="chain", block_dim=32)
+        b.s2r(2, "SR_TID.X", stall=6)
+        b.imad(3, Reg(2), 4, 0, stall=6)
+        b.ldg(8, 3, offset=0x1000, width=32, stall=2, wb=0)
+        b.ldg(9, 3, offset=0x1080, width=32, stall=2, wb=1)
+        b.ldg(10, 3, offset=0x1100, width=32, stall=2, wb=2)
+        b.mov(4, Reg(255), stall=1)
+        b.mov(5, Reg(255), stall=2, wait=(0, 1, 2))
+        for _ in range(4):  # D += A@B four times, accumulator = R4,R5
+            b.hmma_1688(4, 8, 10, 4, stall=8)
+        # Wait out the final HMMA's architectural latency before storing.
+        b.nop(stall=15)
+        b.stg(3, 4, offset=0x2000, width=32, stall=4)
+        b.stg(3, 5, offset=0x2080, width=32, stall=4)
+        b.exit()
+
+        gm = GlobalMemory(1 << 20)
+        rng = np.random.default_rng(3)
+        a = rng.uniform(-1, 1, (16, 8)).astype(np.float16)
+        bmat = rng.uniform(-1, 1, (8, 8)).astype(np.float16)
+        frags = matrix16x8_to_fragments(a)
+        gm.write_array(0x1000, frags[0])
+        gm.write_array(0x1080, frags[1])
+        gm.write_array(0x1100, matrix_to_fragment(bmat, COL_MAJOR))
+
+        TimingSimulator(RTX2070).run(b.build(), gm)
+
+        regs = np.stack([
+            gm.read_array(0x2000, np.uint32, 32),
+            gm.read_array(0x2080, np.uint32, 32),
+        ])
+        got = fragments_to_matrix16x8(regs)
+        # Reference: 4 chained f16-rounded accumulations.
+        acc = np.zeros((16, 8), np.float16)
+        for _ in range(4):
+            acc = (a.astype(np.float32) @ bmat.astype(np.float32)
+                   + acc.astype(np.float32)).astype(np.float16)
+        np.testing.assert_array_equal(got, acc)
+
+
+class TestMemoryPipeTiming:
+    def _sts_loop(self, width, n=128, warmup=32, conflict_free=True):
+        # The MIO queue absorbs the first `depth` stores at 1/cycle; the
+        # paper measures thousands of instructions so the drain rate (the
+        # true CPI) dominates.  Warm the queue up before the first clock.
+        b = ProgramBuilder(name="sts_cpi", block_dim=32,
+                           smem_bytes=32 * 1024)
+        b.s2r(2, "SR_TID.X", stall=6)
+        stride = width // 8 if conflict_free else 128
+        b.imad(3, Reg(2), stride, 0, stall=6)
+        for _ in range(warmup):
+            b.sts(3, 8, width=width, stall=1)
+        b.cs2r_clock(20, stall=2)
+        for _ in range(n):
+            b.sts(3, 8, width=width, stall=1)
+        b.cs2r_clock(21, stall=2)
+        b.imad(4, Reg(2), 4, 0, stall=6)
+        b.stg(4, 20, width=32, stall=4)
+        b.stg(4, 21, offset=0x200, width=32, stall=4)
+        b.exit()
+        return b.build(), n
+
+    def _measure(self, program, n):
+        result, gm = run(program)
+        start = int(gm.read_array(0, np.uint32, 1)[0])
+        stop = int(gm.read_array(0x200, np.uint32, 1)[0])
+        return (stop - start) / n
+
+    def test_sts128_cpi(self):
+        prog, n = self._sts_loop(128)
+        cpi = self._measure(prog, n)
+        assert cpi == pytest.approx(RTX2070.sts_cpi.cpi(128), abs=0.6)
+
+    def test_sts32_cpi(self):
+        prog, n = self._sts_loop(32)
+        cpi = self._measure(prog, n)
+        assert cpi == pytest.approx(RTX2070.sts_cpi.cpi(32), abs=0.6)
+
+    def test_bank_conflicts_multiply_cost(self):
+        free_prog, n = self._sts_loop(32, conflict_free=True)
+        bad_prog, _ = self._sts_loop(32, conflict_free=False)
+        free_cpi = self._measure(free_prog, n)
+        bad_cpi = self._measure(bad_prog, n)
+        # Stride-128B STS.32: all lanes in one bank -> 32-way conflict.
+        assert bad_cpi / free_cpi == pytest.approx(32.0, rel=0.1)
+
+    def test_lsu_pipe_is_shared_across_warps(self):
+        # Two warps issuing STS concurrently share one memory-IO pipe:
+        # total time ~ 2x one warp's.
+        def build(block):
+            b = ProgramBuilder(name="share", block_dim=block,
+                               smem_bytes=32 * 1024)
+            b.s2r(2, "SR_TID.X", stall=6)
+            b.imad(3, Reg(2), 4, 0, stall=6)
+            for _ in range(32):
+                b.sts(3, 8, width=32, stall=1)
+            b.exit()
+            return b.build()
+
+        r1, _ = run(build(32))
+        r2, _ = run(build(64))
+        assert r2.cycles >= 1.7 * r1.cycles - 40
+
+
+class TestScoreboards:
+    def test_unwaited_load_reads_stale(self):
+        b = ProgramBuilder(name="stale", block_dim=32)
+        b.s2r(2, "SR_TID.X", stall=6)
+        b.imad(3, Reg(2), 4, 0, stall=6)
+        b.mov32i(8, 123, stall=6)
+        b.ldg(8, 3, offset=0x1000, width=32, stall=1, wb=0)
+        b.stg(3, 8, offset=0x2000, width=32, stall=4)  # no wait -> stale 123
+        b.exit()
+        gm = GlobalMemory(1 << 20)
+        gm.write_array(0x1000, np.full(32, 7, np.uint32))
+        TimingSimulator(RTX2070).run(b.build(), gm)
+        assert np.all(gm.read_array(0x2000, np.uint32, 32) == 123)
+
+    def test_waited_load_reads_fresh(self):
+        b = ProgramBuilder(name="fresh", block_dim=32)
+        b.s2r(2, "SR_TID.X", stall=6)
+        b.imad(3, Reg(2), 4, 0, stall=6)
+        b.mov32i(8, 123, stall=6)
+        b.ldg(8, 3, offset=0x1000, width=32, stall=1, wb=0)
+        b.stg(3, 8, offset=0x2000, width=32, stall=4, wait=(0,))
+        b.exit()
+        gm = GlobalMemory(1 << 20)
+        gm.write_array(0x1000, np.full(32, 7, np.uint32))
+        TimingSimulator(RTX2070).run(b.build(), gm)
+        assert np.all(gm.read_array(0x2000, np.uint32, 32) == 7)
+
+    def test_wait_delays_issue(self):
+        # The waiting store must issue after the DRAM round trip.
+        b = ProgramBuilder(name="delay", block_dim=32)
+        b.cs2r_clock(20, stall=2)
+        b.s2r(2, "SR_TID.X", stall=6)
+        b.imad(3, Reg(2), 4, 0, stall=6)
+        b.ldg(8, 3, offset=0x1000, width=32, stall=1, wb=0)
+        b.cs2r_clock(21, stall=2, wait=(0,))
+        b.imad(4, Reg(2), 4, 0, stall=6)
+        b.stg(4, 20, width=32, stall=4)
+        b.stg(4, 21, offset=0x200, width=32, stall=4)
+        b.exit()
+        gm = GlobalMemory(1 << 20)
+        TimingSimulator(RTX2070).run(b.build(), gm)
+        start = int(gm.read_array(0, np.uint32, 1)[0])
+        stop = int(gm.read_array(0x200, np.uint32, 1)[0])
+        assert stop - start >= RTX2070.ldg_latency_cycles
+
+
+class TestBarriersAndCompletion:
+    def test_barrier_sync_cycles(self):
+        # One warp spins 200 cycles; the other must wait at the barrier.
+        src = """
+        .block 64
+        .smem 128
+          S2R R1, SR_TID.X
+          ISETP.LT.AND P0, PT, R1, 32, PT {stall=6}
+          @!P0 BRA SKIP {stall=5}
+          MOV32I R2, 20 {stall=6}
+        SPIN:
+          IADD3 R2, R2, -1, RZ {stall=6}
+          ISETP.GT.AND P1, PT, R2, RZ, PT {stall=6}
+          @P1 BRA SPIN {stall=5}
+        SKIP:
+          BAR.SYNC {stall=1}
+          EXIT
+        """
+        result, _ = run(assemble(src))
+        assert result.cycles > 200  # the spin dominates
+
+    def test_all_warps_must_arrive(self):
+        result, _ = run(assemble(".block 96\nBAR.SYNC\nEXIT"))
+        assert result.cycles < 50
+
+    def test_multi_cta_runs_independently(self):
+        prog = assemble(".block 32\nNOP {stall=4}\nEXIT")
+        result, _ = run(prog, num_ctas=3)
+        assert result.cycles < 40
+
+
+class TestErrors:
+    def test_hang_detection(self):
+        src = ".block 32\nLOOP:\nBRA LOOP {stall=5}\n"
+        gm = GlobalMemory(64)
+        with pytest.raises(RuntimeError, match="hung"):
+            TimingSimulator(RTX2070).run(assemble(src), gm, max_cycles=10_000)
+
+    def test_pc_overrun(self):
+        src = ".block 32\nNOP\n"
+        with pytest.raises(ExecError, match="missing EXIT"):
+            TimingSimulator(RTX2070).run(assemble(src), GlobalMemory(64))

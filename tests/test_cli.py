@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_hgemm_args(self):
+        args = build_parser().parse_args(["hgemm", "64", "64", "32"])
+        assert (args.m, args.n, args.k) == (64, 64, 32)
+        assert args.kernel == "ours"
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_hgemm_ok(self, capsys):
+        assert main(["hgemm", "64", "64", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "bit-exact vs precision model: True" in out
+
+    def test_hgemm_cublas_kernel(self, capsys):
+        assert main(["hgemm", "128", "128", "64", "--kernel", "cublas"]) == 0
+        assert "cublas-like" in capsys.readouterr().out
+
+    def test_hgemm_f32(self, capsys):
+        assert main(["hgemm", "64", "64", "32", "--accumulate", "f32"]) == 0
+        assert "True" in capsys.readouterr().out
+
+    def test_roofline(self, capsys):
+        assert main(["roofline", "--device", "T4"]) == 0
+        out = capsys.readouterr().out
+        assert "Roofline on T4" in out
+        assert "memory" in out
+
+    def test_disasm(self, capsys):
+        assert main(["disasm"]) == 0
+        out = capsys.readouterr().out
+        assert "HMMA.1688.F16" in out
+
+    def test_disasm_small_problem_shrinks(self, capsys):
+        assert main(["disasm", "--m", "64", "--n", "64", "--k", "32"]) == 0
+        assert "HMMA" in capsys.readouterr().out
+
+    def test_disasm_binary_roundtrip(self, capsys):
+        assert main(["disasm", "--binary"]) == 0
+        out = capsys.readouterr().out
+        assert ".kernel" in out
+        assert "HMMA.1688.F16" in out
+
+    def test_verify_ours(self, capsys):
+        assert main(["verify", "--kernel", "ours", "--seeds", "1"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_verify_int8(self, capsys):
+        assert main(["verify", "--kernel", "int8", "--seeds", "1"]) == 0
+        assert "bit-exact" in capsys.readouterr().out

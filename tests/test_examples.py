@@ -1,0 +1,40 @@
+"""Smoke tests: the example scripts must run to their final OK.
+
+The heavyweight examples (full sweeps, autotuning) are exercised through
+their library entry points elsewhere; here we run the quick ones end to
+end as a user would.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "write_sass_by_hand.py",
+    "choose_blocking.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "OK" in proc.stdout
+
+
+def test_examples_all_present():
+    expected = {
+        "quickstart.py", "demystify_tensor_core.py",
+        "microbenchmark_memory.py", "choose_blocking.py",
+        "deep_learning_layers.py", "write_sass_by_hand.py",
+        "autotune_kernel.py",
+    }
+    assert expected <= {p.name for p in EXAMPLES.glob("*.py")}

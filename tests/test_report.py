@@ -1,0 +1,73 @@
+"""Tests for the reporting helpers."""
+
+from repro.report import ascii_chart, format_comparison, format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bbbb"], [(1, 2), (333, 4)])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, 2 rows
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_title(self):
+        text = format_table(["x"], [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [(3.14159,)])
+        assert "3.14" in text
+        assert "3.14159" not in text
+
+    def test_mixed_types(self):
+        text = format_table(["a", "b"], [("x", 1.5), (2, "y")])
+        assert "1.50" in text and "x" in text and "y" in text
+
+
+class TestFormatComparison:
+    def test_delta_computed(self):
+        line = format_comparison("metric", 100.0, 95.0)
+        assert "-5.0%" in line
+        assert "paper=" in line and "measured=" in line
+
+    def test_positive_delta_signed(self):
+        assert "+10.0%" in format_comparison("m", 100.0, 110.0)
+
+    def test_zero_paper_value(self):
+        line = format_comparison("m", 0, 5)
+        assert "paper=0" in line
+
+    def test_unit_appended(self):
+        line = format_comparison("bw", 380.0, 379.7, unit=" GB/s")
+        assert "GB/s" in line
+
+
+class TestFormatSeries:
+    def test_columns(self):
+        text = format_series([1, 2], {"a": [10, 20], "b": [30, 40]},
+                             x_label="W")
+        lines = text.splitlines()
+        assert lines[0].split("|")[0].strip() == "W"
+        assert "10" in text and "40" in text
+
+
+class TestAsciiChart:
+    def test_basic_shape(self):
+        text = ascii_chart([0, 1, 2], {"s": [0.0, 1.0, 2.0]},
+                           width=20, height=5)
+        lines = text.splitlines()
+        assert len(lines) == 5 + 3  # grid + axis + x-labels + legend
+        assert "*" in text
+        assert "s" in lines[-1]
+
+    def test_empty(self):
+        assert ascii_chart([], {}) == "(empty)"
+
+    def test_two_series_distinct_marks(self):
+        text = ascii_chart([0, 1], {"a": [1, 2], "b": [2, 1]},
+                           width=10, height=4)
+        assert "*" in text and "o" in text
+
+    def test_y_label_in_legend(self):
+        text = ascii_chart([0, 1], {"a": [1, 2]}, y_label="TFLOPS")
+        assert "TFLOPS" in text
