@@ -1,0 +1,92 @@
+"""Simulator speed benchmark: cold simulation vs warm cache.
+
+Measures the wall time of profiling both paper kernels (``ours`` and
+``cublas-like``) on the RTX 2070 model three ways:
+
+* **cold** -- empty cache: every profile leg runs the cycle-level timing
+  simulator;
+* **warm disk** -- the in-process layer is dropped, so profiles reload
+  from the on-disk store (what a fresh interpreter sees);
+* **warm memory** -- everything hits the in-process layer.
+
+Runs against a throwaway cache directory, never the user's real one, and
+verifies that all three paths return identical profiles (the cache's core
+invariant).  Results go to ``BENCH_simspeed.json`` in the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_simspeed.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+
+def _profile_all(spec, configs):
+    from repro.analysis import PerformanceModel
+
+    pm = PerformanceModel(spec)
+    start = time.perf_counter()
+    profiles = [pm.sm_profile(c) for c in configs]
+    return time.perf_counter() - start, profiles
+
+
+def main() -> int:
+    scratch = tempfile.mkdtemp(prefix="repro-simspeed-")
+    os.environ["REPRO_CACHE_DIR"] = scratch
+    os.environ.pop("REPRO_NO_CACHE", None)
+
+    from repro.arch import RTX2070
+    from repro.core import cublas_like, ours
+    from repro.perf import PROFILE_CACHE, STATS
+
+    configs = [ours(), cublas_like()]
+    try:
+        STATS.reset()
+        cold_s, cold = _profile_all(RTX2070, configs)
+        sim_stats = STATS.snapshot()
+
+        PROFILE_CACHE.clear()  # drop the memory layer, keep the disk files
+        disk_s, warm_disk = _profile_all(RTX2070, configs)
+
+        mem_s, warm_mem = _profile_all(RTX2070, configs)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    if not (cold == warm_disk == warm_mem):
+        print("FAIL: cached profiles differ from simulated ones", file=sys.stderr)
+        return 1
+
+    counters = sim_stats["counters"]
+    sim_wall = sim_stats["timers"].get("sim.wall", 0.0)
+    payload = {
+        "device": RTX2070.name,
+        "kernels": [c.name for c in configs],
+        "cold_seconds": round(cold_s, 4),
+        "warm_disk_seconds": round(disk_s, 4),
+        "warm_memory_seconds": round(mem_s, 4),
+        "warm_disk_speedup": round(cold_s / disk_s, 1) if disk_s else None,
+        "warm_memory_speedup": round(cold_s / mem_s, 1) if mem_s else None,
+        "simulated_cycles": counters.get("sim.cycles", 0),
+        "simulated_instructions": counters.get("sim.instructions", 0),
+        "simulator_runs": counters.get("sim.runs", 0),
+        "simulated_cycles_per_sec": round(
+            counters.get("sim.cycles", 0) / sim_wall) if sim_wall else None,
+    }
+
+    out = Path(__file__).resolve().parent.parent / "BENCH_simspeed.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(payload, indent=2))
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

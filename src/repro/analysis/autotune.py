@@ -124,11 +124,13 @@ def _analytic_tflops(config: KernelConfig, spec: GpuSpec) -> float:
 
 def autotune(spec: GpuSpec, m: int, n: int, k: int,
              accum_f32: bool = False, finalists: int = 6,
-             model: PerformanceModel = None) -> TuneResult:
+             model: PerformanceModel = None, max_workers=None) -> TuneResult:
     """Pick the best kernel configuration for one problem on one device.
 
     Pass a shared :class:`PerformanceModel` to reuse its cached SM
-    profiles across autotuning calls.
+    profiles across autotuning calls.  ``max_workers`` (semantics of
+    :func:`repro.perf.parallel.parallel_map`) profiles the stage-2
+    finalists across worker processes -- the dominant cost of a cold run.
     """
     pm = model or PerformanceModel(spec)
     candidates = [Candidate(config=c)
@@ -146,6 +148,15 @@ def autotune(spec: GpuSpec, m: int, n: int, k: int,
                     key=lambda c: -c.analytic_score)
     if not ranked:
         raise ValueError(f"no feasible configuration for {m}x{n}x{k}")
+
+    if max_workers is not None and max_workers != 1:
+        try:
+            pm.profile_many([c.config for c in ranked[:finalists]],
+                            max_workers=max_workers)
+        except Exception:
+            # A finalist the builder cannot realise fails the whole batch;
+            # fall through and let the serial loop record it per candidate.
+            pass
 
     best, best_tflops = None, -1.0
     for cand in ranked[:finalists]:

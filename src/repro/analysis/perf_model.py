@@ -19,7 +19,7 @@ identical -- so the model composes:
 
 3. **L2 reuse**: concurrent CTAs that share an A-tile row or B-tile column
    can hit in L2 instead of DRAM.  The launch order determines the window's
-   shape (row-major vs supertile-swizzled); CTASs drift out of lockstep over
+   shape (row-major vs supertile-swizzled); CTAs drift out of lockstep over
    long k, eroding the sharing (``drift``).
 
 4. **Baseline quirk**: cuBLAS 10.1 on the RTX 2070 shows a sharp drop at
@@ -33,15 +33,21 @@ identical -- so the model composes:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from ..arch.turing import GpuSpec
 from ..core.builder import HgemmProblem, build_hgemm
 from ..core.config import KernelConfig
+from ..isa.encoding import encode_program
+from ..perf.cache import PROFILE_CACHE, SIM_VERSION, content_key
+from ..perf.parallel import parallel_map
 from ..sim.memory import GlobalMemory
 from ..sim.timing import TimingSimulator
 
 __all__ = ["PerfOptions", "SmProfile", "LaunchEstimate", "PerformanceModel"]
+
+#: Global-memory footprint used for profile runs (fresh, zero-filled).
+_PROFILE_MEM_BYTES = 16 << 20
 
 
 @dataclass(frozen=True)
@@ -104,28 +110,82 @@ class PerformanceModel:
     # --------------------------------------------------------- SM profiling
 
     def sm_profile(self, config: KernelConfig) -> SmProfile:
-        """Measure (and cache) the per-SM cycle profile of *config*."""
+        """Measure (and cache) the per-SM cycle profile of *config*.
+
+        Three cache layers, cheapest first: the per-instance ``_profiles``
+        dict (preserves object identity within one model), then the shared
+        :data:`~repro.perf.cache.PROFILE_CACHE` keyed on the *profile*
+        (spec + config + iters -- a hit skips even program construction),
+        then a run-level entry keyed on the encoded program bytes.  The
+        simulator is deterministic, so every layer returns exactly the
+        numbers a fresh simulation would produce.
+        """
         key = config
         if key in self._profiles:
             return self._profiles[key]
         ctas_per_sm = self.ctas_per_sm(config)
         lo, hi = self.options.profile_iters
-        cycles = {}
-        for iters in (lo, hi):
-            problem = HgemmProblem(
-                m=config.b_m, n=config.b_n, k=iters * config.b_k,
-                a_addr=0, b_addr=4 << 20, c_addr=8 << 20,
-            )
-            program = build_hgemm(config, problem, self.spec)
-            memory = GlobalMemory(16 << 20)
-            sim = TimingSimulator(self.spec, bandwidth_share=1.0)
-            cycles[iters] = sim.run(program, memory, num_ctas=ctas_per_sm).cycles
+        profile_key = content_key(b"sm-profile", SIM_VERSION, self.spec,
+                                  config, (lo, hi), ctas_per_sm)
+        cached = PROFILE_CACHE.get(profile_key)
+        if cached is not None:
+            profile = SmProfile(**cached)
+            self._profiles[key] = profile
+            return profile
+        cycles = {iters: self._profile_leg_cycles(config, iters, ctas_per_sm)
+                  for iters in (lo, hi)}
         marginal = (cycles[hi] - cycles[lo]) / (hi - lo)
         fixed = max(0.0, cycles[lo] - lo * marginal)
         profile = SmProfile(marginal_cycles=marginal, fixed_cycles=fixed,
                             ctas_per_sm=ctas_per_sm)
+        PROFILE_CACHE.put(profile_key, asdict(profile))
         self._profiles[key] = profile
         return profile
+
+    def _profile_leg_cycles(self, config: KernelConfig, iters: int,
+                            ctas_per_sm: int) -> int:
+        """Simulated cycles of one profile leg, via the run-level cache.
+
+        The key hashes the encoded program image itself, so any change to
+        the kernel builder or the ISA encoding naturally invalidates it.
+        """
+        problem = HgemmProblem(
+            m=config.b_m, n=config.b_n, k=iters * config.b_k,
+            a_addr=0, b_addr=4 << 20, c_addr=8 << 20,
+        )
+        program = build_hgemm(config, problem, self.spec)
+        run_key = content_key(b"timing-run", SIM_VERSION,
+                              encode_program(program), self.spec,
+                              ctas_per_sm, _PROFILE_MEM_BYTES, 1.0)
+        cached = PROFILE_CACHE.get(run_key)
+        if cached is not None:
+            return cached["cycles"]
+        sim = TimingSimulator(self.spec, bandwidth_share=1.0)
+        result = sim.run(program, GlobalMemory(_PROFILE_MEM_BYTES),
+                         num_ctas=ctas_per_sm)
+        PROFILE_CACHE.put(run_key, {"cycles": result.cycles})
+        return result.cycles
+
+    def profile_many(self, configs, max_workers=None) -> list:
+        """SM profiles for several configs, optionally across processes.
+
+        ``max_workers`` follows :func:`repro.perf.parallel.parallel_map`
+        semantics (None/1 serial, 0 auto, n capped).  Worker processes
+        return their profiles directly (and also populate the shared disk
+        cache when it is enabled), so parallelism never re-simulates in the
+        parent and works even under ``REPRO_NO_CACHE=1``.
+        """
+        configs = list(configs)
+        todo = [c for c in configs if c not in self._profiles]
+        if len(todo) > 1 and max_workers is not None and max_workers != 1:
+            profiles = parallel_map(
+                _profile_worker,
+                [(self.spec, self.options, c) for c in todo],
+                max_workers=max_workers,
+            )
+            for config, profile in zip(todo, profiles):
+                self._profiles[config] = SmProfile(**profile)
+        return [self.sm_profile(c) for c in configs]
 
     def ctas_per_sm(self, config: KernelConfig) -> int:
         occ = self.spec.ctas_per_sm(
@@ -255,12 +315,44 @@ class PerformanceModel:
         )
 
     def sweep(self, config: KernelConfig, sizes, shape=(1, 1, 1),
-              baseline_quirks: bool = False) -> list:
+              baseline_quirks: bool = False, max_workers=None) -> list:
         """Estimate a size sweep; ``shape`` scales (m, n, k) from W (the
-        paper's [aW x bW x cW] rectangular series)."""
+        paper's [aW x bW x cW] rectangular series).
+
+        With ``max_workers`` (see :func:`repro.perf.parallel.parallel_map`)
+        the sizes are estimated across worker processes.  The SM profile is
+        measured once here first and shipped to the workers, so the
+        expensive simulation never runs more than once per config.
+        """
+        sizes = list(sizes)
+        if len(sizes) > 1 and max_workers is not None and max_workers != 1:
+            profile = asdict(self.sm_profile(config))
+            payloads = [
+                (self.spec, self.options, config, profile,
+                 shape[0] * w, shape[1] * w, shape[2] * w, baseline_quirks)
+                for w in sizes
+            ]
+            return parallel_map(_estimate_worker, payloads,
+                                max_workers=max_workers)
         out = []
         for w in sizes:
             m, n, k = (s * w for s in shape)
             out.append(self.estimate(config, m, n, k,
                                      baseline_quirks=baseline_quirks))
         return out
+
+
+# Module-level worker functions: ``ProcessPoolExecutor`` requires picklable
+# callables, and every payload element (GpuSpec, PerfOptions, KernelConfig,
+# plain dicts/ints) pickles cleanly.
+
+def _profile_worker(payload) -> dict:
+    spec, options, config = payload
+    return asdict(PerformanceModel(spec, options).sm_profile(config))
+
+
+def _estimate_worker(payload) -> LaunchEstimate:
+    spec, options, config, profile, m, n, k, baseline_quirks = payload
+    model = PerformanceModel(spec, options)
+    model._profiles[config] = SmProfile(**profile)
+    return model.estimate(config, m, n, k, baseline_quirks=baseline_quirks)

@@ -8,6 +8,7 @@ Commands
 ``hgemm``       run one simulated GEMM and verify it
 ``autotune``    pick the best kernel configuration for a problem
 ``disasm``      generate an HGEMM kernel and print its SASS listing
+``perfstats``   profile kernels and report simulator/cache statistics
 """
 
 from __future__ import annotations
@@ -110,9 +111,11 @@ def _cmd_sweep(args) -> int:
     pm = PerformanceModel(spec)
     sizes = list(range(args.start, args.stop + 1, args.step))
     print(f"simulating SM profiles for {spec.name}...", file=sys.stderr)
-    o = [pm.estimate(ours(), w, w, w).tflops for w in sizes]
-    c = [pm.estimate(cublas_like(), w, w, w,
-                     baseline_quirks=True).tflops for w in sizes]
+    pm.profile_many([ours(), cublas_like()], max_workers=args.jobs)
+    o = [e.tflops for e in pm.sweep(ours(), sizes, max_workers=args.jobs)]
+    c = [e.tflops for e in pm.sweep(cublas_like(), sizes,
+                                    baseline_quirks=True,
+                                    max_workers=args.jobs)]
     print(format_series(sizes, {"ours": [round(v, 1) for v in o],
                                 "cuBLAS": [round(v, 1) for v in c]}))
     print(ascii_chart(sizes, {"ours": o, "cuBLAS": c}))
@@ -145,8 +148,36 @@ def _cmd_autotune(args) -> int:
     from .analysis import autotune
 
     result = autotune(get_device(args.device), args.m, args.n, args.k,
-                      accum_f32=args.accumulate == "f32")
+                      accum_f32=args.accumulate == "f32",
+                      max_workers=args.jobs)
     print(result.summary())
+    return 0
+
+
+def _cmd_perfstats(args) -> int:
+    from .analysis import PerformanceModel
+    from .arch import get_device
+    from .core import cublas_like, ours
+    from .perf import PROFILE_CACHE, STATS, cache_dir, cache_enabled
+
+    spec = get_device(args.device)
+    kernels = {"ours": [ours()], "cublas": [cublas_like()],
+               "both": [ours(), cublas_like()]}
+    STATS.reset()
+    pm = PerformanceModel(spec)
+    with STATS.timer("perfstats.wall"):
+        profiles = pm.profile_many(kernels[args.kernel],
+                                   max_workers=args.jobs)
+    state = ("enabled" if cache_enabled()
+             else "DISABLED (REPRO_NO_CACHE set)")
+    print(f"result cache: {state}")
+    print(f"cache dir:    {cache_dir()} "
+          f"({PROFILE_CACHE.disk_entries()} profile entries on disk)")
+    for cfg, profile in zip(kernels[args.kernel], profiles):
+        print(f"{cfg.name}: {profile.marginal_cycles:.1f} cycles/iter "
+              f"+ {profile.fixed_cycles:.0f} fixed "
+              f"({profile.ctas_per_sm} CTAs/SM)")
+    print(STATS.report())
     return 0
 
 
@@ -230,6 +261,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--start", type=int, default=1024)
     p.add_argument("--stop", type=int, default=16384)
     p.add_argument("--step", type=int, default=1024)
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (0 = one per CPU; default serial)")
 
     p = sub.add_parser("hgemm", help="run one simulated GEMM")
     p.add_argument("m", type=int)
@@ -246,6 +279,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("k", type=int)
     p.add_argument("--device", default="RTX2070")
     p.add_argument("--accumulate", default="f16", choices=["f16", "f32"])
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (0 = one per CPU; default serial)")
+
+    p = sub.add_parser("perfstats",
+                       help="profile kernels, report simulator/cache stats")
+    p.add_argument("--device", default="RTX2070")
+    p.add_argument("--kernel", default="both",
+                   choices=["ours", "cublas", "both"])
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (0 = one per CPU; default serial)")
 
     p = sub.add_parser("analyze", help="bottleneck attribution for a launch")
     p.add_argument("m", type=int)
@@ -277,6 +320,7 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "verify": _cmd_verify,
     "disasm": _cmd_disasm,
+    "perfstats": _cmd_perfstats,
 }
 
 

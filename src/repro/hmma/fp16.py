@@ -12,6 +12,8 @@ element.
 
 from __future__ import annotations
 
+import sys
+
 import numpy as np
 
 __all__ = [
@@ -27,6 +29,12 @@ __all__ = [
 
 #: Canonical dtype for half-precision values in this package.
 HALF = np.dtype(np.float16)
+
+#: On little-endian hosts a uint32 word viewed as two uint16s yields its
+#: (lo, hi) halves in order, letting pack/unpack reinterpret memory instead
+#: of shifting and masking.  Big-endian hosts take the portable arithmetic
+#: path below.
+_LITTLE_ENDIAN = sys.byteorder == "little"
 
 
 def as_half(values) -> np.ndarray:
@@ -60,19 +68,27 @@ def pack_half2(lo, hi) -> np.ndarray:
     This mirrors how a 32-bit register lane stores two consecutive
     half-precision matrix elements.
     """
-    lo_bits = half_bits(lo).astype(np.uint32)
-    hi_bits = half_bits(hi).astype(np.uint32)
+    lo_bits = half_bits(lo)
+    hi_bits = half_bits(hi)
     if lo_bits.shape != hi_bits.shape:
         raise ValueError(
             f"pack_half2 operands must have matching shapes, got "
             f"{lo_bits.shape} and {hi_bits.shape}"
         )
-    return lo_bits | (hi_bits << np.uint32(16))
+    if _LITTLE_ENDIAN:
+        pairs = np.empty(lo_bits.shape + (2,), dtype=np.uint16)
+        pairs[..., 0] = lo_bits
+        pairs[..., 1] = hi_bits
+        return pairs.view(np.uint32).reshape(lo_bits.shape)
+    return lo_bits.astype(np.uint32) | (hi_bits.astype(np.uint32) << np.uint32(16))
 
 
 def unpack_half2(words) -> tuple[np.ndarray, np.ndarray]:
     """Split uint32 *words* into their (lo, hi) half-precision elements."""
     arr = np.ascontiguousarray(words, dtype=np.uint32)
+    if _LITTLE_ENDIAN:
+        pairs = arr.reshape(arr.shape + (1,)).view(np.uint16)
+        return pairs[..., 0].view(HALF), pairs[..., 1].view(HALF)
     lo = bits_to_half((arr & np.uint32(0xFFFF)).astype(np.uint16))
     hi = bits_to_half((arr >> np.uint32(16)).astype(np.uint16))
     return lo, hi

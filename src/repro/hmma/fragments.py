@@ -24,11 +24,13 @@ column-major warp register.
 
 from __future__ import annotations
 
+import sys
+
 from dataclasses import dataclass
 
 import numpy as np
 
-from .fp16 import as_half, pack_half2, unpack_half2
+from .fp16 import HALF, as_half, pack_half2, unpack_half2
 
 __all__ = [
     "WARP_SIZE",
@@ -143,12 +145,64 @@ def _lane_tables(order: str):
 _TABLES = {order: _lane_tables(order) for order in _VALID_ORDERS}
 
 
+# Flat permutation tables for the vectorised fast paths below.  On a
+# little-endian host a (32,) uint32 warp register viewed as uint16 lists each
+# lane's (lo, hi) halves in order, so index ``2 * lane + half`` addresses one
+# half element directly; a single fancy-index gather then replaces the
+# unpack / scatter / pack round trip in the conversion functions.  These are
+# pure permutations, so the fast paths are bit-identical to the generic ones.
+def _permutations(order: str):
+    rlo, clo, rhi, chi = _TABLES[order]
+    # gather[r, c] = uint16 index (within the register's 64 halves) of (r, c).
+    gather = np.empty((8, 8), dtype=np.intp)
+    lanes = np.arange(WARP_SIZE)
+    gather[rlo, clo] = 2 * lanes
+    gather[rhi, chi] = 2 * lanes + 1
+    # scatter[2 * lane + half] = flat matrix index of that half element.
+    scatter = np.empty(2 * WARP_SIZE, dtype=np.intp)
+    scatter[0::2] = 8 * rlo + clo
+    scatter[1::2] = 8 * rhi + chi
+    return gather, scatter
+
+
+_PERMS = {order: _permutations(order) for order in _VALID_ORDERS}
+
+# 16x8 operands are two stacked row-major registers (rows 0..7, rows 8..15).
+_GATHER_16X8 = np.concatenate(
+    [_PERMS[ROW_MAJOR][0], _PERMS[ROW_MAJOR][0] + 2 * WARP_SIZE]
+)
+_SCATTER_16X8 = np.concatenate(
+    [_PERMS[ROW_MAJOR][1], _PERMS[ROW_MAJOR][1] + 64]
+)
+
+# .F32 accumulators promote each lane's (lo, hi) pair to full registers
+# (2i, 2i + 1); these permutations are endian-independent because float32
+# words are reinterpreted whole, never split.
+def _f32_permutation():
+    rlo, clo, rhi, chi = _TABLES[ROW_MAJOR]
+    perm = np.empty((4, WARP_SIZE), dtype=np.intp)
+    perm[0] = 8 * rlo + clo
+    perm[1] = 8 * rhi + chi
+    perm[2] = perm[0] + 64
+    perm[3] = perm[1] + 64
+    inverse = np.empty(128, dtype=np.intp)
+    inverse[perm.ravel()] = np.arange(128)
+    return perm, inverse.reshape(16, 8)
+
+
+_PERM_F32, _INV_F32 = _f32_permutation()
+
+_LITTLE_ENDIAN = sys.byteorder == "little"
+
+
 def matrix_to_fragment(matrix, order: str) -> np.ndarray:
     """Scatter an 8x8 half matrix into a (32,) uint32 warp register."""
     _check_order(order)
     mat = as_half(matrix)
     if mat.shape != (8, 8):
         raise ValueError(f"fragment source must be 8x8, got {mat.shape}")
+    if _LITTLE_ENDIAN:
+        return mat.reshape(64)[_PERMS[order][1]].view(np.uint32)
     rlo, clo, rhi, chi = _TABLES[order]
     return pack_half2(mat[rlo, clo], mat[rhi, chi])
 
@@ -159,6 +213,8 @@ def fragment_to_matrix(words, order: str) -> np.ndarray:
     arr = np.ascontiguousarray(words, dtype=np.uint32)
     if arr.shape != (WARP_SIZE,):
         raise ValueError(f"warp register must have shape (32,), got {arr.shape}")
+    if _LITTLE_ENDIAN:
+        return arr.view(np.uint16)[_PERMS[order][0]].view(HALF)
     lo, hi = unpack_half2(arr)
     rlo, clo, rhi, chi = _TABLES[order]
     out = np.empty((8, 8), dtype=np.float16)
@@ -176,6 +232,8 @@ def matrix16x8_to_fragments(matrix) -> np.ndarray:
     mat = as_half(matrix)
     if mat.shape != (16, 8):
         raise ValueError(f"operand must be 16x8, got {mat.shape}")
+    if _LITTLE_ENDIAN:
+        return mat.reshape(128)[_SCATTER_16X8].view(np.uint32).reshape(2, WARP_SIZE)
     return np.stack(
         [
             matrix_to_fragment(mat[:8], ROW_MAJOR),
@@ -189,6 +247,8 @@ def fragments_to_matrix16x8(words) -> np.ndarray:
     arr = np.ascontiguousarray(words, dtype=np.uint32)
     if arr.shape != (2, WARP_SIZE):
         raise ValueError(f"expected shape (2, 32), got {arr.shape}")
+    if _LITTLE_ENDIAN:
+        return arr.view(np.uint16).reshape(128)[_GATHER_16X8].view(HALF)
     return np.concatenate(
         [
             fragment_to_matrix(arr[0], ROW_MAJOR),
@@ -209,12 +269,7 @@ def matrix16x8_to_fragments_f32(matrix) -> np.ndarray:
     mat = np.ascontiguousarray(matrix, dtype=np.float32)
     if mat.shape != (16, 8):
         raise ValueError(f"operand must be 16x8, got {mat.shape}")
-    rlo, clo, rhi, chi = _TABLES[ROW_MAJOR]
-    out = np.empty((4, WARP_SIZE), dtype=np.uint32)
-    for half_idx, block in enumerate((mat[:8], mat[8:])):
-        out[2 * half_idx] = block[rlo, clo].view(np.uint32)
-        out[2 * half_idx + 1] = block[rhi, chi].view(np.uint32)
-    return out
+    return mat.reshape(128)[_PERM_F32].view(np.uint32)
 
 
 def fragments_f32_to_matrix16x8(words) -> np.ndarray:
@@ -222,13 +277,7 @@ def fragments_f32_to_matrix16x8(words) -> np.ndarray:
     arr = np.ascontiguousarray(words, dtype=np.uint32)
     if arr.shape != (4, WARP_SIZE):
         raise ValueError(f"expected shape (4, 32), got {arr.shape}")
-    rlo, clo, rhi, chi = _TABLES[ROW_MAJOR]
-    out = np.empty((16, 8), dtype=np.float32)
-    for half_idx in range(2):
-        block = out[8 * half_idx : 8 * half_idx + 8]
-        block[rlo, clo] = arr[2 * half_idx].view(np.float32)
-        block[rhi, chi] = arr[2 * half_idx + 1].view(np.float32)
-    return out
+    return arr.view(np.float32).reshape(128)[_INV_F32]
 
 
 def hmma_operand_layouts() -> dict:

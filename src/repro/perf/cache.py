@@ -1,0 +1,176 @@
+"""Persistent, content-addressed cache of deterministic simulation results.
+
+The timing simulator is a pure function of its inputs: the encoded program
+bytes, the :class:`~repro.arch.turing.GpuSpec` architectural constants, the
+CTA count and the simulator's own behaviour (versioned by
+:data:`SIM_VERSION`).  The identical (spec, config) profiles were being
+re-simulated dozens of times across the test suite and benchmarks; this
+module makes every result reusable across *all* ``PerformanceModel``
+instances, benchmark files and repeated CLI runs.
+
+Two layers:
+
+* an **in-process dict** on each :class:`ResultCache` (the module singleton
+  :data:`PROFILE_CACHE` is shared by everything in one interpreter);
+* an **on-disk JSON store**, one file per key, under ``$REPRO_CACHE_DIR``
+  (default ``~/.cache/repro-sim``).  Set ``REPRO_NO_CACHE=1`` to disable
+  both layers (every lookup misses, nothing is written).
+
+Keys are SHA-256 hexdigests built by :func:`content_key` over
+length-framed, canonically-serialised parts, so distinct inputs can never
+collide by concatenation.  Values are JSON-serialisable dicts (profile /
+timing-run summaries).  **Invariant:** caching never changes reported
+numbers -- a hit returns exactly the summary the simulator produced when
+the entry was stored, and :data:`SIM_VERSION` must be bumped whenever the
+timing model's behaviour changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+
+from .stats import STATS
+
+__all__ = [
+    "SIM_VERSION",
+    "cache_enabled",
+    "cache_dir",
+    "content_key",
+    "ResultCache",
+    "PROFILE_CACHE",
+]
+
+#: Behavioural version of the timing simulator.  Bump this whenever a
+#: change alters simulated cycle counts, so stale disk entries are never
+#: returned for the new behaviour.
+SIM_VERSION = "timing-v1"
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+_ENV_OFF = "REPRO_NO_CACHE"
+
+
+def cache_enabled() -> bool:
+    """False when ``REPRO_NO_CACHE`` is set to a truthy value."""
+    return os.environ.get(_ENV_OFF, "") in ("", "0")
+
+
+def cache_dir() -> Path:
+    """Directory of the on-disk layer (may not exist yet)."""
+    override = os.environ.get(_ENV_DIR, "")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-sim"
+
+
+def _canonical(part) -> bytes:
+    """Stable byte serialisation of one key part."""
+    if isinstance(part, bytes):
+        return part
+    if is_dataclass(part) and not isinstance(part, type):
+        part = asdict(part)
+    return json.dumps(part, sort_keys=True, default=str).encode()
+
+
+def content_key(*parts) -> str:
+    """SHA-256 hexdigest over length-framed canonical serialisations.
+
+    Parts may be ``bytes`` (e.g. an encoded program image), dataclasses
+    (``GpuSpec``, ``KernelConfig``), or any JSON-serialisable value.
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        blob = _canonical(part)
+        digest.update(len(blob).to_bytes(8, "little"))
+        digest.update(blob)
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """Two-layer (memory + disk) store of JSON-dict results."""
+
+    def __init__(self, subdir: str = "profiles"):
+        self.subdir = subdir
+        self._memory: dict = {}
+
+    # -------------------------------------------------------------- layout
+
+    def _path(self, key: str) -> Path:
+        return cache_dir() / self.subdir / f"{key}.json"
+
+    def disk_entries(self) -> int:
+        """Number of entries currently in the on-disk layer."""
+        root = cache_dir() / self.subdir
+        if not root.is_dir():
+            return 0
+        return sum(1 for _ in root.glob("*.json"))
+
+    # -------------------------------------------------------------- lookup
+
+    def get(self, key: str):
+        """The cached dict for *key*, or None on a miss."""
+        if not cache_enabled():
+            STATS.count("cache.misses")
+            return None
+        hit = self._memory.get(key)
+        if hit is not None:
+            STATS.count("cache.mem_hits")
+            return hit
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                value = json.load(fh)
+        except (OSError, ValueError):
+            # Missing, unreadable or corrupt: treat as a miss (and drop a
+            # corrupt file so it cannot shadow a future store).
+            if path.is_file():
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            STATS.count("cache.misses")
+            return None
+        self._memory[key] = value
+        STATS.count("cache.disk_hits")
+        return value
+
+    def put(self, key: str, value: dict) -> None:
+        """Store *value* in both layers (atomic on disk)."""
+        if not cache_enabled():
+            return
+        self._memory[key] = value
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(value, fh, sort_keys=True)
+                os.replace(tmp, path)
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+        except OSError:
+            # A read-only or full filesystem degrades to memory-only.
+            pass
+        STATS.count("cache.stores")
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop the in-process layer; optionally the disk layer too."""
+        self._memory.clear()
+        if disk:
+            root = cache_dir() / self.subdir
+            if root.is_dir():
+                for entry in root.glob("*.json"):
+                    try:
+                        entry.unlink()
+                    except OSError:
+                        pass
+
+
+#: Shared cache for SM profiles and timing-run summaries.
+PROFILE_CACHE = ResultCache()

@@ -1,0 +1,46 @@
+"""Process-parallel maps for simulation sweeps.
+
+The timing simulator is CPU-bound pure Python, so threads cannot help; a
+``ProcessPoolExecutor`` can.  Workers inherit the environment, so they
+share the on-disk result cache of :mod:`repro.perf.cache`: a sweep's
+workers populate the cache for the parent and for every later run.
+
+Callables passed to :func:`parallel_map` must be module-level (picklable),
+and their payloads must pickle too -- ``GpuSpec``, ``KernelConfig`` and
+:class:`~repro.analysis.perf_model.PerfOptions` all do.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+__all__ = ["default_workers", "parallel_map"]
+
+
+def default_workers() -> int:
+    """Worker count for ``max_workers=0`` ("auto"): the CPU count."""
+    return max(1, os.cpu_count() or 1)
+
+
+def parallel_map(fn, items, max_workers=None) -> list:
+    """``[fn(x) for x in items]``, optionally across worker processes.
+
+    ``max_workers`` semantics:
+
+    * ``None`` or ``1`` -- run serially in this process (the default: the
+      caller opts in to parallelism explicitly);
+    * ``0`` -- auto: one worker per CPU;
+    * ``n > 1`` -- at most *n* workers.
+
+    Order of results always matches the order of *items*.  Exceptions in
+    workers propagate to the caller, as they would serially.
+    """
+    items = list(items)
+    if max_workers == 0:
+        max_workers = default_workers()
+    if max_workers is None or max_workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    workers = min(max_workers, len(items))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items))

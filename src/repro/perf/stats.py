@@ -1,0 +1,79 @@
+"""Process-wide performance counters and timers.
+
+A single module-level :data:`STATS` instance collects what the performance
+layer wants to report: cache hits and misses, simulator invocations, total
+simulated cycles and the wall time spent stepping them.  Everything is
+plain dict arithmetic -- cheap enough to leave enabled unconditionally.
+
+Counter names use dotted namespaces by convention:
+
+* ``sim.runs`` / ``sim.cycles`` / ``sim.instructions`` -- incremented by
+  :class:`~repro.sim.timing.TimingSimulator` per ``run()``.
+* ``sim.wall`` (a timer, seconds) -- wall time inside ``run()``.
+* ``cache.mem_hits`` / ``cache.disk_hits`` / ``cache.misses`` /
+  ``cache.stores`` -- maintained by :mod:`repro.perf.cache`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["PerfStats", "STATS"]
+
+
+class PerfStats:
+    """Named counters plus named wall-time accumulators."""
+
+    def __init__(self) -> None:
+        self.counters: dict = {}
+        self.timers: dict = {}
+
+    # ------------------------------------------------------------ mutation
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def add_time(self, name: str, seconds: float) -> None:
+        self.timers[name] = self.timers.get(name, 0.0) + seconds
+
+    @contextmanager
+    def timer(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - start)
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.timers.clear()
+
+    # ----------------------------------------------------------- reporting
+
+    def snapshot(self) -> dict:
+        """Point-in-time copy: ``{"counters": {...}, "timers": {...}}``."""
+        return {"counters": dict(self.counters), "timers": dict(self.timers)}
+
+    def rate(self, counter: str, timer: str) -> float:
+        """counter / timer, or 0.0 when no time has been recorded."""
+        elapsed = self.timers.get(timer, 0.0)
+        if elapsed <= 0.0:
+            return 0.0
+        return self.counters.get(counter, 0) / elapsed
+
+    def report(self) -> str:
+        """Human-readable multi-line summary (the ``perfstats`` command)."""
+        lines = []
+        for name in sorted(self.counters):
+            lines.append(f"{name:<24s} {self.counters[name]:>14,d}")
+        for name in sorted(self.timers):
+            lines.append(f"{name:<24s} {self.timers[name]:>14.3f} s")
+        cps = self.rate("sim.cycles", "sim.wall")
+        if cps:
+            lines.append(f"{'sim.cycles_per_sec':<24s} {cps:>14,.0f}")
+        return "\n".join(lines) if lines else "(no activity recorded)"
+
+
+#: The process-wide stats instance.
+STATS = PerfStats()

@@ -100,9 +100,15 @@ def _special_value(ctx, operand: SpecialReg) -> np.ndarray:
     raise ExecError(f"unhandled special register {name}")
 
 
+# Shared all-lanes-on mask for unpredicated instructions (the common case);
+# read-only so no consumer can mutate it in place.
+_FULL_MASK = np.ones(WARP_LANES, dtype=bool)
+_FULL_MASK.setflags(write=False)
+
+
 def _guard_mask(ctx, inst: Instruction) -> np.ndarray:
     if inst.pred is None:
-        return np.ones(WARP_LANES, dtype=bool)
+        return _FULL_MASK
     return ctx.preds.read(inst.pred.index, negated=inst.pred.negated)
 
 

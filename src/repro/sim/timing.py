@@ -27,6 +27,9 @@ experiments can read clocks.
 
 from __future__ import annotations
 
+import math
+import time
+from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
@@ -36,6 +39,7 @@ from ..arch.turing import GpuSpec
 from ..isa.control import NO_BARRIER
 from ..isa.instructions import Pipe
 from ..isa.program import Program
+from ..perf.stats import STATS
 from .exec_units import ExecError, execute
 from .memory import GlobalMemory, MemorySubsystem
 from .shared import SharedMemory, conflict_multiplier
@@ -62,7 +66,7 @@ class _MioQueue:
     def __init__(self, depth: int):
         self.depth = depth
         self.drain_free = 0.0       # when the drain port frees up
-        self._done = []             # completion times of queued entries
+        self._done = deque()        # completion times of queued entries
 
     def can_accept(self, cycle: int) -> bool:
         self._retire(cycle)
@@ -85,11 +89,8 @@ class _MioQueue:
 
     def _retire(self, cycle: int) -> None:
         done = self._done
-        i = 0
-        while i < len(done) and done[i] <= cycle:
-            i += 1
-        if i:
-            del done[:i]
+        while done and done[0] <= cycle:
+            done.popleft()
 
 
 class _TimedWarp:
@@ -127,18 +128,24 @@ class _TimedWarp:
         return self._clock_now
 
     def apply_due_writes(self, cycle: int) -> None:
-        for queue_name in ("pending_writes", "pending_tensor_writes"):
-            queue = getattr(self, queue_name)
-            if not queue:
-                continue
-            remaining = []
-            for when, first_reg, values, mask in queue:
-                if when <= cycle:
-                    self.regs.write_group(first_reg, values,
-                                          mask=None if mask.all() else mask)
-                else:
-                    remaining.append((when, first_reg, values, mask))
-            setattr(self, queue_name, remaining)
+        if self.pending_writes:
+            self.pending_writes = self._drain_due(self.pending_writes, cycle)
+        if self.pending_tensor_writes:
+            self.pending_tensor_writes = self._drain_due(
+                self.pending_tensor_writes, cycle
+            )
+
+    def _drain_due(self, queue: list, cycle: int) -> list:
+        remaining = []
+        write_group = self.regs.write_group
+        for item in queue:
+            if item[0] <= cycle:
+                _, first_reg, values, mask = item
+                write_group(first_reg, values,
+                            mask=None if mask.all() else mask)
+            else:
+                remaining.append(item)
+        return remaining
 
     def forward_tensor_writes(self) -> None:
         """Apply not-yet-due tensor results early (intra-pipe forwarding):
@@ -173,6 +180,73 @@ class _TimedWarp:
             (self.scoreboards[b] for b in range(6) if wait_mask & (1 << b)),
             default=0,
         )
+
+
+class _DecodedInst:
+    """Static per-instruction facts, predecoded once per :meth:`run`.
+
+    The issue loop runs once per scheduler per simulated cycle; chasing
+    ``inst.info.is_memory`` / ``inst.ctrl.wait_mask`` attribute chains and
+    re-deriving memory CPIs there dominated simulation time.  Everything
+    that does not depend on dynamic state is flattened here.
+    """
+
+    __slots__ = (
+        "inst", "opcode", "pipe_class", "is_memory", "is_mma", "is_tensor",
+        "occupancy", "issue_stall", "wait_mask", "write_bar", "read_bar",
+        "mem_shared", "mem_store", "mem_cpi", "mem_cpi_l2",
+    )
+
+    def __init__(self, inst, spec: GpuSpec):
+        info = inst.info
+        ctrl = inst.ctrl
+        self.inst = inst
+        self.opcode = inst.opcode
+        self.is_memory = info.is_memory
+        self.is_mma = inst.opcode in ("HMMA", "IMMA")
+        self.is_tensor = info.pipe == Pipe.TENSOR
+        self.wait_mask = ctrl.wait_mask
+        self.write_bar = ctrl.write_bar
+        self.read_bar = ctrl.read_bar
+        self.issue_stall = max(1, ctrl.stall)
+
+        # Execution-pipe class for the issue-port busy check (memory ops
+        # go through the MIO queue instead; branches/barriers need none).
+        if info.is_memory or info.pipe in (Pipe.BRANCH, Pipe.BARRIER):
+            self.pipe_class = None
+        else:
+            self.pipe_class = info.pipe
+
+        # Issue-port occupancy of non-memory instructions.
+        if inst.opcode == "HMMA":
+            self.occupancy = spec.hmma_cpi
+        elif inst.opcode == "IMMA":
+            self.occupancy = spec.imma_cpi
+        elif info.pipe == Pipe.ALU:
+            self.occupancy = spec.alu_cpi
+        elif info.pipe == Pipe.FMA:
+            self.occupancy = spec.fma_cpi
+        else:
+            self.occupancy = 0.0
+
+        # MIO drain-port CPIs (Tables III/IV); for LDG, ``mem_cpi`` holds
+        # the L1-hit table and ``mem_cpi_l2`` the L2/DRAM table.
+        self.mem_shared = False
+        self.mem_store = False
+        self.mem_cpi = 0.0
+        self.mem_cpi_l2 = 0.0
+        if info.is_memory:
+            width = inst.width
+            self.mem_store = info.is_store
+            if inst.opcode in ("LDS", "STS"):
+                self.mem_shared = True
+                table = spec.sts_cpi if info.is_store else spec.lds_cpi
+                self.mem_cpi = table.cpi(width)
+            elif inst.opcode == "STG":
+                self.mem_cpi = spec.stg_cpi.cpi(width)
+            else:  # LDG
+                self.mem_cpi = spec.ldg_l1_cpi.cpi(width)
+                self.mem_cpi_l2 = spec.ldg_l2_cpi.cpi(width)
 
 
 @dataclass
@@ -243,7 +317,9 @@ class TimingSimulator:
             [w for i, w in enumerate(warps) if i % n_sched == s]
             for s in range(n_sched)
         ]
+        decoded = [_DecodedInst(inst, self.spec) for inst in program]
 
+        start_wall = time.perf_counter()
         cycle = 0
         retired = 0
         while cycle < max_cycles:
@@ -258,7 +334,7 @@ class TimingSimulator:
                 s %= n_sched
                 issued = self._try_issue_scheduler(
                     s, by_sched[s], rr, cycle, pipes, mio, pipe_busy_total,
-                    stall_reasons, opcode_counts, memsys, cta_warps, program,
+                    stall_reasons, opcode_counts, memsys, cta_warps, decoded,
                 )
                 if issued:
                     retired += 1
@@ -267,7 +343,7 @@ class TimingSimulator:
                 cycle += 1
                 continue
             # Nothing issued: skip ahead to the next possible event.
-            nxt = int(np.ceil(self._next_event(warps, pipes, mio, cycle, program)))
+            nxt = self._next_event(warps, pipes, mio, cycle, decoded)
             if nxt <= cycle:
                 cycle += 1
             else:
@@ -280,6 +356,11 @@ class TimingSimulator:
 
         for w in warps:
             w.flush_writes()
+
+        STATS.count("sim.runs")
+        STATS.count("sim.cycles", cycle)
+        STATS.count("sim.instructions", retired)
+        STATS.add_time("sim.wall", time.perf_counter() - start_wall)
 
         return TimingResult(
             cycles=cycle,
@@ -295,91 +376,80 @@ class TimingSimulator:
 
     def _try_issue_scheduler(self, s, sched_warps, rr, cycle, pipes, mio,
                              pipe_busy_total, stall_reasons, opcode_counts,
-                             memsys, cta_warps, program) -> bool:
+                             memsys, cta_warps, decoded) -> bool:
         n = len(sched_warps)
+        base = rr[s]
         for k in range(n):
-            warp = sched_warps[(rr[s] + k) % n]
+            idx = (base + k) % n
+            warp = sched_warps[idx]
             if warp.exited or warp.at_barrier:
                 continue
             if warp.next_issue > cycle:
                 stall_reasons["stall"] += 1
                 continue
-            if warp.pc >= len(program):
+            if warp.pc >= len(decoded):
                 raise ExecError(
                     f"warp {warp.warp_id} ran off the end of the program "
                     f"(pc={warp.pc}); missing EXIT?"
                 )
-            inst = program[warp.pc]
-            if not warp.wait_satisfied(inst.ctrl.wait_mask, cycle):
+            dec = decoded[warp.pc]
+            if dec.wait_mask and not warp.wait_satisfied(dec.wait_mask, cycle):
                 stall_reasons["scoreboard"] += 1
                 continue
-            if inst.info.is_memory:
+            if dec.is_memory:
                 if not mio.can_accept(cycle):
                     stall_reasons["pipe"] += 1
                     continue
                 pipe_key = None
+            elif dec.pipe_class is None:
+                pipe_key = None  # branch / barrier need no execution pipe
             else:
-                pipe_key = self._pipe_key(inst.pipe, s)
+                pipe_key = (dec.pipe_class, s)
                 # A pipe that frees up *during* this cycle accepts the
                 # issue; the fractional busy time carries over (so CPI 4.06
                 # averages to 4.06, not 5).
-                if pipe_key is not None and pipes[pipe_key] >= cycle + 1:
+                if pipes[pipe_key] >= cycle + 1:
                     stall_reasons["pipe"] += 1
                     continue
 
             # Issue!
-            self._issue(warp, inst, cycle, pipes, pipe_key, mio,
+            self._issue(warp, dec, cycle, pipes, pipe_key, mio,
                         pipe_busy_total, memsys, cta_warps)
-            opcode_counts[inst.opcode] = opcode_counts.get(inst.opcode, 0) + 1
-            rr[s] = (sched_warps.index(warp) + 1) % n
+            opcode_counts[dec.opcode] = opcode_counts.get(dec.opcode, 0) + 1
+            rr[s] = (idx + 1) % n
             return True
         return False
 
-    @staticmethod
-    def _pipe_key(pipe: str, scheduler: int):
-        if pipe == Pipe.TENSOR:
-            return ("tensor", scheduler)
-        if pipe == Pipe.LSU:
-            return ("lsu", 0)
-        if pipe == Pipe.ALU:
-            return ("alu", scheduler)
-        if pipe == Pipe.FMA:
-            return ("fma", scheduler)
-        return None  # branch / barrier need no execution pipe
-
-    def _issue(self, warp, inst, cycle, pipes, pipe_key, mio,
+    def _issue(self, warp, dec, cycle, pipes, pipe_key, mio,
                pipe_busy_total, memsys, cta_warps) -> None:
-        spec = self.spec
         warp.apply_due_writes(cycle)
-        if inst.pipe == Pipe.TENSOR:
+        if dec.is_tensor:
             # Intra-pipe forwarding: a tensor op chained on a prior one's
             # accumulator sees it at the issue interval.
             warp.forward_tensor_writes()
         warp._clock_now = cycle
-        eff = execute(inst, warp)
+        eff = execute(dec.inst, warp)
         warp.retired += 1
 
         occupancy = 0.0
         write_bar_release = None
 
-        if inst.opcode in ("HMMA", "IMMA"):
-            occupancy = spec.hmma_cpi if inst.opcode == "HMMA" else spec.imma_cpi
-            self._defer_hmma_writes(warp, inst, eff, cycle)
-        elif inst.info.is_memory:
-            occupancy, ready = self._price_memory(warp, inst, eff, cycle,
-                                                  memsys, mio)
-            pipe_busy_total["lsu"] += occupancy
-            occupancy = 0.0  # drained through the MIO queue, not a pipe
+        if dec.is_mma:
+            occupancy = dec.occupancy
+            self._defer_hmma_writes(warp, dec.inst, eff, cycle)
+        elif dec.is_memory:
+            lsu_occupancy, ready = self._price_memory(dec, eff, cycle,
+                                                      memsys, mio)
+            pipe_busy_total["lsu"] += lsu_occupancy
+            # Drained through the MIO queue, not a pipe: occupancy stays 0.
             write_bar_release = ready
             for first_reg, values, mask in eff.reg_writes:
                 warp.pending_writes.append((ready, first_reg, values, mask))
         else:
-            if inst.pipe in (Pipe.ALU, Pipe.FMA):
-                occupancy = spec.alu_cpi if inst.pipe == Pipe.ALU else spec.fma_cpi
+            occupancy = dec.occupancy
+            due = cycle + ALU_LATENCY
             for first_reg, values, mask in eff.reg_writes:
-                warp.pending_writes.append(
-                    (cycle + ALU_LATENCY, first_reg, values, mask)
-                )
+                warp.pending_writes.append((due, first_reg, values, mask))
 
         # Predicates use the ALU latency as well.
         for index, values, mask in eff.pred_writes:
@@ -394,18 +464,17 @@ class TimingSimulator:
             pipes[pipe_key] = max(pipes[pipe_key], float(cycle)) + occupancy
             pipe_busy_total[pipe_key[0]] += occupancy
 
-        ctrl = inst.ctrl
-        if ctrl.write_bar != NO_BARRIER:
+        if dec.write_bar != NO_BARRIER:
             release = write_bar_release
             if release is None:
                 release = cycle + ALU_LATENCY
-            warp.scoreboards[ctrl.write_bar] = max(
-                warp.scoreboards[ctrl.write_bar], release
+            warp.scoreboards[dec.write_bar] = max(
+                warp.scoreboards[dec.write_bar], release
             )
-        if ctrl.read_bar != NO_BARRIER:
+        if dec.read_bar != NO_BARRIER:
             # Sources are consumed shortly after issue.
-            warp.scoreboards[ctrl.read_bar] = max(
-                warp.scoreboards[ctrl.read_bar], cycle + 2
+            warp.scoreboards[dec.read_bar] = max(
+                warp.scoreboards[dec.read_bar], cycle + 2
             )
 
         if eff.exited:
@@ -417,7 +486,7 @@ class TimingSimulator:
             warp.pc = eff.branch_target
         else:
             warp.pc += 1
-        warp.next_issue = cycle + max(1, ctrl.stall)
+        warp.next_issue = cycle + dec.issue_stall
         if eff.barrier:
             warp.at_barrier = True
             self._maybe_release_barrier(cta_warps[warp.cta_slot], cycle)
@@ -442,32 +511,29 @@ class TimingSimulator:
                     )
                 )
 
-    def _price_memory(self, warp, inst, eff, cycle, memsys, mio):
+    def _price_memory(self, dec, eff, cycle, memsys, mio):
         """Push one memory access through the MIO queue.
 
         Returns ``(occupancy, ready_cycle)``: the drain-port cycles the
         access consumes, and when its result (load data / store-complete)
         is architecturally visible.
         """
-        spec = self.spec
         txn = eff.transaction
         if txn is None:  # fully predicated-off access
             return 0.0, cycle + 1
 
-        if txn.space == "shared":
+        if dec.mem_shared:
             mult = conflict_multiplier(txn.addresses, txn.width_bytes, txn.mask)
-            if txn.is_store:
-                occupancy = spec.sts_cpi.cpi(inst.width) * mult
-                done = mio.push(cycle, occupancy)
-                return occupancy, int(done) + 1
-            occupancy = spec.lds_cpi.cpi(inst.width) * mult
+            occupancy = dec.mem_cpi * mult
             done = mio.push(cycle, occupancy)
-            return occupancy, int(done) + spec.lds_latency_cycles
+            if dec.mem_store:
+                return occupancy, int(done) + 1
+            return occupancy, int(done) + self.spec.lds_latency_cycles
 
         # Global: the LSU forwards the request to L1/L2/DRAM once the MIO
         # queue drains it.
-        if txn.is_store:
-            occupancy = spec.stg_cpi.cpi(inst.width)
+        if dec.mem_store:
+            occupancy = dec.mem_cpi
             done = mio.push(cycle, occupancy)
             memsys.access(int(done), txn.addresses, txn.width_bytes,
                           txn.mask, is_store=True, bypass_l1=txn.bypass_l1)
@@ -476,8 +542,7 @@ class TimingSimulator:
         summary = memsys.access(cycle, txn.addresses, txn.width_bytes,
                                 txn.mask, is_store=False,
                                 bypass_l1=txn.bypass_l1)
-        table = spec.ldg_l1_cpi if summary.level == "l1" else spec.ldg_l2_cpi
-        occupancy = table.cpi(inst.width)
+        occupancy = dec.mem_cpi if summary.level == "l1" else dec.mem_cpi_l2
         done = mio.push(cycle, occupancy)
         ready = max(summary.ready_cycle, int(done) + 1)
         return occupancy, ready
@@ -492,25 +557,27 @@ class TimingSimulator:
 
     # ------------------------------------------------------------ skipping
 
-    def _next_event(self, warps, pipes, mio, cycle, program) -> int:
+    def _next_event(self, warps, pipes, mio, cycle, decoded) -> int:
         candidates = []
+        horizon = cycle + 1
         for w in warps:
             if w.exited or w.at_barrier:
                 continue
             t = w.next_issue
             if t <= cycle:
-                inst = program[w.pc]
-                if not w.wait_satisfied(inst.ctrl.wait_mask, cycle):
-                    t = w.next_wait_release(inst.ctrl.wait_mask)
-                elif inst.info.is_memory and not mio.can_accept(cycle):
-                    t = int(np.ceil(mio.next_slot_free(cycle)))
+                dec = decoded[w.pc]
+                wait_mask = dec.wait_mask
+                if wait_mask and not w.wait_satisfied(wait_mask, cycle):
+                    t = w.next_wait_release(wait_mask)
+                elif dec.is_memory and not mio.can_accept(cycle):
+                    t = math.ceil(mio.next_slot_free(cycle))
                 else:
                     # Earliest cycle c at which some busy pipe satisfies
                     # free < c + 1, i.e. c = floor(free_time).
                     t = min(
-                        (int(np.floor(v)) for v in pipes.values()
-                         if v >= cycle + 1),
-                        default=cycle + 1,
+                        (math.floor(v) for v in pipes.values()
+                         if v >= horizon),
+                        default=horizon,
                     )
             candidates.append(t)
-        return min(candidates, default=cycle + 1)
+        return min(candidates, default=horizon)

@@ -1,0 +1,93 @@
+"""Unit tests for the content-addressed result cache."""
+
+import json
+
+import pytest
+
+from repro.arch import RTX2070, T4
+from repro.core.config import cublas_like, ours
+from repro.perf.cache import (
+    SIM_VERSION, ResultCache, cache_dir, cache_enabled, content_key,
+)
+
+
+@pytest.fixture
+def cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    return ResultCache(subdir="test")
+
+
+class TestContentKey:
+    def test_deterministic(self):
+        assert content_key(b"x", 1, "y") == content_key(b"x", 1, "y")
+
+    def test_distinct_inputs_distinct_keys(self):
+        assert content_key(b"abc") != content_key(b"abd")
+        assert content_key(RTX2070) != content_key(T4)
+        assert content_key(ours()) != content_key(cublas_like())
+
+    def test_length_framing_prevents_concatenation_collisions(self):
+        assert content_key(b"ab", b"c") != content_key(b"a", b"bc")
+        assert content_key(b"ab") != content_key(b"a", b"b")
+
+    def test_version_tag_changes_key(self):
+        base = content_key(b"run", SIM_VERSION, RTX2070)
+        assert content_key(b"run", SIM_VERSION + "x", RTX2070) != base
+
+    def test_dataclasses_hash_by_value(self):
+        assert content_key(ours()) == content_key(ours())
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, cache):
+        key = content_key(b"k1")
+        assert cache.get(key) is None
+        cache.put(key, {"cycles": 123})
+        assert cache.get(key) == {"cycles": 123}
+
+    def test_disk_round_trip(self, cache, tmp_path):
+        key = content_key(b"k2")
+        cache.put(key, {"cycles": 7})
+        fresh = ResultCache(subdir="test")  # empty memory layer
+        assert fresh.get(key) == {"cycles": 7}
+        assert cache.disk_entries() == 1
+
+    def test_corrupt_disk_entry_is_a_miss(self, cache, tmp_path):
+        key = content_key(b"k3")
+        cache.put(key, {"cycles": 9})
+        path = tmp_path / "test" / f"{key}.json"
+        path.write_text("{not json", encoding="utf-8")
+        fresh = ResultCache(subdir="test")
+        assert fresh.get(key) is None
+        assert not path.exists()  # corrupt file dropped
+
+    def test_clear(self, cache):
+        key = content_key(b"k4")
+        cache.put(key, {"v": 1})
+        cache.clear()
+        # Memory gone, disk still there.
+        assert cache.disk_entries() == 1
+        assert cache.get(key) == {"v": 1}
+        cache.clear(disk=True)
+        assert cache.disk_entries() == 0
+
+    def test_values_json_stable(self, cache, tmp_path):
+        key = content_key(b"k5")
+        cache.put(key, {"marginal_cycles": 4375.0, "ctas_per_sm": 1})
+        raw = json.loads((tmp_path / "test" / f"{key}.json").read_text())
+        assert raw == {"marginal_cycles": 4375.0, "ctas_per_sm": 1}
+
+
+class TestEnvironmentSwitches:
+    def test_no_cache_disables_everything(self, cache, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert not cache_enabled()
+        key = content_key(b"k6")
+        cache.put(key, {"v": 1})
+        assert cache.get(key) is None
+        assert cache.disk_entries() == 0
+
+    def test_cache_dir_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        assert cache_dir() == tmp_path / "elsewhere"

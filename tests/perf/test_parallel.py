@@ -1,0 +1,73 @@
+"""Unit tests for parallel_map and the parallel model entry points."""
+
+import pytest
+
+from repro.perf.parallel import default_workers, parallel_map
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise ValueError(f"boom {x}")
+
+
+def test_serial_by_default():
+    assert parallel_map(_square, [1, 2, 3]) == [1, 4, 9]
+    assert parallel_map(_square, [1, 2, 3], max_workers=1) == [1, 4, 9]
+
+
+def test_single_item_stays_serial():
+    assert parallel_map(_square, [5], max_workers=8) == [25]
+
+
+def test_empty_input():
+    assert parallel_map(_square, [], max_workers=4) == []
+
+
+def test_parallel_preserves_order():
+    items = list(range(12))
+    assert parallel_map(_square, items, max_workers=2) == [x * x for x in items]
+
+
+def test_auto_workers():
+    assert default_workers() >= 1
+    assert parallel_map(_square, [1, 2], max_workers=0) == [1, 4]
+
+
+def test_worker_exception_propagates():
+    with pytest.raises(ValueError, match="boom"):
+        parallel_map(_boom, [1, 2], max_workers=2)
+
+
+class TestModelParallelism:
+    """profile_many / sweep across processes match the serial results."""
+
+    @pytest.fixture(scope="class")
+    def pm(self, tmp_path_factory):
+        from repro.analysis import PerformanceModel
+        from repro.arch import RTX2070
+        return PerformanceModel(RTX2070)
+
+    def test_profile_many_matches_serial(self, pm, monkeypatch, tmp_path):
+        from repro.analysis import PerformanceModel
+        from repro.core.config import cublas_like
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        configs = [cublas_like()]
+        parallel_pm = PerformanceModel(pm.spec)
+        got = parallel_pm.profile_many(configs, max_workers=2)
+        want = pm.profile_many(configs)
+        assert got == want
+        # Identity caching inside the instance still holds.
+        assert parallel_pm.sm_profile(configs[0]) is got[0]
+
+    def test_sweep_parallel_matches_serial(self, pm):
+        from repro.core.config import cublas_like
+
+        sizes = [2048, 4096, 8192]
+        serial = pm.sweep(cublas_like(), sizes)
+        par = pm.sweep(cublas_like(), sizes, max_workers=2)
+        assert [e.tflops for e in serial] == [e.tflops for e in par]
+        assert [e.bound for e in serial] == [e.bound for e in par]

@@ -1,0 +1,71 @@
+"""Unit tests for the perf counter/timer facility."""
+
+from repro.perf.stats import PerfStats
+
+
+def test_counters_accumulate():
+    s = PerfStats()
+    s.count("sim.runs")
+    s.count("sim.runs")
+    s.count("sim.cycles", 500)
+    assert s.counters["sim.runs"] == 2
+    assert s.counters["sim.cycles"] == 500
+
+
+def test_timer_context_accumulates():
+    s = PerfStats()
+    with s.timer("wall"):
+        pass
+    with s.timer("wall"):
+        pass
+    assert s.timers["wall"] >= 0.0
+
+
+def test_rate_guards_division_by_zero():
+    s = PerfStats()
+    assert s.rate("sim.cycles", "sim.wall") == 0.0
+    s.count("sim.cycles", 100)
+    s.add_time("sim.wall", 2.0)
+    assert s.rate("sim.cycles", "sim.wall") == 50.0
+
+
+def test_reset_and_snapshot():
+    s = PerfStats()
+    s.count("a")
+    s.add_time("t", 1.0)
+    snap = s.snapshot()
+    assert snap == {"counters": {"a": 1}, "timers": {"t": 1.0}}
+    s.reset()
+    assert s.counters == {} and s.timers == {}
+    assert snap["counters"] == {"a": 1}  # snapshot is a copy
+
+
+def test_report_mentions_cycles_per_sec():
+    s = PerfStats()
+    assert "no activity" in s.report()
+    s.count("sim.cycles", 1000)
+    s.add_time("sim.wall", 0.5)
+    report = s.report()
+    assert "sim.cycles" in report
+    assert "sim.cycles_per_sec" in report
+
+
+def test_simulator_populates_global_stats():
+    from repro.arch import RTX2070
+    from repro.core.builder import HgemmProblem, build_hgemm
+    from repro.core.config import cublas_like
+    from repro.perf.stats import STATS
+    from repro.sim.memory import GlobalMemory
+    from repro.sim.timing import TimingSimulator
+
+    config = cublas_like()
+    problem = HgemmProblem(m=config.b_m, n=config.b_n, k=config.b_k,
+                           a_addr=0, b_addr=4 << 20, c_addr=8 << 20)
+    program = build_hgemm(config, problem, RTX2070)
+    before = STATS.snapshot()["counters"]
+    result = TimingSimulator(RTX2070).run(program, GlobalMemory(16 << 20),
+                                          num_ctas=1)
+    after = STATS.snapshot()["counters"]
+    assert after.get("sim.runs", 0) == before.get("sim.runs", 0) + 1
+    delta = after.get("sim.cycles", 0) - before.get("sim.cycles", 0)
+    assert delta == result.cycles

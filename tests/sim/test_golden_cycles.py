@@ -1,0 +1,82 @@
+"""Golden-cycle regression: the timing simulator is pinned bit-exactly.
+
+These values were captured from the seed simulator (pre-optimization).
+The hot-path refactor and the result cache must be provably
+behaviour-preserving: any change to `TimingResult.cycles` or to the
+retired opcode mix for these configurations is a timing-model change and
+must be deliberate (update the goldens *and* bump
+`repro.perf.cache.SIM_VERSION` so stale disk entries are invalidated).
+
+The runs here drive `TimingSimulator` directly -- the result cache sits
+above it (in `PerformanceModel`), so these tests always exercise the real
+cycle stepper regardless of cache state.
+"""
+
+import pytest
+
+from repro.arch import RTX2070
+from repro.core.builder import HgemmProblem, build_hgemm
+from repro.core.config import cublas_like, ours
+from repro.sim.memory import GlobalMemory
+from repro.sim.timing import TimingSimulator
+
+#: (config factory, k depth) -> (cycles, instructions, opcode counts).
+GOLDEN = {
+    ("ours", 32): (
+        11051, 5864,
+        {"BAR": 24, "BRA": 8, "EXIT": 8, "HMMA": 2048, "IADD3": 304,
+         "IMAD": 144, "ISETP": 16, "LDG": 128, "LDS": 848, "LOP3": 40,
+         "MOV": 1032, "MOV32I": 24, "NOP": 24, "S2R": 24, "SHF": 40,
+         "STG": 1024, "STS": 128},
+    ),
+    ("ours", 64): (
+        15353, 8912,
+        {"BAR": 40, "BRA": 16, "EXIT": 8, "HMMA": 4096, "IADD3": 376,
+         "IMAD": 144, "ISETP": 24, "LDG": 192, "LDS": 1616, "LOP3": 40,
+         "MOV": 1032, "MOV32I": 24, "NOP": 24, "S2R": 24, "SHF": 40,
+         "STG": 1024, "STS": 192},
+    ),
+    ("cublas-like", 64): (
+        5516, 2860,
+        {"BAR": 12, "BRA": 4, "EXIT": 4, "HMMA": 1024, "IADD3": 232,
+         "IMAD": 136, "ISETP": 8, "LDG": 128, "LDS": 552, "LOP3": 60,
+         "MOV": 260, "MOV32I": 12, "NOP": 12, "S2R": 12, "SHF": 20,
+         "STG": 256, "STS": 128},
+    ),
+    ("cublas-like", 128): (
+        8419, 4608,
+        {"BAR": 20, "BRA": 8, "EXIT": 4, "HMMA": 2048, "IADD3": 300,
+         "IMAD": 136, "ISETP": 12, "LDG": 192, "LDS": 1064, "LOP3": 60,
+         "MOV": 260, "MOV32I": 12, "NOP": 12, "S2R": 12, "SHF": 20,
+         "STG": 256, "STS": 192},
+    ),
+}
+
+_CONFIGS = {"ours": ours, "cublas-like": cublas_like}
+
+
+def _run(config, k):
+    problem = HgemmProblem(m=config.b_m, n=config.b_n, k=k,
+                           a_addr=0, b_addr=4 << 20, c_addr=8 << 20)
+    program = build_hgemm(config, problem, RTX2070)
+    return TimingSimulator(RTX2070).run(program, GlobalMemory(16 << 20),
+                                        num_ctas=1)
+
+
+@pytest.mark.parametrize("name,k", sorted(GOLDEN))
+def test_golden_cycles(name, k):
+    cycles, instructions, opcodes = GOLDEN[(name, k)]
+    result = _run(_CONFIGS[name](), k)
+    assert result.cycles == cycles
+    assert result.instructions == instructions
+    assert result.opcode_counts == opcodes
+
+
+def test_golden_runs_are_deterministic():
+    """Two fresh simulator instances agree cycle-for-cycle (the property
+    the content-addressed cache depends on)."""
+    config = cublas_like()
+    first = _run(config, 64)
+    second = _run(config, 64)
+    assert first.cycles == second.cycles
+    assert first.opcode_counts == second.opcode_counts
