@@ -132,7 +132,7 @@ def _cmd_hgemm(args) -> int:
     a = rng.uniform(-1, 1, (args.m, args.k)).astype(np.float16)
     b = rng.uniform(-1, 1, (args.k, args.n)).astype(np.float16)
     run = hgemm(a, b, kernel=args.kernel, accumulate=args.accumulate,
-                return_run=True)
+                return_run=True, max_workers=args.jobs)
     reference = hgemm_reference(a, b, accumulate=args.accumulate)
     exact = np.array_equal(run.c, reference)
     print(f"kernel: {run.config.describe()}")
@@ -157,7 +157,7 @@ def _cmd_autotune(args) -> int:
 def _cmd_perfstats(args) -> int:
     from .analysis import PerformanceModel
     from .arch import get_device
-    from .core import cublas_like, ours
+    from .core import cublas_like, hgemm, ours
     from .perf import PROFILE_CACHE, STATS, cache_dir, cache_enabled
 
     spec = get_device(args.device)
@@ -168,6 +168,14 @@ def _cmd_perfstats(args) -> int:
     with STATS.timer("perfstats.wall"):
         profiles = pm.profile_many(kernels[args.kernel],
                                    max_workers=args.jobs)
+        # One functional launch per kernel so the func.* counters
+        # (CTAs, retired instructions, worker fan-out) have data too.
+        rng = np.random.default_rng(0)
+        a = rng.uniform(-1, 1, (256, 32)).astype(np.float16)
+        b = rng.uniform(-1, 1, (32, 256)).astype(np.float16)
+        for name in ("ours", "cublas"):
+            if args.kernel in (name, "both"):
+                hgemm(a, b, kernel=name, spec=spec, max_workers=args.jobs)
     state = ("enabled" if cache_enabled()
              else "DISABLED (REPRO_NO_CACHE set)")
     print(f"result cache: {state}")
@@ -224,7 +232,8 @@ def _cmd_verify(args) -> int:
         smem_swizzle=False,
         smem_pad_halves=8 if not config.smem_swizzle else 8,
     )
-    report = verify_kernel(config, seeds=tuple(range(args.seeds)))
+    report = verify_kernel(config, seeds=tuple(range(args.seeds)),
+                           max_workers=args.jobs)
     print(report.summary())
     return 0 if report.passed else 1
 
@@ -272,6 +281,8 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["ours", "cublas"])
     p.add_argument("--accumulate", default="f16", choices=["f16", "f32"])
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (0 = one per CPU; default serial)")
 
     p = sub.add_parser("autotune", help="pick the best kernel config")
     p.add_argument("m", type=int)
@@ -301,6 +312,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kernel", default="ours",
                    choices=["ours", "cublas", "f32", "int8"])
     p.add_argument("--seeds", type=int, default=2)
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (0 = one per CPU; default serial)")
 
     p = sub.add_parser("disasm", help="print a generated kernel's SASS")
     p.add_argument("--m", type=int, default=256)

@@ -37,7 +37,8 @@ def _shrink_int8(config: KernelConfig, m: int, n: int, k: int) -> KernelConfig:
     return config.with_(b_m=b_m, b_n=b_n, b_k=b_k, w_m=w_m, w_n=w_n)
 
 
-def igemm(a, b, kernel=None, spec: GpuSpec = RTX2070) -> np.ndarray:
+def igemm(a, b, kernel=None, spec: GpuSpec = RTX2070,
+          max_workers: int = None) -> np.ndarray:
     """Compute ``C = A @ B`` on int8 operands with s32 accumulation.
 
     Args:
@@ -46,6 +47,7 @@ def igemm(a, b, kernel=None, spec: GpuSpec = RTX2070) -> np.ndarray:
         kernel: an explicit int8 :class:`KernelConfig`, or None for the
             :func:`ours_int8` preset (shrunk to fit the problem).
         spec: target device.
+        max_workers: CTA-parallel worker processes for the functional run.
 
     Returns:
         (m, n) int32 array.
@@ -77,7 +79,8 @@ def igemm(a, b, kernel=None, spec: GpuSpec = RTX2070) -> np.ndarray:
                            c_addr=c_addr)
     program = build_hgemm(config, problem, spec)
     FunctionalSimulator().run(program, memory,
-                              grid_dim=config.grid_dim(m, n))
+                              grid_dim=config.grid_dim(m, n),
+                              max_workers=max_workers)
     return memory.read_array(c_addr, np.int32, m * n).reshape(m, n)
 
 

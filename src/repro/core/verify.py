@@ -66,11 +66,15 @@ class VerificationReport:
 
 
 def verify_kernel(config: KernelConfig, shapes=DEFAULT_SHAPES,
-                  seeds=(0, 1), spec: GpuSpec = RTX2070) -> VerificationReport:
+                  seeds=(0, 1), spec: GpuSpec = RTX2070,
+                  max_workers: int = None) -> VerificationReport:
     """Run *config* over a shape/seed grid against the oracle.
 
     Shapes that the configuration cannot tile are skipped (they are not
     this kernel's job); everything it accepts must be bit-exact.
+    ``max_workers`` shards each launch's CTAs over worker processes
+    (``None``/1 serial, 0 one per CPU) -- results are bit-identical either
+    way, the parallel path only changes wall time.
     """
     report = VerificationReport(kernel_name=config.name or "custom")
     is_int8 = config.ab_dtype == "s8"
@@ -87,11 +91,13 @@ def verify_kernel(config: KernelConfig, shapes=DEFAULT_SHAPES,
                 b = rng.uniform(-2, 2, (k, n)).astype(np.float16)
             try:
                 if is_int8:
-                    got = igemm(a, b, kernel=config, spec=spec)
+                    got = igemm(a, b, kernel=config, spec=spec,
+                                max_workers=max_workers)
                     want = igemm_reference(a, b)
                 else:
                     got = hgemm(a, b, kernel=config, spec=spec,
-                                accumulate="f32" if config.accum_f32 else "f16")
+                                accumulate="f32" if config.accum_f32 else "f16",
+                                max_workers=max_workers)
                     want = hgemm_reference(
                         a, b, accumulate="f32" if config.accum_f32 else "f16")
             except Exception as exc:

@@ -23,7 +23,8 @@ def default_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
-def parallel_map(fn, items, max_workers=None) -> list:
+def parallel_map(fn, items, max_workers=None, initializer=None,
+                 initargs=()) -> list:
     """``[fn(x) for x in items]``, optionally across worker processes.
 
     ``max_workers`` semantics:
@@ -33,6 +34,9 @@ def parallel_map(fn, items, max_workers=None) -> list:
     * ``0`` -- auto: one worker per CPU;
     * ``n > 1`` -- at most *n* workers.
 
+    ``initializer(*initargs)`` runs once per worker before any item (e.g. to
+    attach shared memory); on the serial path it runs once in this process.
+
     Order of results always matches the order of *items*.  Exceptions in
     workers propagate to the caller, as they would serially.
     """
@@ -40,7 +44,10 @@ def parallel_map(fn, items, max_workers=None) -> list:
     if max_workers == 0:
         max_workers = default_workers()
     if max_workers is None or max_workers <= 1 or len(items) <= 1:
+        if initializer is not None:
+            initializer(*initargs)
         return [fn(item) for item in items]
     workers = min(max_workers, len(items))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    with ProcessPoolExecutor(max_workers=workers, initializer=initializer,
+                             initargs=initargs) as pool:
         return list(pool.map(fn, items))

@@ -10,6 +10,13 @@ Counter names use dotted namespaces by convention:
 * ``sim.runs`` / ``sim.cycles`` / ``sim.instructions`` -- incremented by
   :class:`~repro.sim.timing.TimingSimulator` per ``run()``.
 * ``sim.wall`` (a timer, seconds) -- wall time inside ``run()``.
+* ``func.runs`` / ``func.ctas`` / ``func.instructions`` /
+  ``func.workers`` -- incremented by
+  :class:`~repro.sim.functional.FunctionalSimulator` per ``run()``
+  (grid launches, CTAs executed, instructions retired, and worker
+  processes used for CTA-parallel sharding).
+* ``func.wall`` (a timer, seconds) -- wall time inside functional
+  ``run()``, including predecode and any worker fan-out.
 * ``cache.mem_hits`` / ``cache.disk_hits`` / ``cache.misses`` /
   ``cache.stores`` -- maintained by :mod:`repro.perf.cache`.
 """

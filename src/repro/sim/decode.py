@@ -1,0 +1,1035 @@
+"""Predecoded execution engine for the functional simulator.
+
+The reference interpreter (:func:`repro.sim.exec_units.execute`) re-examines
+every ``Instruction`` each time it retires: a dict dispatch on the opcode,
+``isinstance`` checks on every operand, fresh ``np.full`` immediates, and an
+``Effects`` record that the caller then unpacks.  For a GEMM that retires the
+same few hundred instructions thousands of times, almost all of that work is
+loop-invariant.
+
+:func:`predecode` moves it to launch time.  Each program slot becomes one
+closure with its register indices, immediates, predicate slot and handler
+resolved once; executing an instruction is then a single call that reads and
+writes the warp's register file directly.  A closure returns the control
+signal for the interval loop in :mod:`repro.sim.functional`:
+
+* ``None`` -- fall through to the slot's precomputed ``next_pc``;
+* an ``int >= 0`` -- branch to that slot;
+* :data:`EXITED` / :data:`BARRIER` -- the warp exits / arrives at a barrier.
+
+On top of the per-slot closures, maximal runs of consecutive independent
+same-shape instructions (HMMA, LDS/LDG, STS/STG, MOV, IADD3/IMAD -- the inner
+loops of the generated kernels) are fused into *batched* closures that execute
+the whole run with warp-wide NumPy gathers and scatters.  Fusion is only
+applied when no instruction in the run reads or overwrites a register written
+earlier in the run, so gather-all-then-scatter-all is order-equivalent to
+sequential execution; branches into the middle of a fused run still work
+because every member slot keeps its individual closure.
+
+Bit-exactness contract: every fast path performs the same element-wise
+arithmetic as the reference executor -- integer ops wrap modulo 2**32 either
+way, permutation gathers reorder but never transform values, and the per-HMMA
+``(16, 8) @ (8, 8)`` float32 matmuls are kept as individual 2-D products (only
+their fragment gathers and the accumulate/round stages are batched) so the
+BLAS dispatch and rounding sequence match the reference exactly.  The golden
+tests in ``tests/sim/test_golden_functional.py`` pin this equivalence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..arch.registers import WARP_LANES
+from ..hmma import fragments as frag
+from ..hmma import mma as mma_ops
+from ..hmma.fp16 import pack_half2, unpack_half2
+from ..hmma.int8 import imma_8816
+from ..isa.operands import Imm, MemRef, Pred, Reg, SpecialReg, PT_INDEX, RZ_INDEX
+from .exec_units import _CMPS, ExecError, execute
+
+__all__ = ["BARRIER", "EXITED", "DecodedProgram", "predecode"]
+
+#: Control signals returned by decoded-op closures (negative so that any
+#: non-negative return value can be a branch-target slot).
+EXITED = -1
+BARRIER = -2
+
+# Shared read-only constants; closures must never mutate reader results.
+_ZEROS_U32 = np.zeros(WARP_LANES, dtype=np.uint32)
+_ZEROS_U32.setflags(write=False)
+_ZEROS_I32 = np.zeros(WARP_LANES, dtype=np.int32)
+_ZEROS_I32.setflags(write=False)
+
+
+class DecodedProgram:
+    """Slot-indexed decoded form of one :class:`~repro.isa.program.Program`.
+
+    Parallel lists, indexed by slot (= instruction index):
+
+    * ``run_fns`` -- the closure executing the slot;
+    * ``next_pc`` -- fall-through successor (``pc + 1``, or ``pc + g`` for a
+      fused run of ``g`` instructions);
+    * ``lens`` -- instructions retired per execution (``g`` for fused runs);
+    * ``reads_clock`` -- slot reads ``SR_CLOCKLO/HI``, so the interval loop
+      must sync ``warp.retired`` before calling it;
+    * ``slot_ops`` -- tuple of ``(opcode, count)`` pairs retired per
+      execution (several pairs for a fused window), used by
+      :meth:`accumulate` to expand per-slot execution counters into the
+      per-opcode retire counts of a :class:`FunctionalResult`.
+    """
+
+    __slots__ = ("n", "run_fns", "next_pc", "lens", "reads_clock", "slot_ops")
+
+    def __init__(self, n, run_fns, next_pc, lens, reads_clock, slot_ops):
+        self.n = n
+        self.run_fns = run_fns
+        self.next_pc = next_pc
+        self.lens = lens
+        self.reads_clock = reads_clock
+        self.slot_ops = slot_ops
+
+    def new_counts(self) -> list:
+        """Fresh per-slot execution counters for one launch."""
+        return [0] * self.n
+
+    def accumulate(self, counts, result) -> None:
+        """Fold per-slot execution *counts* into *result* (a FunctionalResult)."""
+        opcode_counts = result.opcode_counts
+        total = 0
+        for slot, executed in enumerate(counts):
+            if not executed:
+                continue
+            for opcode, per_exec in self.slot_ops[slot]:
+                retired = executed * per_exec
+                total += retired
+                opcode_counts[opcode] = opcode_counts.get(opcode, 0) + retired
+        result.instructions_retired += total
+
+
+# ----------------------------------------------------------- operand readers
+
+def _val_getter(operand):
+    """fn(warp) -> (32,) uint32 for a Reg / Imm source, or None."""
+    if isinstance(operand, Reg):
+        if operand.is_rz:
+            return lambda warp: _ZEROS_U32
+        index = operand.index
+        return lambda warp: warp.regs._data[index]
+    if isinstance(operand, Imm):
+        const = np.full(WARP_LANES, operand.unsigned, dtype=np.uint32)
+        const.setflags(write=False)
+        return lambda warp: const
+    return None
+
+
+def _val_getter_i32(operand):
+    """Signed view of :func:`_val_getter`; int32 compares match the
+    reference's sign-extended int64 compares for every 32-bit pattern."""
+    if isinstance(operand, Reg):
+        if operand.is_rz:
+            return lambda warp: _ZEROS_I32
+        index = operand.index
+        return lambda warp: warp.regs._data[index].view(np.int32)
+    if isinstance(operand, Imm):
+        const = np.full(WARP_LANES, operand.unsigned, dtype=np.uint32).view(np.int32)
+        const.setflags(write=False)
+        return lambda warp: const
+    return None
+
+
+def _special_getter(operand):
+    """fn(warp) -> (32,) uint32 for a SpecialReg source, or None."""
+    name = operand.name
+    if name == "SR_TID.X":
+        return lambda warp: warp.tid
+    if name in ("SR_TID.Y", "SR_TID.Z", "SRZ"):
+        return lambda warp: _ZEROS_U32
+    if name == "SR_CTAID.X":
+        return lambda warp: np.full(WARP_LANES, warp.ctaid[0], dtype=np.uint32)
+    if name == "SR_CTAID.Y":
+        return lambda warp: np.full(WARP_LANES, warp.ctaid[1], dtype=np.uint32)
+    if name == "SR_CTAID.Z":
+        return lambda warp: np.full(WARP_LANES, warp.ctaid[2], dtype=np.uint32)
+    if name == "SR_LANEID":
+        return lambda warp: warp.lane_ids
+    if name == "SR_CLOCKLO":
+        return lambda warp: np.full(
+            WARP_LANES, warp.retired & 0xFFFFFFFF, dtype=np.uint32)
+    if name == "SR_CLOCKHI":
+        return lambda warp: np.full(
+            WARP_LANES, (warp.retired >> 32) & 0xFFFFFFFF, dtype=np.uint32)
+    return None
+
+
+def _reads_clock(inst) -> bool:
+    return any(isinstance(op, SpecialReg) and op.name in ("SR_CLOCKLO", "SR_CLOCKHI")
+               for op in inst.srcs)
+
+
+def _gpr_dest(inst):
+    """The single non-RZ Reg destination index, or None (-> generic path)."""
+    if len(inst.dests) != 1:
+        return None
+    dest = inst.dests[0]
+    if not isinstance(dest, Reg) or dest.is_rz:
+        return None
+    return dest.index
+
+
+# ------------------------------------------------------ fast single closures
+
+def _build_mov(inst):
+    dest = _gpr_dest(inst)
+    if dest is None or len(inst.srcs) != 1:
+        return None
+    src = inst.srcs[0]
+    if isinstance(src, Reg) and not src.is_rz:
+        s = src.index
+
+        def run(warp):
+            warp.regs._data[dest] = warp.regs._data[s]
+        return run
+    getter = _val_getter(src)
+    if getter is None and isinstance(src, SpecialReg):
+        getter = _special_getter(src)
+    if getter is None:
+        return None
+
+    def run(warp):
+        warp.regs._data[dest] = getter(warp)
+    return run
+
+
+def _build_iadd3(inst):
+    dest = _gpr_dest(inst)
+    if dest is None or not inst.srcs:
+        return None
+    getters = [_val_getter(s) for s in inst.srcs]
+    if any(g is None for g in getters):
+        return None
+    if len(getters) == 3:
+        g0, g1, g2 = getters
+
+        def run(warp):
+            warp.regs._data[dest] = g0(warp) + g1(warp) + g2(warp)
+        return run
+
+    def run(warp):
+        acc = getters[0](warp)
+        for getter in getters[1:]:
+            acc = acc + getter(warp)
+        warp.regs._data[dest] = acc
+    return run
+
+
+def _build_imad(inst):
+    dest = _gpr_dest(inst)
+    if dest is None or len(inst.srcs) != 3:
+        return None
+    getters = [_val_getter(s) for s in inst.srcs]
+    if any(g is None for g in getters):
+        return None
+    ga, gb, gc = getters
+
+    def run(warp):
+        warp.regs._data[dest] = ga(warp) * gb(warp) + gc(warp)
+    return run
+
+
+def _build_shf(inst):
+    dest = _gpr_dest(inst)
+    if dest is None or len(inst.srcs) < 2:
+        return None
+    gv = _val_getter(inst.srcs[0])
+    ga = _val_getter(inst.srcs[1])
+    if gv is None or ga is None:
+        return None
+    if "L" in inst.mods:
+        def run(warp):
+            amount = (ga(warp) & np.uint32(31)).astype(np.uint64)
+            warp.regs._data[dest] = (
+                (gv(warp).astype(np.uint64) << amount) & np.uint64(0xFFFFFFFF))
+        return run
+    if "R" in inst.mods:
+        def run(warp):
+            amount = (ga(warp) & np.uint32(31)).astype(np.uint64)
+            warp.regs._data[dest] = gv(warp).astype(np.uint64) >> amount
+        return run
+    return None  # the reference path raises the canonical error
+
+
+def _build_lop3(inst):
+    dest = _gpr_dest(inst)
+    if dest is None or len(inst.srcs) < 2:
+        return None
+    ga = _val_getter(inst.srcs[0])
+    gb = _val_getter(inst.srcs[1])
+    if ga is None or gb is None:
+        return None
+    if "AND" in inst.mods:
+        def run(warp):
+            warp.regs._data[dest] = ga(warp) & gb(warp)
+    elif "OR" in inst.mods:
+        def run(warp):
+            warp.regs._data[dest] = ga(warp) | gb(warp)
+    elif "XOR" in inst.mods:
+        def run(warp):
+            warp.regs._data[dest] = ga(warp) ^ gb(warp)
+    else:
+        return None
+    return run
+
+
+def _build_isetp(inst):
+    cmp_name = inst.mods[0] if inst.mods else None
+    cmp = _CMPS.get(cmp_name)
+    if cmp is None or len(inst.srcs) != 3 or len(inst.dests) != 1:
+        return None
+    combine = inst.srcs[2]
+    if not isinstance(combine, Pred) or not isinstance(inst.dests[0], Pred):
+        return None
+    ga = _val_getter_i32(inst.srcs[0])
+    gb = _val_getter_i32(inst.srcs[1])
+    if ga is None or gb is None:
+        return None
+    dest = inst.dests[0].index
+    if dest == PT_INDEX:
+        return lambda warp: None  # writes to PT are discarded
+    ci = combine.index
+    if combine.negated:
+        def run(warp):
+            warp.preds._data[dest] = cmp(ga(warp), gb(warp)) & ~warp.preds._data[ci]
+    else:
+        def run(warp):
+            warp.preds._data[dest] = cmp(ga(warp), gb(warp)) & warp.preds._data[ci]
+    return run
+
+
+def _build_sel(inst):
+    dest = _gpr_dest(inst)
+    if dest is None or len(inst.srcs) != 3 or not isinstance(inst.srcs[2], Pred):
+        return None
+    ga = _val_getter(inst.srcs[0])
+    gb = _val_getter(inst.srcs[1])
+    if ga is None or gb is None:
+        return None
+    pi = inst.srcs[2].index
+    if inst.srcs[2].negated:
+        def run(warp):
+            warp.regs._data[dest] = np.where(warp.preds._data[pi], gb(warp), ga(warp))
+    else:
+        def run(warp):
+            warp.regs._data[dest] = np.where(warp.preds._data[pi], ga(warp), gb(warp))
+    return run
+
+
+def _build_hfma2(inst):
+    dest = _gpr_dest(inst)
+    if dest is None or len(inst.srcs) != 3:
+        return None
+    if not all(isinstance(s, Reg) for s in inst.srcs):
+        return None
+    ai, bi, ci = (s.index for s in inst.srcs)
+
+    def run(warp):
+        regs = warp.regs
+        a_lo, a_hi = unpack_half2(regs.read(ai))
+        b_lo, b_hi = unpack_half2(regs.read(bi))
+        c_lo, c_hi = unpack_half2(regs.read(ci))
+        d_lo = (a_lo.astype(np.float32) * b_lo.astype(np.float32)
+                + c_lo.astype(np.float32)).astype(np.float16)
+        d_hi = (a_hi.astype(np.float32) * b_hi.astype(np.float32)
+                + c_hi.astype(np.float32)).astype(np.float16)
+        regs._data[dest] = pack_half2(d_lo, d_hi)
+    return run
+
+
+def _mma_operands(inst):
+    """(d, a, b, c) register indices when all are general registers."""
+    if len(inst.dests) != 1 or len(inst.srcs) != 3:
+        return None
+    ops = (inst.dests[0], *inst.srcs)
+    if any(not isinstance(op, Reg) or op.is_rz for op in ops):
+        return None
+    return tuple(op.index for op in ops)
+
+
+def _build_hmma(inst):
+    ops = _mma_operands(inst)
+    if ops is None:
+        return None
+    d, a, b, c = ops
+    if "1688" in inst.mods:
+        if a + 2 > RZ_INDEX:
+            return None
+        if "F32" in inst.mods:
+            if c + 4 > RZ_INDEX or d + 4 > RZ_INDEX:
+                return None
+
+            def run(warp):
+                regs = warp.regs._data
+                regs[d:d + 4] = mma_ops.hmma_1688_f32(
+                    regs[a:a + 2], regs[b], regs[c:c + 4])
+        else:
+            if c + 2 > RZ_INDEX or d + 2 > RZ_INDEX:
+                return None
+
+            def run(warp):
+                regs = warp.regs._data
+                regs[d:d + 2] = mma_ops.hmma_1688_f16(
+                    regs[a:a + 2], regs[b], regs[c:c + 2])
+        return run
+    if "884" in inst.mods:
+        def run(warp):
+            regs = warp.regs._data
+            regs[d] = mma_ops.hmma_884_f16(regs[a], regs[b], regs[c])
+        return run
+    return None
+
+
+def _build_imma(inst):
+    ops = _mma_operands(inst)
+    if ops is None or "8816" not in inst.mods:
+        return None
+    d, a, b, c = ops
+    if c + 2 > RZ_INDEX:
+        return None
+
+    def run(warp):
+        regs = warp.regs._data
+        result = imma_8816(regs[a], regs[b], regs[c:c + 2])
+        warp.regs.write_group(d, result)
+    return run
+
+
+def _memref_parts(inst):
+    """(base Reg, offset, width_bytes, words) for a load/store, or None."""
+    memref = inst.srcs[0]
+    if not isinstance(memref, MemRef) or not isinstance(memref.base, Reg):
+        return None
+    width = inst.width // 8
+    return memref.base, memref.offset, width, width // 4
+
+
+def _build_load(space):
+    def build(inst):
+        parts = _memref_parts(inst)
+        dest = _gpr_dest(inst)
+        if parts is None or dest is None:
+            return None
+        base, offset, width, words = parts
+        if dest + words > RZ_INDEX:
+            return None
+        mem_attr = "global_mem" if space == "global" else "shared_mem"
+        if base.is_rz:
+            const_addresses = np.full(WARP_LANES, offset, dtype=np.int64)
+            const_addresses.setflags(write=False)
+
+            def run(warp):
+                data = getattr(warp, mem_attr).load_warp(const_addresses, width, None)
+                warp.regs._data[dest:dest + words] = data
+        else:
+            bi = base.index
+
+            def run(warp):
+                addresses = warp.regs._data[bi].astype(np.int64) + offset
+                data = getattr(warp, mem_attr).load_warp(addresses, width, None)
+                warp.regs._data[dest:dest + words] = data
+        return run
+    return build
+
+
+def _build_store(space):
+    def build(inst):
+        if len(inst.srcs) != 2:
+            return None
+        parts = _memref_parts(inst)
+        if parts is None:
+            return None
+        base, offset, width, words = parts
+        src = inst.srcs[1]
+        if not isinstance(src, Reg) or src.is_rz or src.index + words > RZ_INDEX:
+            return None
+        si = src.index
+        mem_attr = "global_mem" if space == "global" else "shared_mem"
+        if base.is_rz:
+            const_addresses = np.full(WARP_LANES, offset, dtype=np.int64)
+            const_addresses.setflags(write=False)
+
+            def run(warp):
+                getattr(warp, mem_attr).store_warp(
+                    const_addresses, warp.regs._data[si:si + words], width, None)
+        else:
+            bi = base.index
+
+            def run(warp):
+                addresses = warp.regs._data[bi].astype(np.int64) + offset
+                getattr(warp, mem_attr).store_warp(
+                    addresses, warp.regs._data[si:si + words], width, None)
+        return run
+    return build
+
+
+_FAST_BUILDERS = {
+    "MOV": _build_mov,
+    "MOV32I": _build_mov,
+    "S2R": _build_mov,
+    "CS2R": _build_mov,
+    "IADD3": _build_iadd3,
+    "IMAD": _build_imad,
+    "SHF": _build_shf,
+    "LOP3": _build_lop3,
+    "ISETP": _build_isetp,
+    "SEL": _build_sel,
+    "HFMA2": _build_hfma2,
+    "HMMA": _build_hmma,
+    "IMMA": _build_imma,
+    "LDG": _build_load("global"),
+    "LDS": _build_load("shared"),
+    "STG": _build_store("global"),
+    "STS": _build_store("shared"),
+}
+
+
+# -------------------------------------------------------- control + fallback
+
+def _build_exit(inst):
+    if inst.pred is None:
+        return lambda warp: EXITED
+    pi, negated = inst.pred.index, inst.pred.negated
+    if negated:
+        def run(warp):
+            return EXITED if not warp.preds._data[pi].any() else None
+    else:
+        def run(warp):
+            return EXITED if warp.preds._data[pi].all() else None
+    return run
+
+
+def _build_bra(inst):
+    target = inst.target_index
+    if inst.pred is None:
+        if target is None:
+            return lambda warp: None  # unresolved target falls through
+        return lambda warp: target
+    pi, negated = inst.pred.index, inst.pred.negated
+    if negated:
+        def run(warp):
+            active = warp.preds._data[pi]
+            if not active.any():
+                return target
+            if active.all():
+                return None
+            raise ExecError(
+                "divergent branch: this subset requires warp-uniform branch "
+                f"predicates ({int(WARP_LANES - active.sum())}/32 lanes taken)")
+    else:
+        def run(warp):
+            active = warp.preds._data[pi]
+            if active.all():
+                return target
+            if not active.any():
+                return None
+            raise ExecError(
+                "divergent branch: this subset requires warp-uniform branch "
+                f"predicates ({int(active.sum())}/32 lanes taken)")
+    return run
+
+
+def _build_generic(inst):
+    """Exact reference semantics: evaluate through ``execute`` and apply the
+    Effects the same way the reference interval loop does."""
+    def run(warp):
+        eff = execute(inst, warp)
+        for first_reg, values, mask in eff.reg_writes:
+            warp.regs.write_group(
+                first_reg, values, mask=None if mask.all() else mask)
+        for index, values, mask in eff.pred_writes:
+            warp.preds.write(index, values, mask=None if mask.all() else mask)
+        if eff.exited:
+            return EXITED
+        if eff.branch_target is not None:
+            return eff.branch_target
+        if eff.barrier:
+            return BARRIER
+        return None
+    return run
+
+
+def _guarded(fast, generic, pred):
+    """Predicate wrapper: all lanes on -> fast path; all off -> retire as a
+    no-op; partial -> the reference path (which owns masked semantics)."""
+    pi, negated = pred.index, pred.negated
+    if negated:
+        def run(warp):
+            active = warp.preds._data[pi]
+            if not active.any():
+                return fast(warp)
+            if active.all():
+                return None
+            return generic(warp)
+    else:
+        def run(warp):
+            active = warp.preds._data[pi]
+            if active.all():
+                return fast(warp)
+            if not active.any():
+                return None
+            return generic(warp)
+    return run
+
+
+def _decode_one(inst):
+    opcode = inst.opcode
+    if opcode == "EXIT":
+        return _build_exit(inst)
+    if opcode == "BAR":
+        return lambda warp: BARRIER  # arrives regardless of predication
+    if opcode == "BRA":
+        return _build_bra(inst)
+    if opcode == "NOP":
+        return lambda warp: None
+    generic = _build_generic(inst)
+    builder = _FAST_BUILDERS.get(opcode)
+    if builder is None:
+        return generic
+    try:
+        fast = builder(inst)
+    except Exception:
+        fast = None  # malformed operands: let the reference path raise at exec
+    if fast is None:
+        return generic
+    if inst.pred is None:
+        return fast
+    return _guarded(fast, generic, inst.pred)
+
+
+# -------------------------------------------------------------- fusion layer
+#
+# Generated kernels software-pipeline their inner loops (LDS and HMMA
+# interleave 1:1), so batching only *consecutive* same-opcode runs would fuse
+# almost nothing.  Instead, predecode finds maximal straight-line *windows*
+# of schedulable slots and list-schedules each one: instructions with the
+# same fusion key collect into a batch, reordered across unrelated neighbours
+# when the dependence check proves the reorder is observation-equivalent.
+#
+# Dependence sets contain GPR indices (ints), predicate tokens ``("p", i)``
+# and whole-space memory tokens (loads read / stores write their space --
+# exact aliasing is unknown statically, so a space is one location).  Reads
+# of RZ batch as gathers of register-file row 255, which stays all-zero
+# because writes to RZ are discarded.
+
+_MEM_GLOBAL = "mem:g"
+_MEM_SHARED = "mem:s"
+_MEM_TOKENS = frozenset((_MEM_GLOBAL, _MEM_SHARED))
+
+#: Marker key for schedulable-but-not-batchable slots: they join a window as
+#: single-member groups (keeping it unbroken) and run their own closure.
+_SOLO = None
+
+
+def _solo_alu_sets(inst):
+    """(reads, writes) for single-GPR-dest ALU ops, or None if irregular."""
+    if len(inst.dests) != 1:
+        return None
+    dest = inst.dests[0]
+    if isinstance(dest, Reg):
+        writes = set() if dest.is_rz else {dest.index}
+    elif isinstance(dest, Pred):
+        writes = {("p", dest.index)} if dest.index != PT_INDEX else set()
+    else:
+        return None
+    reads = set()
+    for src in inst.srcs:
+        if isinstance(src, Reg):
+            if not src.is_rz:
+                reads.add(src.index)
+        elif isinstance(src, Pred):
+            reads.add(("p", src.index))
+        elif isinstance(src, (Imm, SpecialReg)):
+            pass  # immediates and warp-constant special regs (clock gated out)
+        else:
+            return None
+    return reads, writes
+
+
+def _fuse_info(inst):
+    """(key, reads, writes, payload) when *inst* can join a fused window.
+
+    ``key`` identifies the batch shape (same key -> same group builder);
+    ``key is _SOLO`` marks an instruction that schedules but never batches.
+    """
+    if inst.pred is not None or _reads_clock(inst):
+        return None
+    opcode = inst.opcode
+    if opcode == "HMMA":
+        ops = _mma_operands(inst)
+        if ops is None:
+            return None
+        d, a, b, c = ops
+        if "1688" in inst.mods:
+            if a + 2 > RZ_INDEX:
+                return None
+            if "F32" in inst.mods:
+                if c + 4 > RZ_INDEX or d + 4 > RZ_INDEX:
+                    return None
+                reads = {a, a + 1, b, *range(c, c + 4)}
+                writes = set(range(d, d + 4))
+                key = ("hmma", "f32") if frag._LITTLE_ENDIAN else _SOLO
+                return key, reads, writes, (d, a, b, c)
+            if c + 2 > RZ_INDEX or d + 2 > RZ_INDEX:
+                return None
+            key = ("hmma", "f16") if frag._LITTLE_ENDIAN else _SOLO
+            return key, {a, a + 1, b, c, c + 1}, {d, d + 1}, (d, a, b, c)
+        if "884" in inst.mods:
+            return _SOLO, {a, b, c}, {d}, None
+        return None
+    if opcode == "IMMA":
+        ops = _mma_operands(inst)
+        if ops is None or "8816" not in inst.mods or ops[3] + 2 > RZ_INDEX:
+            return None
+        d, a, b, c = ops
+        if d + 2 > RZ_INDEX:
+            return None
+        return _SOLO, {a, b, c, c + 1}, {d, d + 1}, None
+    if opcode in ("LDS", "LDG"):
+        parts = _memref_parts(inst)
+        dest = _gpr_dest(inst)
+        if parts is None or dest is None:
+            return None
+        base, offset, width, words = parts
+        if dest + words > RZ_INDEX:
+            return None
+        space = _MEM_GLOBAL if opcode == "LDG" else _MEM_SHARED
+        reads = {base.index, space} if not base.is_rz else {space}
+        writes = set(range(dest, dest + words))
+        return (("load", opcode, width), reads, writes,
+                (dest, base.index, offset, words))
+    if opcode in ("STS", "STG"):
+        if len(inst.srcs) != 2:
+            return None
+        parts = _memref_parts(inst)
+        if parts is None:
+            return None
+        base, offset, width, words = parts
+        src = inst.srcs[1]
+        if not isinstance(src, Reg) or src.is_rz or src.index + words > RZ_INDEX:
+            return None
+        space = _MEM_GLOBAL if opcode == "STG" else _MEM_SHARED
+        reads = set(range(src.index, src.index + words))
+        if not base.is_rz:
+            reads.add(base.index)
+        return (("store", opcode, width), reads, {space},
+                (src.index, base.index, offset, words))
+    if opcode in ("MOV", "MOV32I", "S2R", "CS2R"):
+        dest = _gpr_dest(inst)
+        if dest is None or len(inst.srcs) != 1:
+            return None
+        src = inst.srcs[0]
+        if isinstance(src, Reg):
+            reads = set() if src.is_rz else {src.index}
+            return ("mov", "r"), reads, {dest}, (dest, src.index)
+        if isinstance(src, Imm):
+            return ("mov", "i"), set(), {dest}, (dest, src.unsigned)
+        if isinstance(src, SpecialReg):
+            return _SOLO, set(), {dest}, None
+        return None
+    if opcode in ("IADD3", "IMAD"):
+        dest = _gpr_dest(inst)
+        if dest is None or not inst.srcs:
+            return None
+        if opcode == "IMAD" and len(inst.srcs) != 3:
+            return None
+        signature = []
+        terms = []
+        reads = set()
+        for src in inst.srcs:
+            if isinstance(src, Reg):
+                signature.append("r")
+                terms.append(src.index)
+                if not src.is_rz:
+                    reads.add(src.index)
+            elif isinstance(src, Imm):
+                signature.append("i")
+                terms.append(src.unsigned)
+            else:
+                return None
+        return ((opcode.lower(), tuple(signature)), reads, {dest},
+                (dest, tuple(terms)))
+    if opcode in ("SHF", "LOP3", "ISETP", "SEL", "HFMA2"):
+        sets = _solo_alu_sets(inst)
+        if sets is None:
+            return None
+        return _SOLO, sets[0], sets[1], None
+    if opcode == "NOP":
+        return _SOLO, set(), set(), None
+    return None
+
+
+def _build_hmma_group(key, payloads):
+    g = len(payloads)
+    f32 = key[1] == "f32"
+    c_regs = 4 if f32 else 2
+    a_idx = np.array([[p[1], p[1] + 1] for p in payloads], dtype=np.intp)
+    b_idx = np.array([p[2] for p in payloads], dtype=np.intp)
+    c_idx = np.array([[p[3] + i for i in range(c_regs)] for p in payloads],
+                     dtype=np.intp)
+    d_idx = np.array([[p[0] + i for i in range(c_regs)] for p in payloads],
+                     dtype=np.intp)
+    gather_a = frag._GATHER_16X8            # (16, 8) half index per register pair
+    gather_b = frag._PERMS[frag.COL_MAJOR][0]   # (8, 8)
+    half = frag.HALF
+
+    if f32:
+        inv_f32 = frag._INV_F32             # (16, 8)
+        perm_f32 = frag._PERM_F32           # (4, 32)
+
+        def run(warp):
+            regs = warp.regs._data
+            a16 = regs[a_idx].view(np.uint16).reshape(g, 128)[:, gather_a].view(half)
+            b16 = regs[b_idx].view(np.uint16)[:, gather_b].view(half)
+            c32 = regs[c_idx].view(np.float32).reshape(g, 128)[:, inv_f32]
+            a32 = a16.astype(np.float32)
+            b32 = b16.astype(np.float32)
+            prod = np.empty((g, 16, 8), dtype=np.float32)
+            for i in range(g):
+                prod[i] = a32[i] @ b32[i]
+            d = prod + c32
+            regs[d_idx] = d.reshape(g, 128)[:, perm_f32].view(np.uint32)
+    else:
+        # Full advanced index (rows x scatter) so the gathered halves come
+        # back C-contiguous, as the size-changing uint32 view requires.
+        scatter_rows = np.arange(g, dtype=np.intp)[:, None]
+        scatter_d = frag._SCATTER_16X8[None, :]     # flat (128,) table
+
+        def run(warp):
+            regs = warp.regs._data
+            a16 = regs[a_idx].view(np.uint16).reshape(g, 128)[:, gather_a].view(half)
+            b16 = regs[b_idx].view(np.uint16)[:, gather_b].view(half)
+            c16 = regs[c_idx].view(np.uint16).reshape(g, 128)[:, gather_a].view(half)
+            a32 = a16.astype(np.float32)
+            b32 = b16.astype(np.float32)
+            c32 = c16.astype(np.float32)
+            prod = np.empty((g, 16, 8), dtype=np.float32)
+            for i in range(g):
+                prod[i] = a32[i] @ b32[i]
+            d16 = (prod + c32).astype(np.float16)
+            regs[d_idx] = (d16.reshape(g, 128)[scatter_rows, scatter_d]
+                           .view(np.uint32).reshape(g, 2, WARP_LANES))
+    return run
+
+
+def _build_mem_group(key, payloads):
+    _, opcode, width = key
+    is_store = opcode in ("STS", "STG")
+    mem_attr = "global_mem" if opcode in ("LDG", "STG") else "shared_mem"
+    g = len(payloads)
+    words = width // 4
+    reg_idx = np.array([[p[0] + i for i in range(words)] for p in payloads],
+                       dtype=np.intp)
+    base_idx = np.array([p[1] for p in payloads], dtype=np.intp)
+    offsets = np.array([p[2] for p in payloads], dtype=np.int64).reshape(g, 1)
+
+    if is_store:
+        def run(warp):
+            regs = warp.regs._data
+            addresses = regs[base_idx].astype(np.int64) + offsets
+            getattr(warp, mem_attr).store_warp_batch(addresses, regs[reg_idx], width)
+    else:
+        def run(warp):
+            regs = warp.regs._data
+            addresses = regs[base_idx].astype(np.int64) + offsets
+            regs[reg_idx] = getattr(warp, mem_attr).load_warp_batch(addresses, width)
+    return run
+
+
+def _build_mov_group(key, payloads):
+    d_idx = np.array([p[0] for p in payloads], dtype=np.intp)
+    if key[1] == "r":
+        s_idx = np.array([p[1] for p in payloads], dtype=np.intp)
+
+        def run(warp):
+            regs = warp.regs._data
+            regs[d_idx] = regs[s_idx]
+    else:
+        values = np.array([p[1] for p in payloads], dtype=np.uint32).reshape(-1, 1)
+        values.setflags(write=False)
+
+        def run(warp):
+            warp.regs._data[d_idx] = values
+    return run
+
+
+def _group_terms(key, payloads):
+    """Per-source-position batched term arrays for IADD3/IMAD groups."""
+    signature = key[1]
+    terms = []
+    for pos, kind in enumerate(signature):
+        if kind == "r":
+            terms.append(("r", np.array([p[1][pos] for p in payloads],
+                                        dtype=np.intp)))
+        else:
+            col = np.array([p[1][pos] for p in payloads],
+                           dtype=np.uint32).reshape(-1, 1)
+            col.setflags(write=False)
+            terms.append(("i", col))
+    return terms
+
+
+def _build_iadd3_group(key, payloads):
+    d_idx = np.array([p[0] for p in payloads], dtype=np.intp)
+    terms = _group_terms(key, payloads)
+
+    def run(warp):
+        regs = warp.regs._data
+        acc = None
+        for kind, arr in terms:
+            value = regs[arr] if kind == "r" else arr
+            acc = value if acc is None else acc + value
+        regs[d_idx] = acc
+    return run
+
+
+def _build_imad_group(key, payloads):
+    d_idx = np.array([p[0] for p in payloads], dtype=np.intp)
+    (ka, ta), (kb, tb), (kc, tc) = _group_terms(key, payloads)
+
+    def run(warp):
+        regs = warp.regs._data
+        a = regs[ta] if ka == "r" else ta
+        b = regs[tb] if kb == "r" else tb
+        c = regs[tc] if kc == "r" else tc
+        regs[d_idx] = a * b + c
+    return run
+
+
+_GROUP_BUILDERS = {
+    "hmma": _build_hmma_group,
+    "load": _build_mem_group,
+    "store": _build_mem_group,
+    "mov": _build_mov_group,
+    "iadd3": _build_iadd3_group,
+    "imad": _build_imad_group,
+}
+
+
+# ----------------------------------------------------------- window scheduler
+
+class _Group:
+    """One batch being assembled while scheduling a window."""
+
+    __slots__ = ("key", "reads", "writes", "payloads", "slots")
+
+    def __init__(self, key, reads, writes, payload, slot):
+        self.key = key
+        self.reads = set(reads)
+        self.writes = set(writes)
+        self.payloads = [payload]
+        self.slots = [slot]
+
+
+def _schedule_window(fuse, start, end):
+    """List-schedule slots [start, end) into ordered groups.
+
+    Groups execute in first-appearance order, members in original order.
+    Instruction *j* may join the open group of its key only when the move is
+    observation-equivalent: *j* must not depend on -- nor be depended on by --
+    any member of a group scheduled after its own (those members originally
+    precede *j* but will execute after it), and within its own group *j* must
+    not read or overwrite anything the group already writes (the batch
+    gathers every operand before it scatters any result).  Stores batch over
+    their whole-space memory token: duplicate scatter indices resolve last-
+    wins in member order, matching sequential stores exactly.
+    """
+    groups = []
+    open_group = {}  # key -> index of the newest group with that key
+    for slot in range(start, end):
+        key, reads, writes, payload = fuse[slot]
+        placed = False
+        gi = open_group.get(key) if key is not _SOLO else None
+        if gi is not None:
+            group = groups[gi]
+            own_writes = group.writes - _MEM_TOKENS
+            if not ((reads - _MEM_TOKENS) & own_writes
+                    or (writes - _MEM_TOKENS) & own_writes):
+                ok = True
+                for later in groups[gi + 1:]:
+                    if (writes & later.reads or writes & later.writes
+                            or reads & later.writes):
+                        ok = False
+                        break
+                if ok:
+                    group.reads |= reads
+                    group.writes |= writes
+                    group.payloads.append(payload)
+                    group.slots.append(slot)
+                    placed = True
+        if not placed:
+            groups.append(_Group(key, reads, writes, payload, slot))
+            if key is not _SOLO:
+                open_group[key] = len(groups) - 1
+    return groups
+
+
+# ---------------------------------------------------------------- predecode
+
+def predecode(program) -> DecodedProgram:
+    """Decode *program* once into slot-indexed closures plus fused windows."""
+    n = len(program)
+    instructions = [program[pc] for pc in range(n)]
+    run_fns = [_decode_one(inst) for inst in instructions]
+    next_pc = [pc + 1 for pc in range(n)]
+    lens = [1] * n
+    reads_clock = [_reads_clock(inst) for inst in instructions]
+    slot_ops = [((inst.opcode, 1),) for inst in instructions]
+    fuse = [_fuse_info(inst) for inst in instructions]
+
+    start = 0
+    while start < n:
+        if fuse[start] is None:
+            start += 1
+            continue
+        end = start
+        while end < n and fuse[end] is not None:
+            end += 1
+        _install_window(instructions, run_fns, next_pc, lens, slot_ops,
+                        fuse, start, end)
+        start = end
+
+    return DecodedProgram(n, run_fns, next_pc, lens, reads_clock, slot_ops)
+
+
+def _install_window(instructions, run_fns, next_pc, lens, slot_ops,
+                    fuse, start, end) -> None:
+    """Fuse window [start, end) into one composite closure at *start*.
+
+    Member slots keep their individual closures so branches into the middle
+    of a window still execute exactly.
+    """
+    if end - start < 2:
+        return
+    groups = _schedule_window(fuse, start, end)
+    if not any(g.key is not _SOLO and len(g.payloads) >= 2 for g in groups):
+        return  # nothing batched; composition would only add indirection
+    parts = []
+    for group in groups:
+        if group.key is not _SOLO and len(group.payloads) >= 2:
+            parts.append(_GROUP_BUILDERS[group.key[0]](group.key, group.payloads))
+        else:
+            parts.extend(run_fns[slot] for slot in group.slots)
+
+    def run(warp, _parts=tuple(parts)):
+        for part in _parts:
+            part(warp)
+
+    ops = []
+    for slot in range(start, end):
+        opcode = instructions[slot].opcode
+        if ops and ops[-1][0] == opcode:
+            ops[-1] = (opcode, ops[-1][1] + 1)
+        else:
+            ops.append((opcode, 1))
+    run_fns[start] = run
+    next_pc[start] = end
+    lens[start] = end - start
+    slot_ops[start] = tuple(ops)

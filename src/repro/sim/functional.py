@@ -9,23 +9,61 @@ This is exact for well-synchronised programs (all cross-warp communication
 through shared memory must be separated by barriers -- which is also the
 hardware's own correctness contract).
 
+Two execution engines share those semantics:
+
+* ``"predecoded"`` (the default) -- programs are decoded once by
+  :func:`repro.sim.decode.predecode` into slot-indexed closures with fused
+  NumPy fast paths for the hot opcode runs; the interval loop just dispatches
+  signals.  Select explicitly with ``REPRO_FUNC_ENGINE=predecoded``.
+* ``"reference"`` -- the original instruction-at-a-time interpreter through
+  :func:`repro.sim.exec_units.execute`, kept verbatim as the semantic ground
+  truth for differential tests and benchmark baselines
+  (``REPRO_FUNC_ENGINE=reference``).
+
+Because barrier intervals never cross CTAs, CTAs are architecturally
+independent and a grid can run CTA-parallel: pass ``max_workers`` (or set
+``REPRO_FUNC_JOBS``) and the grid is sharded over worker processes that
+scatter into one ``multiprocessing.shared_memory`` block backing
+:class:`GlobalMemory`, each CTA writing its own C tile.  Results (instruction
+retire counts per opcode) merge deterministically, so serial and parallel
+runs are bit-identical -- ``tests/sim/test_golden_functional.py`` pins this.
+
 ``CS2R SR_CLOCKLO`` returns the warp's retired-instruction count here; for
 cycle-accurate clocks use :class:`repro.sim.timing.TimingSimulator`.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+from multiprocessing import shared_memory as _shm_mod
 
 import numpy as np
 
 from ..arch.registers import PredicateFile, RegisterFile, WARP_LANES
 from ..isa.program import Program
+from ..perf import STATS, default_workers, parallel_map
+from .decode import BARRIER, EXITED, predecode
 from .exec_units import ExecError, execute
 from .memory import GlobalMemory
 from .shared import SharedMemory
 
 __all__ = ["FunctionalSimulator", "FunctionalResult", "SimLimitError"]
+
+ENGINES = ("predecoded", "reference")
+
+
+def _default_engine() -> str:
+    engine = os.environ.get("REPRO_FUNC_ENGINE", "predecoded")
+    if engine not in ENGINES:
+        raise ValueError(
+            f"REPRO_FUNC_ENGINE must be one of {ENGINES}, got {engine!r}")
+    return engine
+
+
+def _default_jobs():
+    jobs = os.environ.get("REPRO_FUNC_JOBS")
+    return int(jobs) if jobs else None
 
 
 class SimLimitError(RuntimeError):
@@ -66,25 +104,104 @@ class FunctionalResult:
         self.instructions_retired += 1
         self.opcode_counts[opcode] = self.opcode_counts.get(opcode, 0) + 1
 
+    def _merge(self, other: "FunctionalResult") -> None:
+        self.instructions_retired += other.instructions_retired
+        self.ctas_run += other.ctas_run
+        for opcode, count in other.opcode_counts.items():
+            self.opcode_counts[opcode] = self.opcode_counts.get(opcode, 0) + count
+
 
 class FunctionalSimulator:
-    """Executes programs functionally over an (x, y) grid of CTAs."""
+    """Executes programs functionally over an (x, y) grid of CTAs.
 
-    def __init__(self, max_instructions_per_warp: int = 5_000_000):
+    ``engine`` selects the execution engine (``None`` -> ``REPRO_FUNC_ENGINE``
+    or predecoded); ``max_workers`` the CTA-parallel worker count with the
+    :func:`repro.perf.parallel.parallel_map` conventions (``None``/1 serial,
+    0 auto, ``REPRO_FUNC_JOBS`` supplying the default).
+    """
+
+    def __init__(self, max_instructions_per_warp: int = 5_000_000,
+                 engine: str = None, max_workers: int = None):
         self.max_instructions_per_warp = max_instructions_per_warp
+        self.engine = engine if engine is not None else _default_engine()
+        if self.engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {self.engine!r}")
+        self.max_workers = max_workers
 
     def run(self, program: Program, global_mem: GlobalMemory,
-            grid_dim=(1, 1)) -> FunctionalResult:
+            grid_dim=(1, 1), max_workers: int = None) -> FunctionalResult:
         """Launch *program* over ``grid_dim`` CTAs against *global_mem*."""
         gx, gy = (grid_dim if len(grid_dim) == 2 else (*grid_dim, 1)[:2])
-        result = FunctionalResult()
-        for by in range(gy):
-            for bx in range(gx):
-                self._run_cta(program, global_mem, (bx, by, 0), result)
-                result.ctas_run += 1
+        ctaids = [(bx, by, 0) for by in range(gy) for bx in range(gx)]
+        workers = self._resolve_workers(max_workers, len(ctaids))
+        STATS.count("func.runs")
+        STATS.count("func.workers", workers)
+        with STATS.timer("func.wall"):
+            if workers > 1:
+                result = self._run_parallel(program, global_mem, ctaids, workers)
+            else:
+                result = self._run_ctas(program, global_mem, ctaids)
+        STATS.count("func.ctas", result.ctas_run)
+        STATS.count("func.instructions", result.instructions_retired)
         return result
 
     # ------------------------------------------------------------ internals
+
+    def _resolve_workers(self, max_workers, n_ctas: int) -> int:
+        workers = max_workers
+        if workers is None:
+            workers = self.max_workers
+        if workers is None:
+            workers = _default_jobs()
+        if workers is None:
+            return 1
+        if workers == 0:
+            workers = default_workers()
+        return max(1, min(int(workers), n_ctas))
+
+    def _run_ctas(self, program: Program, global_mem: GlobalMemory,
+                  ctaids) -> FunctionalResult:
+        result = FunctionalResult()
+        if self.engine == "reference":
+            for ctaid in ctaids:
+                self._run_cta(program, global_mem, ctaid, result)
+                result.ctas_run += 1
+            return result
+        decoded = predecode(program)
+        counts = decoded.new_counts()
+        for ctaid in ctaids:
+            self._run_cta_decoded(program, decoded, counts, global_mem, ctaid)
+            result.ctas_run += 1
+        decoded.accumulate(counts, result)
+        return result
+
+    def _run_parallel(self, program: Program, global_mem: GlobalMemory,
+                      ctaids, workers: int) -> FunctionalResult:
+        # Back device memory with a shared block; each worker attaches and
+        # scatters its CTAs' stores straight into it.  CTAs write disjoint
+        # output tiles, so in-place writes cannot race.
+        chunks = [ctaids[i::workers] for i in range(workers)]
+        shm = _shm_mod.SharedMemory(create=True, size=global_mem._words.nbytes)
+        try:
+            view = np.frombuffer(shm.buf, dtype=np.uint32)
+            try:
+                np.copyto(view, global_mem._words)
+                partials = parallel_map(
+                    _worker_run_chunk, chunks, max_workers=workers,
+                    initializer=_worker_init,
+                    initargs=(shm.name, global_mem.size, program, self.engine,
+                              self.max_instructions_per_warp),
+                )
+                np.copyto(global_mem._words, view)
+            finally:
+                del view
+        finally:
+            shm.close()
+            shm.unlink()
+        result = FunctionalResult()
+        for partial in partials:
+            result._merge(partial)
+        return result
 
     def _run_cta(self, program: Program, global_mem: GlobalMemory,
                  ctaid, result: FunctionalResult) -> None:
@@ -148,7 +265,98 @@ class FunctionalSimulator:
                 warp.at_barrier = True
                 return
 
+    # ----------------------------------------------------- predecoded engine
+
+    def _run_cta_decoded(self, program: Program, decoded, counts,
+                         global_mem: GlobalMemory, ctaid) -> None:
+        shared = SharedMemory(program.meta.smem_bytes)
+        warps = [
+            _WarpState(w, ctaid, program.meta.block_dim, global_mem, shared)
+            for w in range(program.meta.warps_per_cta)
+        ]
+        while True:
+            progressed = False
+            for warp in warps:
+                if warp.exited or warp.at_barrier:
+                    continue
+                self._run_warp_interval_decoded(decoded, counts, warp)
+                progressed = True
+            live = [w for w in warps if not w.exited]
+            if not live:
+                return
+            if all(w.at_barrier for w in live):
+                for w in live:  # release the barrier
+                    w.at_barrier = False
+                continue
+            if not progressed:
+                raise SimLimitError(
+                    f"CTA {ctaid} deadlocked: some warps wait at a barrier "
+                    "that the others never reach"
+                )
+
+    def _run_warp_interval_decoded(self, decoded, counts, warp) -> None:
+        """Decoded interval loop: dispatch closures until barrier/exit/fuel."""
+        run_fns = decoded.run_fns
+        next_pc = decoded.next_pc
+        lens = decoded.lens
+        reads_clock = decoded.reads_clock
+        n = decoded.n
+        limit = self.max_instructions_per_warp
+        pc = warp.pc
+        retired = warp.retired
+        try:
+            while True:
+                if retired >= limit:
+                    raise SimLimitError(
+                        f"warp {warp.warp_id} exceeded {limit} instructions")
+                if pc >= n:
+                    raise ExecError(
+                        f"warp {warp.warp_id} ran off the end of the program "
+                        f"(pc={pc}); missing EXIT?")
+                if reads_clock[pc]:
+                    warp.retired = retired  # CS2R reads the pre-retire count
+                signal = run_fns[pc](warp)
+                counts[pc] += 1
+                retired += lens[pc]
+                if signal is None:
+                    pc = next_pc[pc]
+                elif signal >= 0:
+                    pc = signal
+                elif signal == EXITED:
+                    warp.exited = True
+                    return
+                else:  # BARRIER
+                    pc = next_pc[pc]
+                    warp.at_barrier = True
+                    return
+        finally:
+            warp.pc = pc
+            warp.retired = retired
+
 
 def _opt_mask(mask: np.ndarray):
     """Treat an all-active mask as no mask (fast path + full overwrite)."""
     return None if mask.all() else mask
+
+
+# ------------------------------------------------------- worker-side plumbing
+
+_WORKER: dict = {}
+
+
+def _worker_init(shm_name: str, size_bytes: int, program: Program,
+                 engine: str, max_instructions_per_warp: int) -> None:
+    """Runs once per worker process: attach the shared device memory."""
+    shm = _shm_mod.SharedMemory(name=shm_name)
+    _WORKER["shm"] = shm
+    _WORKER["mem"] = GlobalMemory(size_bytes, buffer=shm.buf)
+    _WORKER["program"] = program
+    _WORKER["sim"] = FunctionalSimulator(
+        max_instructions_per_warp=max_instructions_per_warp, engine=engine,
+        max_workers=1)
+
+
+def _worker_run_chunk(ctaids) -> FunctionalResult:
+    """Run one shard of CTAs against the shared memory; return its stats."""
+    sim = _WORKER["sim"]
+    return sim._run_ctas(_WORKER["program"], _WORKER["mem"], ctaids)

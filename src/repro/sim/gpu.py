@@ -86,9 +86,15 @@ class Device:
 
     # ------------------------------------------------------------- launch
 
-    def launch(self, program: Program, grid=(1, 1)) -> FunctionalResult:
-        """Run *program* functionally over the whole grid."""
-        return FunctionalSimulator().run(program, self.memory, grid_dim=grid)
+    def launch(self, program: Program, grid=(1, 1),
+               max_workers: int = None) -> FunctionalResult:
+        """Run *program* functionally over the whole grid.
+
+        ``max_workers`` shards CTAs over worker processes (``None``/1
+        serial, 0 one per CPU); results are bit-identical either way.
+        """
+        return FunctionalSimulator().run(program, self.memory, grid_dim=grid,
+                                         max_workers=max_workers)
 
     def launch_timed(self, program: Program, num_ctas: int = 1,
                      bandwidth_share: float = None) -> LaunchTiming:

@@ -36,11 +36,17 @@ class GlobalMemory:
     generated kernel is a bug we want loud).
     """
 
-    def __init__(self, size_bytes: int):
+    def __init__(self, size_bytes: int, buffer=None):
         if size_bytes <= 0 or size_bytes % 4:
             raise ValueError(f"size must be a positive multiple of 4, got {size_bytes}")
         self.size = size_bytes
-        self._words = np.zeros(size_bytes // 4, dtype=np.uint32)
+        if buffer is None:
+            self._words = np.zeros(size_bytes // 4, dtype=np.uint32)
+        else:
+            # External backing store (e.g. multiprocessing shared memory) so
+            # several worker processes can scatter into the same device memory.
+            self._words = np.frombuffer(buffer, dtype=np.uint32,
+                                        count=size_bytes // 4)
 
     # ------------------------------------------------------------- host API
 
@@ -73,9 +79,11 @@ class GlobalMemory:
                   mask: np.ndarray) -> np.ndarray:
         """Gather ``width_bytes`` per active lane; returns (words, 32) uint32.
 
-        Inactive lanes return zeros.
+        Inactive lanes return zeros.  ``mask=None`` means all lanes active.
         """
         idx = self._word_indices(addresses, width_bytes, mask)
+        if mask is None:
+            return self._words[idx]
         out = np.zeros((width_bytes // 4, addresses.shape[0]), dtype=np.uint32)
         out[:, mask] = self._words[idx[:, mask]]
         return out
@@ -84,11 +92,49 @@ class GlobalMemory:
                    width_bytes: int, mask: np.ndarray) -> None:
         """Scatter (words, 32) uint32 *data* to active lanes."""
         idx = self._word_indices(addresses, width_bytes, mask)
+        if mask is None:
+            self._words[idx] = data
+            return
         self._words[idx[:, mask]] = data[:, mask]
+
+    def load_warp_batch(self, addresses: np.ndarray, width_bytes: int) -> np.ndarray:
+        """Gather for a fused run: (g, 32) addresses -> (g, words, 32) words.
+
+        All lanes are active (fused runs are unpredicated); semantically this
+        equals ``g`` sequential :meth:`load_warp` calls.
+        """
+        idx = self._batch_indices(addresses, width_bytes)
+        return self._words[idx]
+
+    def store_warp_batch(self, addresses: np.ndarray, data: np.ndarray,
+                         width_bytes: int) -> None:
+        """Scatter for a fused run of stores: (g, 32) addresses, (g, words, 32)
+        data.  NumPy fancy assignment applies duplicate indices in C order, so
+        later members of the run win -- exactly like sequential stores."""
+        idx = self._batch_indices(addresses, width_bytes)
+        self._words[idx] = data
+
+    def _batch_indices(self, addresses: np.ndarray, width_bytes: int) -> np.ndarray:
+        misaligned = addresses % width_bytes != 0
+        if misaligned.any():
+            bad = int(addresses[misaligned][0])
+            raise ValueError(
+                f"misaligned {width_bytes}-byte global access at {bad:#x}"
+            )
+        per_row_max = addresses.max(axis=1)
+        per_row_min = addresses.min(axis=1)
+        oob = (per_row_min < 0) | (per_row_max + width_bytes > self.size)
+        if oob.any():
+            row = int(np.argmax(oob))
+            first = int(per_row_min[row])
+            self._bounds_check(first, int(per_row_max[row]) + width_bytes - first)
+        words = width_bytes // 4
+        base = addresses // 4
+        return base[:, None, :] + np.arange(words, dtype=np.int64)[None, :, None]
 
     def _word_indices(self, addresses: np.ndarray, width_bytes: int,
                       mask: np.ndarray) -> np.ndarray:
-        active = addresses[mask]
+        active = addresses if mask is None else addresses[mask]
         if active.size:
             if np.any(active % width_bytes):
                 bad = int(active[active % width_bytes != 0][0])
@@ -99,8 +145,9 @@ class GlobalMemory:
             self._bounds_check(int(active.min()), last - int(active.min()))
         words = width_bytes // 4
         base = (addresses // 4).astype(np.int64)
-        # Clamp inactive lanes so indexing stays in range; they are masked out.
-        base = np.where(mask, base, 0)
+        if mask is not None:
+            # Clamp inactive lanes so indexing stays in range; they are masked out.
+            base = np.where(mask, base, 0)
         return base[None, :] + np.arange(words, dtype=np.int64)[:, None]
 
     def _bounds_check(self, addr: int, size: int) -> None:

@@ -82,6 +82,8 @@ class SharedMemory:
     def load_warp(self, addresses: np.ndarray, width_bytes: int,
                   mask: np.ndarray) -> np.ndarray:
         idx = self._word_indices(addresses, width_bytes, mask)
+        if mask is None:
+            return self._words[idx]
         out = np.zeros((width_bytes // 4, addresses.shape[0]), dtype=np.uint32)
         out[:, mask] = self._words[idx[:, mask]]
         return out
@@ -89,7 +91,43 @@ class SharedMemory:
     def store_warp(self, addresses: np.ndarray, data: np.ndarray,
                    width_bytes: int, mask: np.ndarray) -> None:
         idx = self._word_indices(addresses, width_bytes, mask)
+        if mask is None:
+            self._words[idx] = data
+            return
         self._words[idx[:, mask]] = data[:, mask]
+
+    def load_warp_batch(self, addresses: np.ndarray, width_bytes: int) -> np.ndarray:
+        """Gather for a fused (unpredicated) run: (g, 32) -> (g, words, 32)."""
+        idx = self._batch_indices(addresses, width_bytes)
+        return self._words[idx]
+
+    def store_warp_batch(self, addresses: np.ndarray, data: np.ndarray,
+                         width_bytes: int) -> None:
+        """Scatter for a fused run; duplicate indices resolve in C order, so
+        later run members win -- same as sequential stores."""
+        idx = self._batch_indices(addresses, width_bytes)
+        self._words[idx] = data
+
+    def _batch_indices(self, addresses: np.ndarray, width_bytes: int) -> np.ndarray:
+        misaligned = addresses % width_bytes != 0
+        if misaligned.any():
+            bad = int(addresses[misaligned][0])
+            raise ValueError(
+                f"misaligned {width_bytes}-byte shared access at {bad:#x}"
+            )
+        per_row_max = addresses.max(axis=1)
+        per_row_min = addresses.min(axis=1)
+        oob = (per_row_min < 0) | (per_row_max + width_bytes > self.size)
+        if oob.any():
+            row = int(np.argmax(oob))
+            lo, hi = int(per_row_min[row]), int(per_row_max[row])
+            raise IndexError(
+                f"shared access outside the {self.size}-byte allocation: "
+                f"[{lo:#x}, {hi + width_bytes:#x})"
+            )
+        words = width_bytes // 4
+        return (addresses[:, None, :] // 4
+                + np.arange(words, dtype=np.int64)[None, :, None])
 
     def read_array(self, addr: int, dtype, count: int) -> np.ndarray:
         """Debug view of shared contents (not a hardware operation)."""
@@ -100,7 +138,7 @@ class SharedMemory:
 
     def _word_indices(self, addresses: np.ndarray, width_bytes: int,
                       mask: np.ndarray) -> np.ndarray:
-        active = addresses[mask]
+        active = addresses if mask is None else addresses[mask]
         if active.size:
             if np.any(active % width_bytes):
                 bad = int(active[active % width_bytes != 0][0])
@@ -113,5 +151,7 @@ class SharedMemory:
                     f"[{int(active.min()):#x}, {int(active.max()) + width_bytes:#x})"
                 )
         words = width_bytes // 4
-        base = np.where(mask, (addresses // 4).astype(np.int64), 0)
+        base = (addresses // 4).astype(np.int64)
+        if mask is not None:
+            base = np.where(mask, base, 0)
         return base[None, :] + np.arange(words, dtype=np.int64)[:, None]

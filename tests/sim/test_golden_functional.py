@@ -1,0 +1,145 @@
+"""Golden functional regression: the predecoded engine is pinned bit-exactly.
+
+These values were captured from the seed interpreter (pre-predecode).
+The decoded-op engine, the window scheduler's batched fast paths, and the
+CTA-parallel sharding must all be provably behaviour-preserving: for every
+launch they must retire the same opcode mix and produce the same C matrix
+to the bit.  Any change to a digest or count here is a semantics change
+and must be deliberate.
+
+The digests hash the raw float16 output bytes, so they also pin the HMMA
+precision model (per-step FP16 accumulator rounding, BLAS product order).
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.core import hgemm
+from repro.sim import functional
+
+
+#: (kernel, m, n, k) -> (sha256 of C bytes, instructions retired, CTAs,
+#: full retired-opcode counts).
+GOLDEN = {
+    ("ours", 256, 256, 32): (
+        "86f25e2f809d4b208422202515dfaf429eadd80e063c2aaa1e1b791eb94408fa",
+        5864, 1,
+        {"BAR": 24, "BRA": 8, "EXIT": 8, "HMMA": 2048, "IADD3": 304,
+         "IMAD": 144, "ISETP": 16, "LDG": 128, "LDS": 848, "LOP3": 40,
+         "MOV": 1032, "MOV32I": 24, "NOP": 24, "S2R": 24, "SHF": 40,
+         "STG": 1024, "STS": 128},
+    ),
+    ("ours", 384, 256, 64): (
+        "f33a21558fcbce865edadaabfc7133ccd727e25ede9820d6c893d8472c31209f",
+        15408, 3,
+        {"BAR": 120, "BRA": 48, "EXIT": 24, "HMMA": 6144, "IADD3": 840,
+         "IMAD": 432, "ISETP": 72, "LDG": 432, "LDS": 3312, "LOP3": 120,
+         "MOV": 1560, "MOV32I": 72, "NOP": 72, "S2R": 72, "SHF": 120,
+         "STG": 1536, "STS": 432},
+    ),
+    ("cublas", 256, 256, 32): (
+        "86f25e2f809d4b208422202515dfaf429eadd80e063c2aaa1e1b791eb94408fa",
+        7056, 4,
+        {"BAR": 48, "BRA": 16, "EXIT": 16, "HMMA": 2048, "IADD3": 544,
+         "IMAD": 288, "ISETP": 32, "LDG": 256, "LDS": 1184, "LOP3": 80,
+         "MOV": 1040, "MOV32I": 48, "NOP": 48, "S2R": 48, "SHF": 80,
+         "STG": 1024, "STS": 256},
+    ),
+    ("cublas", 384, 256, 64): (
+        "f33a21558fcbce865edadaabfc7133ccd727e25ede9820d6c893d8472c31209f",
+        17160, 6,
+        {"BAR": 72, "BRA": 24, "EXIT": 24, "HMMA": 6144, "IADD3": 1392,
+         "IMAD": 816, "ISETP": 48, "LDG": 768, "LDS": 3312, "LOP3": 360,
+         "MOV": 1560, "MOV32I": 72, "NOP": 72, "S2R": 72, "SHF": 120,
+         "STG": 1536, "STS": 768},
+    ),
+}
+
+
+def _inputs(m, n, k):
+    rng = np.random.default_rng(7)
+    a = rng.uniform(-2, 2, (m, k)).astype(np.float16)
+    b = rng.uniform(-2, 2, (k, n)).astype(np.float16)
+    return a, b
+
+
+def _digest(c) -> str:
+    return hashlib.sha256(np.ascontiguousarray(c).tobytes()).hexdigest()
+
+
+def _run(kernel, m, n, k, **kwargs):
+    a, b = _inputs(m, n, k)
+    return hgemm(a, b, kernel=kernel, return_run=True, **kwargs)
+
+
+@pytest.mark.parametrize("kernel,m,n,k", sorted(GOLDEN))
+def test_golden_functional(kernel, m, n, k):
+    digest, retired, ctas, opcodes = GOLDEN[(kernel, m, n, k)]
+    run = _run(kernel, m, n, k)
+    assert _digest(run.c) == digest
+    assert run.stats.instructions_retired == retired
+    assert run.stats.ctas_run == ctas
+    assert run.stats.opcode_counts == opcodes
+
+
+@pytest.mark.parametrize("kernel", ["ours", "cublas"])
+def test_reference_engine_matches_goldens(kernel):
+    """The seed interpreter (kept as ``engine='reference'``) still agrees
+    with the pinned values -- the goldens are not self-referential."""
+    from repro.core.builder import HgemmProblem, build_hgemm
+    from repro.core.hgemm import _resolve_config
+    from repro.sim.memory import GlobalMemory
+
+    m, n, k = 256, 256, 32
+    digest, retired, ctas, opcodes = GOLDEN[(kernel, m, n, k)]
+    a, b = _inputs(m, n, k)
+    sim = functional.FunctionalSimulator(engine="reference")
+    config = _resolve_config(kernel, m, n, k)
+
+    def aligned(nbytes):
+        return (nbytes + 255) // 256 * 256
+
+    b_addr = aligned(a.nbytes)
+    c_addr = b_addr + aligned(b.nbytes)
+    memory = GlobalMemory(c_addr + aligned(2 * m * n) + 256)
+    memory.write_array(0, a)
+    memory.write_array(b_addr, np.ascontiguousarray(b.T))
+    program = build_hgemm(config, HgemmProblem(
+        m=m, n=n, k=k, a_addr=0, b_addr=b_addr, c_addr=c_addr))
+    stats = sim.run(program, memory, grid_dim=config.grid_dim(m, n))
+    c = memory.read_array(c_addr, np.float16, m * n).reshape(m, n)
+    assert _digest(c) == digest
+    assert stats.instructions_retired == retired
+    assert stats.ctas_run == ctas
+    assert stats.opcode_counts == opcodes
+
+
+def test_parallel_matches_serial():
+    """CTA sharding over worker processes is bit-identical to serial."""
+    kernel, m, n, k = "cublas", 384, 256, 64  # 6 CTAs -> real sharding
+    digest, retired, ctas, opcodes = GOLDEN[(kernel, m, n, k)]
+    run = _run(kernel, m, n, k, max_workers=2)
+    assert _digest(run.c) == digest
+    assert run.stats.instructions_retired == retired
+    assert run.stats.ctas_run == ctas
+    assert run.stats.opcode_counts == opcodes
+
+
+def test_engine_env_override(monkeypatch):
+    """``REPRO_FUNC_ENGINE=reference`` opts the whole stack out of the
+    predecoded engine, with identical results."""
+    monkeypatch.setenv("REPRO_FUNC_ENGINE", "reference")
+    kernel, m, n, k = "ours", 256, 256, 32
+    digest, retired, _, opcodes = GOLDEN[(kernel, m, n, k)]
+    run = _run(kernel, m, n, k)
+    assert _digest(run.c) == digest
+    assert run.stats.instructions_retired == retired
+    assert run.stats.opcode_counts == opcodes
+
+
+def test_bad_engine_env_rejected(monkeypatch):
+    monkeypatch.setenv("REPRO_FUNC_ENGINE", "turbo")
+    with pytest.raises(ValueError, match="REPRO_FUNC_ENGINE"):
+        functional.FunctionalSimulator()
