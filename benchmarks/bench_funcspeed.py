@@ -1,19 +1,22 @@
-"""Functional-simulator speed benchmark: reference vs predecoded vs parallel.
+"""Functional-simulator speed benchmark: the engine ladder, digest-checked.
 
 Runs one full-grid HGEMM (512x512x64, both matrices random fp16) through
-the functional simulator three ways:
+the functional simulator four ways:
 
 * **reference** -- the seed instruction-at-a-time interpreter
   (``REPRO_FUNC_ENGINE=reference`` path), the baseline;
 * **predecoded** -- the decoded-op engine with window-scheduled batched
-  fast paths (the default engine), serial;
-* **parallel** -- the predecoded engine with CTAs sharded over one worker
+  fast paths, serial, one warp at a time;
+* **lockstep** -- the warp-lockstep engine (the default): all warps of a
+  CTA execute each decoded slot as one stacked NumPy operation;
+* **parallel** -- the lockstep engine with CTAs sharded over one worker
   process per CPU (``max_workers=0``).
 
-All three legs must produce bit-identical C matrices and identical
-retired-opcode counts -- the throughput layer's core invariant -- and the
-predecoded legs must beat the reference interpreter by at least 3x
-end-to-end.  Results go to ``BENCH_funcspeed.json`` in the repo root.
+All legs must produce bit-identical C matrices and identical
+retired-opcode counts -- the throughput layer's core invariant.  The
+predecoded leg must beat the reference interpreter by at least 3x and the
+lockstep leg must beat predecoded by at least 1.5x end-to-end.  Results go
+to ``BENCH_funcspeed.json`` in the repo root.
 
 Usage::
 
@@ -64,11 +67,12 @@ def main() -> int:
 
     ref_s, ref_digest, ref_stats = _run_leg(a, b, "reference", None)
     pre_s, pre_digest, pre_stats = _run_leg(a, b, "predecoded", None)
-    par_s, par_digest, par_stats = _run_leg(a, b, "predecoded", 0)
+    lock_s, lock_digest, lock_stats = _run_leg(a, b, "lockstep", None)
+    par_s, par_digest, par_stats = _run_leg(a, b, "lockstep", 0)
 
-    ok = (ref_digest == pre_digest == par_digest
+    ok = (ref_digest == pre_digest == lock_digest == par_digest
           and ref_stats.opcode_counts == pre_stats.opcode_counts
-          == par_stats.opcode_counts)
+          == lock_stats.opcode_counts == par_stats.opcode_counts)
     if not ok:
         print("FAIL: engine legs disagree (digest or opcode counts)",
               file=sys.stderr)
@@ -82,8 +86,11 @@ def main() -> int:
         "digest_sha256": ref_digest,
         "reference_seconds": round(ref_s, 4),
         "predecoded_seconds": round(pre_s, 4),
+        "lockstep_seconds": round(lock_s, 4),
         "parallel_seconds": round(par_s, 4),
         "predecoded_speedup": round(ref_s / pre_s, 2) if pre_s else None,
+        "lockstep_speedup": round(ref_s / lock_s, 2) if lock_s else None,
+        "lockstep_over_predecoded": round(pre_s / lock_s, 2) if lock_s else None,
         "parallel_speedup": round(ref_s / par_s, 2) if par_s else None,
         "bit_identical": ok,
     }
@@ -94,9 +101,14 @@ def main() -> int:
     print(f"wrote {out}")
 
     best = max(payload["predecoded_speedup"] or 0.0,
+               payload["lockstep_speedup"] or 0.0,
                payload["parallel_speedup"] or 0.0)
     if best < 3.0:
         print(f"FAIL: best speedup {best:.2f}x < 3x target", file=sys.stderr)
+        return 1
+    if (payload["lockstep_over_predecoded"] or 0.0) < 1.5:
+        print(f"FAIL: lockstep only {payload['lockstep_over_predecoded']}x "
+              "over predecoded (< 1.5x target)", file=sys.stderr)
         return 1
     return 0
 

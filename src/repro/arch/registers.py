@@ -22,18 +22,23 @@ WARP_LANES = 32
 
 
 class RegisterFile:
-    """Per-warp general purpose registers: 256 x 32 lanes of uint32."""
+    """Per-warp general purpose registers: 256 x *lanes* of uint32.
+
+    ``lanes`` defaults to one warp (32); the lockstep engine stacks all of
+    a CTA's warps into one file with ``lanes = n_warps * 32``.
+    """
 
     NUM_REGS = 256
 
-    def __init__(self) -> None:
-        self._data = np.zeros((self.NUM_REGS, WARP_LANES), dtype=np.uint32)
+    def __init__(self, lanes: int = WARP_LANES) -> None:
+        self._lanes = lanes
+        self._data = np.zeros((self.NUM_REGS, lanes), dtype=np.uint32)
 
     def read(self, index: int) -> np.ndarray:
         """Value of register *index* across all lanes (always a copy-safe
         read: RZ returns fresh zeros)."""
         if index == RZ_INDEX:
-            return np.zeros(WARP_LANES, dtype=np.uint32)
+            return np.zeros(self._lanes, dtype=np.uint32)
         return self._data[index]
 
     def write(self, index: int, values, mask=None) -> None:
@@ -82,12 +87,12 @@ class RegisterFile:
 
 
 class PredicateFile:
-    """Per-warp predicate registers: 8 x 32 lanes of bool (P7 = PT)."""
+    """Per-warp predicate registers: 8 x *lanes* of bool (P7 = PT)."""
 
     NUM_PREDS = 8
 
-    def __init__(self) -> None:
-        self._data = np.zeros((self.NUM_PREDS, WARP_LANES), dtype=bool)
+    def __init__(self, lanes: int = WARP_LANES) -> None:
+        self._data = np.zeros((self.NUM_PREDS, lanes), dtype=bool)
         self._data[PT_INDEX] = True
 
     def read(self, index: int, negated: bool = False) -> np.ndarray:

@@ -6,6 +6,7 @@ Commands
 ``roofline``    print the Fig. 3 roofline story
 ``sweep``       run a Fig. 6/7-style square sweep on one device
 ``hgemm``       run one simulated GEMM and verify it
+``igemm``       run one simulated int8 GEMM (IMMA.8816) and verify it
 ``autotune``    pick the best kernel configuration for a problem
 ``disasm``      generate an HGEMM kernel and print its SASS listing
 ``perfstats``   profile kernels and report simulator/cache statistics
@@ -140,6 +141,23 @@ def _cmd_hgemm(args) -> int:
           f"({run.stats.opcode_counts.get('HMMA', 0)} HMMA), "
           f"CTAs: {run.stats.ctas_run}")
     print(f"bit-exact vs precision model: {exact}")
+    return 0 if exact else 1
+
+
+def _cmd_igemm(args) -> int:
+    from .core import igemm, igemm_reference
+
+    rng = np.random.default_rng(args.seed)
+    a = rng.integers(-128, 128, (args.m, args.k), dtype=np.int8)
+    b = rng.integers(-128, 128, (args.k, args.n), dtype=np.int8)
+    run = igemm(a, b, return_run=True, max_workers=args.jobs)
+    reference = igemm_reference(a, b)
+    exact = np.array_equal(run.c, reference)
+    print(f"kernel: {run.config.describe()}")
+    print(f"instructions: {run.stats.instructions_retired} "
+          f"({run.stats.opcode_counts.get('IMMA', 0)} IMMA), "
+          f"CTAs: {run.stats.ctas_run}")
+    print(f"bit-exact vs int8 oracle: {exact}")
     return 0 if exact else 1
 
 
@@ -284,6 +302,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=None,
                    help="worker processes (0 = one per CPU; default serial)")
 
+    p = sub.add_parser("igemm", help="run one simulated int8 GEMM")
+    p.add_argument("m", type=int)
+    p.add_argument("n", type=int)
+    p.add_argument("k", type=int)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (0 = one per CPU; default serial)")
+
     p = sub.add_parser("autotune", help="pick the best kernel config")
     p.add_argument("m", type=int)
     p.add_argument("n", type=int)
@@ -329,6 +355,7 @@ _COMMANDS = {
     "roofline": _cmd_roofline,
     "sweep": _cmd_sweep,
     "hgemm": _cmd_hgemm,
+    "igemm": _cmd_igemm,
     "autotune": _cmd_autotune,
     "analyze": _cmd_analyze,
     "verify": _cmd_verify,

@@ -14,7 +14,7 @@ from .builder import HgemmProblem, RegisterPlan, build_hgemm
 from .config import ConfigError, KernelConfig, cublas_like, ours, ours_f32
 from .config import ours_int8
 from .hgemm import HgemmRun, hgemm, hgemm_batched, hgemm_reference
-from .igemm import igemm, igemm_reference
+from .igemm import IgemmRun, igemm, igemm_reference
 from .layout import SmemPlan, TileLayout
 from .scheduler import InterleaveScheduler, spacing_for
 from .verify import CaseResult, VerificationReport, verify_kernel
@@ -37,6 +37,7 @@ __all__ = [
     "ours",
     "ours_f32",
     "ours_int8",
+    "IgemmRun",
     "igemm",
     "igemm_reference",
     "HgemmRun",

@@ -15,7 +15,7 @@ from ..sim.memory import GlobalMemory
 from .builder import HgemmProblem, build_hgemm
 from .config import ConfigError, KernelConfig, ours_int8
 
-__all__ = ["igemm", "igemm_reference"]
+__all__ = ["igemm", "igemm_reference", "IgemmRun"]
 
 
 def _shrink_int8(config: KernelConfig, m: int, n: int, k: int) -> KernelConfig:
@@ -37,8 +37,23 @@ def _shrink_int8(config: KernelConfig, m: int, n: int, k: int) -> KernelConfig:
     return config.with_(b_m=b_m, b_n=b_n, b_k=b_k, w_m=w_m, w_n=w_n)
 
 
+class IgemmRun:
+    """Result of one simulated IGEMM launch."""
+
+    def __init__(self, c: np.ndarray, config: KernelConfig, stats):
+        self.c = c
+        self.config = config
+        self.stats = stats
+
+    def __array__(self, dtype=None, copy=None):
+        arr = self.c
+        if dtype is not None:
+            arr = arr.astype(dtype)
+        return arr
+
+
 def igemm(a, b, kernel=None, spec: GpuSpec = RTX2070,
-          max_workers: int = None) -> np.ndarray:
+          return_run: bool = False, max_workers: int = None):
     """Compute ``C = A @ B`` on int8 operands with s32 accumulation.
 
     Args:
@@ -47,10 +62,11 @@ def igemm(a, b, kernel=None, spec: GpuSpec = RTX2070,
         kernel: an explicit int8 :class:`KernelConfig`, or None for the
             :func:`ours_int8` preset (shrunk to fit the problem).
         spec: target device.
+        return_run: also return kernel statistics.
         max_workers: CTA-parallel worker processes for the functional run.
 
     Returns:
-        (m, n) int32 array.
+        (m, n) int32 array, or an :class:`IgemmRun` when *return_run*.
     """
     a8 = np.ascontiguousarray(a, dtype=np.int8)
     b8 = np.ascontiguousarray(b, dtype=np.int8)
@@ -78,10 +94,13 @@ def igemm(a, b, kernel=None, spec: GpuSpec = RTX2070,
     problem = HgemmProblem(m=m, n=n, k=k, a_addr=a_addr, b_addr=b_addr,
                            c_addr=c_addr)
     program = build_hgemm(config, problem, spec)
-    FunctionalSimulator().run(program, memory,
-                              grid_dim=config.grid_dim(m, n),
-                              max_workers=max_workers)
-    return memory.read_array(c_addr, np.int32, m * n).reshape(m, n)
+    stats = FunctionalSimulator().run(program, memory,
+                                      grid_dim=config.grid_dim(m, n),
+                                      max_workers=max_workers)
+    out = memory.read_array(c_addr, np.int32, m * n).reshape(m, n)
+    if return_run:
+        return IgemmRun(out, config, stats)
+    return out
 
 
 def igemm_reference(a, b) -> np.ndarray:

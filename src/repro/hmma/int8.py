@@ -33,6 +33,7 @@ __all__ = [
     "s32_matrix_to_fragments",
     "fragments_to_s32_matrix",
     "imma_8816",
+    "imma_8816_batch",
 ]
 
 #: Integer operations per IMMA.8816 (2 * 8 * 8 * 16 multiply-adds).
@@ -74,15 +75,28 @@ def int8_matrix_to_fragment_b(matrix) -> np.ndarray:
     return lanes.view(np.uint8).copy().view(np.uint32).ravel()
 
 
+# Flat-byte gather tables (endian-independent: fragments address whole
+# bytes, never sub-byte fields).  _B_GATHER[r, c] is the byte index within a
+# B fragment's 128 bytes of element B[r, c]: lane q + 4c holds B[4q:4q+4, c],
+# so with r = 4q + j the byte sits at (q + 4c) * 4 + j.
+_B_ROWS = np.arange(16)[:, None]
+_B_COLS = np.arange(8)[None, :]
+_B_GATHER = (4 * ((_B_ROWS // 4) + 4 * _B_COLS) + _B_ROWS % 4).astype(np.intp)
+
+# _C_GATHER[r, c] indexes the reg-major flat (2 * 32,) C pair: lane 4r + p
+# holds C[r, 2p] in register 0 and C[r, 2p + 1] in register 1.
+_C_ROWS = np.arange(8)[:, None]
+_C_COLS = np.arange(8)[None, :]
+_C_GATHER = ((_C_COLS % 2) * 32 + 4 * _C_ROWS + _C_COLS // 2).astype(np.intp)
+# Inverse: _C_SCATTER[reg-major flat index] = matrix flat index.
+_C_SCATTER = np.empty(64, dtype=np.intp)
+_C_SCATTER[_C_GATHER.ravel()] = np.arange(64)
+
+
 def fragment_b_to_int8_matrix(words) -> np.ndarray:
     """Gather the B fragment back into a 16x8 int8 matrix."""
     arr = _check((_LANES,), words, np.uint32, "B fragment")
-    lanes = arr.view(np.uint8).view(np.int8).reshape(32, 4)
-    out = np.empty((16, 8), dtype=np.int8)
-    for c in range(8):
-        for q in range(4):
-            out[4 * q : 4 * q + 4, c] = lanes[q + 4 * c]
-    return out
+    return arr.view(np.uint8).view(np.int8)[_B_GATHER]
 
 
 def s32_matrix_to_fragments(matrix) -> np.ndarray:
@@ -125,3 +139,39 @@ def imma_8816(a_reg, b_reg, c_regs) -> np.ndarray:
     d64 = (a @ b + c) & 0xFFFFFFFF
     d = d64.astype(np.uint32).view(np.int32)
     return s32_matrix_to_fragments(d)
+
+
+def imma_8816_batch(a_regs, b_regs, c_regs) -> np.ndarray:
+    """Stacked ``IMMA.8816``: *g* independent products over *w* warps.
+
+    Args:
+        a_regs: (g, L) uint32 -- A fragments, L = 32 * n_warps lanes laid
+            out warp-major.
+        b_regs: (g, L) uint32 -- B fragments.
+        c_regs: (g, 2, L) uint32 -- C accumulator pairs.
+
+    Returns:
+        (g, 2, L) uint32 -- D pairs.
+
+    Integer matmul is exact, so unlike the HMMA batch kernels this one can
+    use a single stacked matmul; results are bit-identical to
+    :func:`imma_8816` per warp slice on any host endianness.
+    """
+    a_regs = np.ascontiguousarray(a_regs, dtype=np.uint32)
+    b_regs = np.ascontiguousarray(b_regs, dtype=np.uint32)
+    c_regs = np.ascontiguousarray(c_regs, dtype=np.uint32)
+    g, total = a_regs.shape
+    n_warps = total // _LANES
+    gw = g * n_warps
+    # A's 128 fragment bytes are exactly the row-major 8x16 matrix bytes.
+    a8 = a_regs.view(np.uint8).view(np.int8).reshape(gw, 8, 16)
+    b8 = (b_regs.view(np.uint8).view(np.int8).reshape(gw, 128)
+          .take(_B_GATHER.ravel(), axis=1).reshape(gw, 16, 8))
+    c32 = (c_regs.view(np.int32).reshape(g, 2, n_warps, 32)
+           .transpose(0, 2, 1, 3).reshape(gw, 64)
+           .take(_C_GATHER.ravel(), axis=1).reshape(gw, 8, 8))
+    d64 = (a8.astype(np.int64) @ b8.astype(np.int64)
+           + c32.astype(np.int64)) & 0xFFFFFFFF
+    d = d64.astype(np.uint32).reshape(gw, 64).take(_C_SCATTER, axis=1)
+    return (d.reshape(g, n_warps, 2, 32).transpose(0, 2, 1, 3)
+            .reshape(g, 2, total))

@@ -38,6 +38,8 @@ __all__ = [
     "hmma_1688_f16",
     "hmma_1688_f32",
     "hmma_884_f16",
+    "hmma_1688_f16_batch",
+    "hmma_1688_f32_batch",
     "HMMA_1688_FLOPS",
 ]
 
@@ -99,6 +101,101 @@ def hmma_1688_f32(a_regs, b_reg, c_regs) -> np.ndarray:
     c = fragments_f32_to_matrix16x8(c_regs)
     d = mma_16x8x8(a, b, c, accumulate_f32=True)
     return matrix16x8_to_fragments_f32(d)
+
+
+def _hmma_1688_batch_fallback(a_regs, b_regs, c_regs, f32: bool) -> np.ndarray:
+    """Per-(product, warp) scalar path (big-endian hosts)."""
+    g, _, total = a_regs.shape
+    n_warps = total // 32
+    fn = hmma_1688_f32 if f32 else hmma_1688_f16
+    out = np.empty_like(c_regs)
+    for i in range(g):
+        for w in range(n_warps):
+            lanes = slice(32 * w, 32 * (w + 1))
+            out[i][:, lanes] = fn(
+                a_regs[i][:, lanes], b_regs[i][lanes], c_regs[i][:, lanes])
+    return out
+
+
+def hmma_1688_f16_batch(a_regs, b_regs, c_regs) -> np.ndarray:
+    """Stacked ``HMMA.1688.F16``: *g* independent products over *w* warps.
+
+    Args:
+        a_regs: (g, 2, L) uint32 -- A fragments, L = 32 * n_warps lanes
+            laid out warp-major (warp 0's 32 lanes first).
+        b_regs: (g, L) uint32 -- B fragments.
+        c_regs: (g, 2, L) uint32 -- C accumulators.
+
+    Returns:
+        (g, 2, L) uint32 -- D fragments.
+
+    Each of the ``g * n_warps`` products is computed as an individual
+    (16,8) @ (8,8) float32 2-D matmul, so BLAS dispatch and rounding are
+    bit-identical to :func:`hmma_1688_f16` on every warp slice.
+    """
+    from . import fragments as frag
+    from .fp16 import HALF
+
+    a_regs = np.ascontiguousarray(a_regs, dtype=np.uint32)
+    b_regs = np.ascontiguousarray(b_regs, dtype=np.uint32)
+    c_regs = np.ascontiguousarray(c_regs, dtype=np.uint32)
+    if not frag._LITTLE_ENDIAN:
+        return _hmma_1688_batch_fallback(a_regs, b_regs, c_regs, f32=False)
+    g, _, total = a_regs.shape
+    n_warps = total // 32
+    gw = g * n_warps
+    a16 = (a_regs.view(np.uint16).reshape(g, 2, n_warps, 64)
+           .transpose(0, 2, 1, 3).reshape(gw, 128)
+           .take(frag._GATHER_16X8, axis=1).view(HALF))
+    b16 = (b_regs.view(np.uint16).reshape(gw, 64)
+           .take(frag._PERMS[COL_MAJOR][0], axis=1).view(HALF))
+    c16 = (c_regs.view(np.uint16).reshape(g, 2, n_warps, 64)
+           .transpose(0, 2, 1, 3).reshape(gw, 128)
+           .take(frag._GATHER_16X8, axis=1).view(HALF))
+    a32 = a16.astype(np.float32)
+    b32 = b16.astype(np.float32)
+    prod = np.empty((gw, 16, 8), dtype=np.float32)
+    for i in range(gw):
+        prod[i] = a32[i] @ b32[i]
+    d16 = (prod + c16.astype(np.float32)).astype(np.float16)
+    return (d16.reshape(gw, 128).take(frag._SCATTER_16X8, axis=1)
+            .view(np.uint32).reshape(g, n_warps, 2, 32)
+            .transpose(0, 2, 1, 3).reshape(g, 2, total))
+
+
+def hmma_1688_f32_batch(a_regs, b_regs, c_regs) -> np.ndarray:
+    """Stacked ``HMMA.1688.F32`` (see :func:`hmma_1688_f16_batch`).
+
+    ``c_regs`` / result are (g, 4, L) uint32 float32 fragment pairs.
+    """
+    from . import fragments as frag
+    from .fp16 import HALF
+
+    a_regs = np.ascontiguousarray(a_regs, dtype=np.uint32)
+    b_regs = np.ascontiguousarray(b_regs, dtype=np.uint32)
+    c_regs = np.ascontiguousarray(c_regs, dtype=np.uint32)
+    if not frag._LITTLE_ENDIAN:
+        return _hmma_1688_batch_fallback(a_regs, b_regs, c_regs, f32=True)
+    g, _, total = a_regs.shape
+    n_warps = total // 32
+    gw = g * n_warps
+    a16 = (a_regs.view(np.uint16).reshape(g, 2, n_warps, 64)
+           .transpose(0, 2, 1, 3).reshape(gw, 128)
+           .take(frag._GATHER_16X8, axis=1).view(HALF))
+    b16 = (b_regs.view(np.uint16).reshape(gw, 64)
+           .take(frag._PERMS[COL_MAJOR][0], axis=1).view(HALF))
+    c32 = (c_regs.view(np.float32).reshape(g, 4, n_warps, 32)
+           .transpose(0, 2, 1, 3).reshape(gw, 128)
+           .take(frag._INV_F32.ravel(), axis=1).reshape(gw, 16, 8))
+    a32 = a16.astype(np.float32)
+    b32 = b16.astype(np.float32)
+    prod = np.empty((gw, 16, 8), dtype=np.float32)
+    for i in range(gw):
+        prod[i] = a32[i] @ b32[i]
+    d = prod + c32
+    return (d.reshape(gw, 128).take(frag._PERM_F32.ravel(), axis=1)
+            .view(np.uint32).reshape(g, n_warps, 4, 32)
+            .transpose(0, 2, 1, 3).reshape(g, 4, total))
 
 
 def hmma_884_f16(a_reg, b_reg, c_reg) -> np.ndarray:

@@ -71,6 +71,8 @@ class OpcodeInfo:
     is_store: bool = False
     is_branch: bool = False
     writes_predicate: bool = False
+    #: Executes as one warp-wide operation; cannot be lane-predicated.
+    warp_wide: bool = False
 
 
 def _build_registry() -> dict:
@@ -89,9 +91,9 @@ def _build_registry() -> dict:
         OpcodeInfo("CS2R", Pipe.ALU, 0x0B),
         OpcodeInfo("BAR", Pipe.BARRIER, 0x0C),
         OpcodeInfo("BRA", Pipe.BRANCH, 0x0D, is_branch=True),
-        OpcodeInfo("HMMA", Pipe.TENSOR, 0x10),
+        OpcodeInfo("HMMA", Pipe.TENSOR, 0x10, warp_wide=True),
         OpcodeInfo("HFMA2", Pipe.FMA, 0x11),
-        OpcodeInfo("IMMA", Pipe.TENSOR, 0x12),
+        OpcodeInfo("IMMA", Pipe.TENSOR, 0x12, warp_wide=True),
         OpcodeInfo("LDG", Pipe.LSU, 0x20, is_memory=True),
         OpcodeInfo("STG", Pipe.LSU, 0x21, is_memory=True, is_store=True),
         OpcodeInfo("LDS", Pipe.LSU, 0x22, is_memory=True),

@@ -15,6 +15,9 @@ Counter names use dotted namespaces by convention:
   :class:`~repro.sim.functional.FunctionalSimulator` per ``run()``
   (grid launches, CTAs executed, instructions retired, and worker
   processes used for CTA-parallel sharding).
+* ``func.destacks`` -- incremented by the warp-lockstep engine each time
+  a CTA hits a stacked closure that returns ``DIVERGED`` and falls back
+  to the per-warp interleave path (see :mod:`repro.sim.decode`).
 * ``func.wall`` (a timer, seconds) -- wall time inside functional
   ``run()``, including predecode and any worker fan-out.
 * ``cache.mem_hits`` / ``cache.disk_hits`` / ``cache.misses`` /

@@ -1,38 +1,55 @@
 """Predecoded execution engine for the functional simulator.
 
 The reference interpreter (:func:`repro.sim.exec_units.execute`) re-examines
-every ``Instruction`` each time it retires: a dict dispatch on the opcode,
-``isinstance`` checks on every operand, fresh ``np.full`` immediates, and an
-``Effects`` record that the caller then unpacks.  For a GEMM that retires the
-same few hundred instructions thousands of times, almost all of that work is
-loop-invariant.
+every ``Instruction`` each time it retires: operand descriptors evaluated
+afresh, fresh ``np.full`` immediates, and an ``Effects`` record that the
+caller then unpacks.  For a GEMM that retires the same few hundred
+instructions thousands of times, almost all of that work is loop-invariant.
 
-:func:`predecode` moves it to launch time.  Each program slot becomes one
-closure with its register indices, immediates, predicate slot and handler
-resolved once; executing an instruction is then a single call that reads and
-writes the warp's register file directly.  A closure returns the control
-signal for the interval loop in :mod:`repro.sim.functional`:
+:func:`predecode` moves it to launch time.  Every slot's semantics come from
+the µop table (:mod:`repro.sim.uop`): ``decode_uop`` yields the operand
+descriptors, lane kernel and dependence sets once, and this module merely
+*compiles* them -- descriptors become bound row readers, the kernel is
+called directly, and the scheduler metadata drives window fusion.  There is
+no per-opcode lane math here.
+
+Each program slot becomes one closure with its register indices, immediates,
+predicate slot and kernel resolved once; executing an instruction is then a
+single call that reads and writes the warp's register file directly.  A
+closure returns the control signal for the interval loop in
+:mod:`repro.sim.functional`:
 
 * ``None`` -- fall through to the slot's precomputed ``next_pc``;
 * an ``int >= 0`` -- branch to that slot;
-* :data:`EXITED` / :data:`BARRIER` -- the warp exits / arrives at a barrier.
+* :data:`EXITED` / :data:`BARRIER` -- the warp exits / arrives at a barrier;
+* :data:`DIVERGED` -- (stacked decodings only, see below) the warps of a CTA
+  stopped agreeing and lockstep execution must de-stack.
+
+``predecode(program, lanes)`` compiles for any lane count: the default 32
+serves one warp, while the lockstep engine passes ``n_warps * 32`` so every
+closure operates on all of a CTA's warps as one stacked array.  Stacked
+closures must be warp-uniform; wherever per-warp behaviour could differ
+(partial predicates, divergent branches, reference-only paths) the closure
+returns :data:`DIVERGED` *before* mutating any state, and the caller falls
+back to per-warp interleaving.
 
 On top of the per-slot closures, maximal runs of consecutive independent
-same-shape instructions (HMMA, LDS/LDG, STS/STG, MOV, IADD3/IMAD -- the inner
-loops of the generated kernels) are fused into *batched* closures that execute
-the whole run with warp-wide NumPy gathers and scatters.  Fusion is only
-applied when no instruction in the run reads or overwrites a register written
-earlier in the run, so gather-all-then-scatter-all is order-equivalent to
-sequential execution; branches into the middle of a fused run still work
-because every member slot keeps its individual closure.
+same-shape instructions (HMMA/IMMA, LDS/LDG, STS/STG, MOV, IADD3/IMAD --
+the inner loops of the generated kernels) are fused into *batched* closures
+that execute the whole run with warp-wide NumPy gathers and scatters.
+Fusion is only applied when no instruction in the run reads or overwrites a
+register written earlier in the run, so gather-all-then-scatter-all is
+order-equivalent to sequential execution; branches into the middle of a
+fused run still work because every member slot keeps its individual closure.
 
-Bit-exactness contract: every fast path performs the same element-wise
-arithmetic as the reference executor -- integer ops wrap modulo 2**32 either
-way, permutation gathers reorder but never transform values, and the per-HMMA
-``(16, 8) @ (8, 8)`` float32 matmuls are kept as individual 2-D products (only
-their fragment gathers and the accumulate/round stages are batched) so the
-BLAS dispatch and rounding sequence match the reference exactly.  The golden
-tests in ``tests/sim/test_golden_functional.py`` pin this equivalence.
+Bit-exactness contract: every fast path runs the same lane kernels as the
+reference executor -- integer ops wrap modulo 2**32 either way, permutation
+gathers reorder but never transform values, and the per-HMMA ``(16, 8) @
+(8, 8)`` float32 matmuls are kept as individual 2-D products (only their
+fragment gathers and the accumulate/round stages are batched) so the BLAS
+dispatch and rounding sequence match the reference exactly.  The golden
+tests in ``tests/sim/test_golden_functional.py`` and the differential fuzz
+suite in ``tests/sim/test_uop_differential.py`` pin this equivalence.
 """
 
 from __future__ import annotations
@@ -40,25 +57,34 @@ from __future__ import annotations
 import numpy as np
 
 from ..arch.registers import WARP_LANES
-from ..hmma import fragments as frag
 from ..hmma import mma as mma_ops
-from ..hmma.fp16 import pack_half2, unpack_half2
-from ..hmma.int8 import imma_8816
-from ..isa.operands import Imm, MemRef, Pred, Reg, SpecialReg, PT_INDEX, RZ_INDEX
-from .exec_units import _CMPS, ExecError, execute
+from ..hmma.int8 import imma_8816_batch
+from ..isa.operands import SpecialReg, PT_INDEX, RZ_INDEX
+from .exec_units import ExecError, execute
+from .uop import (
+    MEM_GLOBAL as _MEM_GLOBAL,
+    MEM_SHARED as _MEM_SHARED,
+    SOLO,
+    decode_uop,
+    k_iadd3,
+    k_imad,
+)
 
-__all__ = ["BARRIER", "EXITED", "DecodedProgram", "predecode"]
+__all__ = ["BARRIER", "DIVERGED", "EXITED", "DecodedProgram", "predecode"]
 
 #: Control signals returned by decoded-op closures (negative so that any
 #: non-negative return value can be a branch-target slot).
 EXITED = -1
 BARRIER = -2
+#: Stacked (multi-warp) closures return this -- before touching any state --
+#: when the CTA's warps stop agreeing and must be executed per warp.
+DIVERGED = -3
 
-# Shared read-only constants; closures must never mutate reader results.
-_ZEROS_U32 = np.zeros(WARP_LANES, dtype=np.uint32)
-_ZEROS_U32.setflags(write=False)
-_ZEROS_I32 = np.zeros(WARP_LANES, dtype=np.int32)
-_ZEROS_I32.setflags(write=False)
+_MEM_TOKENS = frozenset((_MEM_GLOBAL, _MEM_SHARED))
+
+#: Marker key for schedulable-but-not-batchable slots: they join a window as
+#: single-member groups (keeping it unbroken) and run their own closure.
+_SOLO = None
 
 
 class DecodedProgram:
@@ -76,17 +102,23 @@ class DecodedProgram:
       execution (several pairs for a fused window), used by
       :meth:`accumulate` to expand per-slot execution counters into the
       per-opcode retire counts of a :class:`FunctionalResult`.
+
+    ``lanes`` records the lane count the closures were compiled for (32 for
+    one warp; ``n_warps * 32`` for a lockstep stacking).
     """
 
-    __slots__ = ("n", "run_fns", "next_pc", "lens", "reads_clock", "slot_ops")
+    __slots__ = ("n", "run_fns", "next_pc", "lens", "reads_clock",
+                 "slot_ops", "lanes")
 
-    def __init__(self, n, run_fns, next_pc, lens, reads_clock, slot_ops):
+    def __init__(self, n, run_fns, next_pc, lens, reads_clock, slot_ops,
+                 lanes=WARP_LANES):
         self.n = n
         self.run_fns = run_fns
         self.next_pc = next_pc
         self.lens = lens
         self.reads_clock = reads_clock
         self.slot_ops = slot_ops
+        self.lanes = lanes
 
     def new_counts(self) -> list:
         """Fresh per-slot execution counters for one launch."""
@@ -106,58 +138,177 @@ class DecodedProgram:
         result.instructions_retired += total
 
 
-# ----------------------------------------------------------- operand readers
+# ----------------------------------------------------- descriptor compilation
 
-def _val_getter(operand):
-    """fn(warp) -> (32,) uint32 for a Reg / Imm source, or None."""
-    if isinstance(operand, Reg):
-        if operand.is_rz:
-            return lambda warp: _ZEROS_U32
-        index = operand.index
-        return lambda warp: warp.regs._data[index]
-    if isinstance(operand, Imm):
-        const = np.full(WARP_LANES, operand.unsigned, dtype=np.uint32)
-        const.setflags(write=False)
-        return lambda warp: const
-    return None
+def _frozen(arr):
+    arr.setflags(write=False)
+    return arr
 
 
-def _val_getter_i32(operand):
-    """Signed view of :func:`_val_getter`; int32 compares match the
-    reference's sign-extended int64 compares for every 32-bit pattern."""
-    if isinstance(operand, Reg):
-        if operand.is_rz:
-            return lambda warp: _ZEROS_I32
-        index = operand.index
-        return lambda warp: warp.regs._data[index].view(np.int32)
-    if isinstance(operand, Imm):
-        const = np.full(WARP_LANES, operand.unsigned, dtype=np.uint32).view(np.int32)
-        const.setflags(write=False)
-        return lambda warp: const
-    return None
-
-
-def _special_getter(operand):
-    """fn(warp) -> (32,) uint32 for a SpecialReg source, or None."""
-    name = operand.name
+def _special_getter(name, lanes):
+    """fn(warp) -> (lanes,) array for a special register, or None."""
     if name == "SR_TID.X":
         return lambda warp: warp.tid
     if name in ("SR_TID.Y", "SR_TID.Z", "SRZ"):
-        return lambda warp: _ZEROS_U32
+        zeros = _frozen(np.zeros(lanes, dtype=np.uint32))
+        return lambda warp: zeros
     if name == "SR_CTAID.X":
-        return lambda warp: np.full(WARP_LANES, warp.ctaid[0], dtype=np.uint32)
+        return lambda warp: np.full(lanes, warp.ctaid[0], dtype=np.uint32)
     if name == "SR_CTAID.Y":
-        return lambda warp: np.full(WARP_LANES, warp.ctaid[1], dtype=np.uint32)
+        return lambda warp: np.full(lanes, warp.ctaid[1], dtype=np.uint32)
     if name == "SR_CTAID.Z":
-        return lambda warp: np.full(WARP_LANES, warp.ctaid[2], dtype=np.uint32)
+        return lambda warp: np.full(lanes, warp.ctaid[2], dtype=np.uint32)
     if name == "SR_LANEID":
         return lambda warp: warp.lane_ids
     if name == "SR_CLOCKLO":
         return lambda warp: np.full(
-            WARP_LANES, warp.retired & 0xFFFFFFFF, dtype=np.uint32)
+            lanes, warp.retired & 0xFFFFFFFF, dtype=np.uint32)
     if name == "SR_CLOCKHI":
         return lambda warp: np.full(
-            WARP_LANES, (warp.retired >> 32) & 0xFFFFFFFF, dtype=np.uint32)
+            lanes, (warp.retired >> 32) & 0xFFFFFFFF, dtype=np.uint32)
+    return None
+
+
+def _make_reader(desc, lanes):
+    """Compile one µop source descriptor to fn(warp) -> array, or None."""
+    kind = desc[0]
+    if kind == "reg":
+        index = desc[1]
+        if index == RZ_INDEX:
+            zeros = _frozen(np.zeros(lanes, dtype=np.uint32))
+            return lambda warp: zeros
+        return lambda warp: warp.regs._data[index]
+    if kind == "reg_i32":
+        index = desc[1]
+        if index == RZ_INDEX:
+            zeros = _frozen(np.zeros(lanes, dtype=np.int32))
+            return lambda warp: zeros
+        return lambda warp: warp.regs._data[index].view(np.int32)
+    if kind == "regs":
+        index, count = desc[1], desc[2]
+        return lambda warp: warp.regs._data[index:index + count]
+    if kind == "imm":
+        const = _frozen(np.full(lanes, desc[1], dtype=np.uint32))
+        return lambda warp: const
+    if kind == "imm_i32":
+        const = np.full(lanes, desc[1], dtype=np.uint32).view(np.int32)
+        const.setflags(write=False)
+        return lambda warp: const
+    if kind == "pred":
+        index, negated = desc[1], desc[2]
+        if negated:
+            return lambda warp: ~warp.preds._data[index]
+        return lambda warp: warp.preds._data[index]
+    return _special_getter(desc[1], lanes)   # ("sr", ...) / ("sr_i32", ...)
+
+
+def _compile_alu(uop, lanes):
+    # Special-register sources feed lane kernels through the reference path
+    # only (their getters may return non-uint32 lane indices); the identity
+    # move (kernel None) assigns them directly, which casts.
+    if uop.kernel is not None and any(
+            d[0] in ("sr", "sr_i32") for d in uop.srcs):
+        return None
+    readers = []
+    for desc in uop.srcs:
+        reader = _make_reader(desc, lanes)
+        if reader is None:
+            return None
+        if desc[0] == "sr_i32":
+            getter = reader
+            reader = (lambda warp, _g=getter: _g(warp).view(np.int32))
+        readers.append(reader)
+    kernel = uop.kernel
+    dest = uop.dest
+    if dest[0] == "pred":
+        di = dest[1]
+        if di == PT_INDEX:
+            return lambda warp: None  # writes to PT are discarded
+        r0, r1, r2 = readers
+
+        def run(warp):
+            warp.preds._data[di] = kernel(r0(warp), r1(warp), r2(warp))
+        return run
+    d, words = dest[1], dest[2]
+    if kernel is None:
+        (r0,) = readers
+
+        def run(warp):
+            warp.regs._data[d] = r0(warp)
+        return run
+    if words > 1:
+        r0, r1, r2 = readers
+
+        def run(warp):
+            warp.regs._data[d:d + words] = kernel(r0(warp), r1(warp), r2(warp))
+        return run
+    if len(readers) == 2:
+        r0, r1 = readers
+
+        def run(warp):
+            warp.regs._data[d] = kernel(r0(warp), r1(warp))
+        return run
+    if len(readers) == 3:
+        r0, r1, r2 = readers
+
+        def run(warp):
+            warp.regs._data[d] = kernel(r0(warp), r1(warp), r2(warp))
+        return run
+
+    def run(warp):
+        warp.regs._data[d] = kernel(*[r(warp) for r in readers])
+    return run
+
+
+def _compile_mem(uop, lanes):
+    mem = uop.mem
+    mem_attr = "global_mem" if mem.space == "global" else "shared_mem"
+    width = mem.width
+    words = mem.words
+    offset = mem.offset
+    if mem.is_store:
+        si = mem.reg
+        if mem.base_index == RZ_INDEX:
+            const_addresses = _frozen(np.full(lanes, offset, dtype=np.int64))
+
+            def run(warp):
+                getattr(warp, mem_attr).store_warp(
+                    const_addresses, warp.regs._data[si:si + words], width, None)
+        else:
+            bi = mem.base_index
+
+            def run(warp):
+                addresses = warp.regs._data[bi].astype(np.int64) + offset
+                getattr(warp, mem_attr).store_warp(
+                    addresses, warp.regs._data[si:si + words], width, None)
+        return run
+    dest = uop.dest[1]
+    if mem.base_index == RZ_INDEX:
+        const_addresses = _frozen(np.full(lanes, offset, dtype=np.int64))
+
+        def run(warp):
+            data = getattr(warp, mem_attr).load_warp(const_addresses, width, None)
+            warp.regs._data[dest:dest + words] = data
+    else:
+        bi = mem.base_index
+
+        def run(warp):
+            addresses = warp.regs._data[bi].astype(np.int64) + offset
+            data = getattr(warp, mem_attr).load_warp(addresses, width, None)
+            warp.regs._data[dest:dest + words] = data
+    return run
+
+
+def _compile_uop(uop, lanes):
+    """Fast closure for *uop* at *lanes*, or None (-> reference path)."""
+    if not uop.groups_ok:
+        return None
+    if uop.lanes32_only and lanes != WARP_LANES:
+        return None
+    if uop.kind == "alu":
+        return _compile_alu(uop, lanes)
+    if uop.kind in ("load", "store"):
+        return _compile_mem(uop, lanes)
     return None
 
 
@@ -166,337 +317,32 @@ def _reads_clock(inst) -> bool:
                for op in inst.srcs)
 
 
-def _gpr_dest(inst):
-    """The single non-RZ Reg destination index, or None (-> generic path)."""
-    if len(inst.dests) != 1:
-        return None
-    dest = inst.dests[0]
-    if not isinstance(dest, Reg) or dest.is_rz:
-        return None
-    return dest.index
-
-
-# ------------------------------------------------------ fast single closures
-
-def _build_mov(inst):
-    dest = _gpr_dest(inst)
-    if dest is None or len(inst.srcs) != 1:
-        return None
-    src = inst.srcs[0]
-    if isinstance(src, Reg) and not src.is_rz:
-        s = src.index
-
-        def run(warp):
-            warp.regs._data[dest] = warp.regs._data[s]
-        return run
-    getter = _val_getter(src)
-    if getter is None and isinstance(src, SpecialReg):
-        getter = _special_getter(src)
-    if getter is None:
-        return None
-
-    def run(warp):
-        warp.regs._data[dest] = getter(warp)
-    return run
-
-
-def _build_iadd3(inst):
-    dest = _gpr_dest(inst)
-    if dest is None or not inst.srcs:
-        return None
-    getters = [_val_getter(s) for s in inst.srcs]
-    if any(g is None for g in getters):
-        return None
-    if len(getters) == 3:
-        g0, g1, g2 = getters
-
-        def run(warp):
-            warp.regs._data[dest] = g0(warp) + g1(warp) + g2(warp)
-        return run
-
-    def run(warp):
-        acc = getters[0](warp)
-        for getter in getters[1:]:
-            acc = acc + getter(warp)
-        warp.regs._data[dest] = acc
-    return run
-
-
-def _build_imad(inst):
-    dest = _gpr_dest(inst)
-    if dest is None or len(inst.srcs) != 3:
-        return None
-    getters = [_val_getter(s) for s in inst.srcs]
-    if any(g is None for g in getters):
-        return None
-    ga, gb, gc = getters
-
-    def run(warp):
-        warp.regs._data[dest] = ga(warp) * gb(warp) + gc(warp)
-    return run
-
-
-def _build_shf(inst):
-    dest = _gpr_dest(inst)
-    if dest is None or len(inst.srcs) < 2:
-        return None
-    gv = _val_getter(inst.srcs[0])
-    ga = _val_getter(inst.srcs[1])
-    if gv is None or ga is None:
-        return None
-    if "L" in inst.mods:
-        def run(warp):
-            amount = (ga(warp) & np.uint32(31)).astype(np.uint64)
-            warp.regs._data[dest] = (
-                (gv(warp).astype(np.uint64) << amount) & np.uint64(0xFFFFFFFF))
-        return run
-    if "R" in inst.mods:
-        def run(warp):
-            amount = (ga(warp) & np.uint32(31)).astype(np.uint64)
-            warp.regs._data[dest] = gv(warp).astype(np.uint64) >> amount
-        return run
-    return None  # the reference path raises the canonical error
-
-
-def _build_lop3(inst):
-    dest = _gpr_dest(inst)
-    if dest is None or len(inst.srcs) < 2:
-        return None
-    ga = _val_getter(inst.srcs[0])
-    gb = _val_getter(inst.srcs[1])
-    if ga is None or gb is None:
-        return None
-    if "AND" in inst.mods:
-        def run(warp):
-            warp.regs._data[dest] = ga(warp) & gb(warp)
-    elif "OR" in inst.mods:
-        def run(warp):
-            warp.regs._data[dest] = ga(warp) | gb(warp)
-    elif "XOR" in inst.mods:
-        def run(warp):
-            warp.regs._data[dest] = ga(warp) ^ gb(warp)
-    else:
-        return None
-    return run
-
-
-def _build_isetp(inst):
-    cmp_name = inst.mods[0] if inst.mods else None
-    cmp = _CMPS.get(cmp_name)
-    if cmp is None or len(inst.srcs) != 3 or len(inst.dests) != 1:
-        return None
-    combine = inst.srcs[2]
-    if not isinstance(combine, Pred) or not isinstance(inst.dests[0], Pred):
-        return None
-    ga = _val_getter_i32(inst.srcs[0])
-    gb = _val_getter_i32(inst.srcs[1])
-    if ga is None or gb is None:
-        return None
-    dest = inst.dests[0].index
-    if dest == PT_INDEX:
-        return lambda warp: None  # writes to PT are discarded
-    ci = combine.index
-    if combine.negated:
-        def run(warp):
-            warp.preds._data[dest] = cmp(ga(warp), gb(warp)) & ~warp.preds._data[ci]
-    else:
-        def run(warp):
-            warp.preds._data[dest] = cmp(ga(warp), gb(warp)) & warp.preds._data[ci]
-    return run
-
-
-def _build_sel(inst):
-    dest = _gpr_dest(inst)
-    if dest is None or len(inst.srcs) != 3 or not isinstance(inst.srcs[2], Pred):
-        return None
-    ga = _val_getter(inst.srcs[0])
-    gb = _val_getter(inst.srcs[1])
-    if ga is None or gb is None:
-        return None
-    pi = inst.srcs[2].index
-    if inst.srcs[2].negated:
-        def run(warp):
-            warp.regs._data[dest] = np.where(warp.preds._data[pi], gb(warp), ga(warp))
-    else:
-        def run(warp):
-            warp.regs._data[dest] = np.where(warp.preds._data[pi], ga(warp), gb(warp))
-    return run
-
-
-def _build_hfma2(inst):
-    dest = _gpr_dest(inst)
-    if dest is None or len(inst.srcs) != 3:
-        return None
-    if not all(isinstance(s, Reg) for s in inst.srcs):
-        return None
-    ai, bi, ci = (s.index for s in inst.srcs)
-
-    def run(warp):
-        regs = warp.regs
-        a_lo, a_hi = unpack_half2(regs.read(ai))
-        b_lo, b_hi = unpack_half2(regs.read(bi))
-        c_lo, c_hi = unpack_half2(regs.read(ci))
-        d_lo = (a_lo.astype(np.float32) * b_lo.astype(np.float32)
-                + c_lo.astype(np.float32)).astype(np.float16)
-        d_hi = (a_hi.astype(np.float32) * b_hi.astype(np.float32)
-                + c_hi.astype(np.float32)).astype(np.float16)
-        regs._data[dest] = pack_half2(d_lo, d_hi)
-    return run
-
-
-def _mma_operands(inst):
-    """(d, a, b, c) register indices when all are general registers."""
-    if len(inst.dests) != 1 or len(inst.srcs) != 3:
-        return None
-    ops = (inst.dests[0], *inst.srcs)
-    if any(not isinstance(op, Reg) or op.is_rz for op in ops):
-        return None
-    return tuple(op.index for op in ops)
-
-
-def _build_hmma(inst):
-    ops = _mma_operands(inst)
-    if ops is None:
-        return None
-    d, a, b, c = ops
-    if "1688" in inst.mods:
-        if a + 2 > RZ_INDEX:
-            return None
-        if "F32" in inst.mods:
-            if c + 4 > RZ_INDEX or d + 4 > RZ_INDEX:
-                return None
-
-            def run(warp):
-                regs = warp.regs._data
-                regs[d:d + 4] = mma_ops.hmma_1688_f32(
-                    regs[a:a + 2], regs[b], regs[c:c + 4])
-        else:
-            if c + 2 > RZ_INDEX or d + 2 > RZ_INDEX:
-                return None
-
-            def run(warp):
-                regs = warp.regs._data
-                regs[d:d + 2] = mma_ops.hmma_1688_f16(
-                    regs[a:a + 2], regs[b], regs[c:c + 2])
-        return run
-    if "884" in inst.mods:
-        def run(warp):
-            regs = warp.regs._data
-            regs[d] = mma_ops.hmma_884_f16(regs[a], regs[b], regs[c])
-        return run
-    return None
-
-
-def _build_imma(inst):
-    ops = _mma_operands(inst)
-    if ops is None or "8816" not in inst.mods:
-        return None
-    d, a, b, c = ops
-    if c + 2 > RZ_INDEX:
-        return None
-
-    def run(warp):
-        regs = warp.regs._data
-        result = imma_8816(regs[a], regs[b], regs[c:c + 2])
-        warp.regs.write_group(d, result)
-    return run
-
-
-def _memref_parts(inst):
-    """(base Reg, offset, width_bytes, words) for a load/store, or None."""
-    memref = inst.srcs[0]
-    if not isinstance(memref, MemRef) or not isinstance(memref.base, Reg):
-        return None
-    width = inst.width // 8
-    return memref.base, memref.offset, width, width // 4
-
-
-def _build_load(space):
-    def build(inst):
-        parts = _memref_parts(inst)
-        dest = _gpr_dest(inst)
-        if parts is None or dest is None:
-            return None
-        base, offset, width, words = parts
-        if dest + words > RZ_INDEX:
-            return None
-        mem_attr = "global_mem" if space == "global" else "shared_mem"
-        if base.is_rz:
-            const_addresses = np.full(WARP_LANES, offset, dtype=np.int64)
-            const_addresses.setflags(write=False)
-
-            def run(warp):
-                data = getattr(warp, mem_attr).load_warp(const_addresses, width, None)
-                warp.regs._data[dest:dest + words] = data
-        else:
-            bi = base.index
-
-            def run(warp):
-                addresses = warp.regs._data[bi].astype(np.int64) + offset
-                data = getattr(warp, mem_attr).load_warp(addresses, width, None)
-                warp.regs._data[dest:dest + words] = data
-        return run
-    return build
-
-
-def _build_store(space):
-    def build(inst):
-        if len(inst.srcs) != 2:
-            return None
-        parts = _memref_parts(inst)
-        if parts is None:
-            return None
-        base, offset, width, words = parts
-        src = inst.srcs[1]
-        if not isinstance(src, Reg) or src.is_rz or src.index + words > RZ_INDEX:
-            return None
-        si = src.index
-        mem_attr = "global_mem" if space == "global" else "shared_mem"
-        if base.is_rz:
-            const_addresses = np.full(WARP_LANES, offset, dtype=np.int64)
-            const_addresses.setflags(write=False)
-
-            def run(warp):
-                getattr(warp, mem_attr).store_warp(
-                    const_addresses, warp.regs._data[si:si + words], width, None)
-        else:
-            bi = base.index
-
-            def run(warp):
-                addresses = warp.regs._data[bi].astype(np.int64) + offset
-                getattr(warp, mem_attr).store_warp(
-                    addresses, warp.regs._data[si:si + words], width, None)
-        return run
-    return build
-
-
-_FAST_BUILDERS = {
-    "MOV": _build_mov,
-    "MOV32I": _build_mov,
-    "S2R": _build_mov,
-    "CS2R": _build_mov,
-    "IADD3": _build_iadd3,
-    "IMAD": _build_imad,
-    "SHF": _build_shf,
-    "LOP3": _build_lop3,
-    "ISETP": _build_isetp,
-    "SEL": _build_sel,
-    "HFMA2": _build_hfma2,
-    "HMMA": _build_hmma,
-    "IMMA": _build_imma,
-    "LDG": _build_load("global"),
-    "LDS": _build_load("shared"),
-    "STG": _build_store("global"),
-    "STS": _build_store("shared"),
-}
-
-
 # -------------------------------------------------------- control + fallback
 
-def _build_exit(inst):
+def _build_exit(inst, lanes):
     if inst.pred is None:
         return lambda warp: EXITED
     pi, negated = inst.pred.index, inst.pred.negated
+    if lanes != WARP_LANES:
+        # Stacked: a partial predicate may still be warp-uniform per warp --
+        # de-stack and let per-warp execution sort it out.
+        if negated:
+            def run(warp):
+                active = warp.preds._data[pi]
+                if not active.any():
+                    return EXITED
+                if active.all():
+                    return None
+                return DIVERGED
+        else:
+            def run(warp):
+                active = warp.preds._data[pi]
+                if active.all():
+                    return EXITED
+                if not active.any():
+                    return None
+                return DIVERGED
+        return run
     if negated:
         def run(warp):
             return EXITED if not warp.preds._data[pi].any() else None
@@ -506,13 +352,31 @@ def _build_exit(inst):
     return run
 
 
-def _build_bra(inst):
+def _build_bra(inst, lanes):
     target = inst.target_index
     if inst.pred is None:
         if target is None:
             return lambda warp: None  # unresolved target falls through
         return lambda warp: target
     pi, negated = inst.pred.index, inst.pred.negated
+    if lanes != WARP_LANES:
+        if negated:
+            def run(warp):
+                active = warp.preds._data[pi]
+                if not active.any():
+                    return target
+                if active.all():
+                    return None
+                return DIVERGED
+        else:
+            def run(warp):
+                active = warp.preds._data[pi]
+                if active.all():
+                    return target
+                if not active.any():
+                    return None
+                return DIVERGED
+        return run
     if negated:
         def run(warp):
             active = warp.preds._data[pi]
@@ -536,9 +400,13 @@ def _build_bra(inst):
     return run
 
 
-def _build_generic(inst):
+def _build_generic(inst, lanes):
     """Exact reference semantics: evaluate through ``execute`` and apply the
-    Effects the same way the reference interval loop does."""
+    Effects the same way the reference interval loop does.  Reference
+    contexts are 32-lane, so stacked decodings de-stack instead."""
+    if lanes != WARP_LANES:
+        return lambda warp: DIVERGED
+
     def run(warp):
         eff = execute(inst, warp)
         for first_reg, values, mask in eff.reg_writes:
@@ -558,7 +426,8 @@ def _build_generic(inst):
 
 def _guarded(fast, generic, pred):
     """Predicate wrapper: all lanes on -> fast path; all off -> retire as a
-    no-op; partial -> the reference path (which owns masked semantics)."""
+    no-op; partial -> the reference path (which owns masked semantics; on a
+    stacked decoding it returns :data:`DIVERGED` instead)."""
     pi, negated = pred.index, pred.negated
     if negated:
         def run(warp):
@@ -579,29 +448,30 @@ def _guarded(fast, generic, pred):
     return run
 
 
-def _decode_one(inst):
+def _decode_one(inst, lanes):
+    """-> (closure, fusible): *fusible* marks an unpredicated slot whose
+    closure is a pure fast path (safe as a silent member of a composite
+    window, whose parts' return values are ignored)."""
     opcode = inst.opcode
     if opcode == "EXIT":
-        return _build_exit(inst)
+        return _build_exit(inst, lanes), False
     if opcode == "BAR":
-        return lambda warp: BARRIER  # arrives regardless of predication
+        return (lambda warp: BARRIER), False  # arrives regardless of predication
     if opcode == "BRA":
-        return _build_bra(inst)
+        return _build_bra(inst, lanes), False
     if opcode == "NOP":
-        return lambda warp: None
-    generic = _build_generic(inst)
-    builder = _FAST_BUILDERS.get(opcode)
-    if builder is None:
-        return generic
+        return (lambda warp: None), inst.pred is None
+    generic = _build_generic(inst, lanes)
     try:
-        fast = builder(inst)
+        uop = decode_uop(inst)
     except Exception:
-        fast = None  # malformed operands: let the reference path raise at exec
+        return generic, False  # malformed: the reference path raises at exec
+    fast = _compile_uop(uop, lanes)
     if fast is None:
-        return generic
+        return generic, False
     if inst.pred is None:
-        return fast
-    return _guarded(fast, generic, inst.pred)
+        return fast, True
+    return _guarded(fast, generic, inst.pred), False
 
 
 # -------------------------------------------------------------- fusion layer
@@ -613,209 +483,53 @@ def _decode_one(inst):
 # same fusion key collect into a batch, reordered across unrelated neighbours
 # when the dependence check proves the reorder is observation-equivalent.
 #
-# Dependence sets contain GPR indices (ints), predicate tokens ``("p", i)``
-# and whole-space memory tokens (loads read / stores write their space --
-# exact aliasing is unknown statically, so a space is one location).  Reads
-# of RZ batch as gathers of register-file row 255, which stays all-zero
-# because writes to RZ are discarded.
+# Keys, payloads and dependence sets all come from the µop table; this layer
+# only groups them.  Dependence sets contain GPR indices (ints), predicate
+# tokens ``("p", i)`` and whole-space memory tokens (loads read / stores
+# write their space -- exact aliasing is unknown statically, so a space is
+# one location).  Reads of RZ batch as gathers of register-file row 255,
+# which stays all-zero because writes to RZ are discarded.
 
-_MEM_GLOBAL = "mem:g"
-_MEM_SHARED = "mem:s"
-_MEM_TOKENS = frozenset((_MEM_GLOBAL, _MEM_SHARED))
-
-#: Marker key for schedulable-but-not-batchable slots: they join a window as
-#: single-member groups (keeping it unbroken) and run their own closure.
-_SOLO = None
-
-
-def _solo_alu_sets(inst):
-    """(reads, writes) for single-GPR-dest ALU ops, or None if irregular."""
-    if len(inst.dests) != 1:
+def _fuse_entry(inst, fusible):
+    """(key, reads, writes, payload) when *inst* can join a fused window."""
+    if not fusible or inst.pred is not None:
         return None
-    dest = inst.dests[0]
-    if isinstance(dest, Reg):
-        writes = set() if dest.is_rz else {dest.index}
-    elif isinstance(dest, Pred):
-        writes = {("p", dest.index)} if dest.index != PT_INDEX else set()
-    else:
+    try:
+        uop = decode_uop(inst)
+    except Exception:
         return None
-    reads = set()
-    for src in inst.srcs:
-        if isinstance(src, Reg):
-            if not src.is_rz:
-                reads.add(src.index)
-        elif isinstance(src, Pred):
-            reads.add(("p", src.index))
-        elif isinstance(src, (Imm, SpecialReg)):
-            pass  # immediates and warp-constant special regs (clock gated out)
-        else:
-            return None
-    return reads, writes
-
-
-def _fuse_info(inst):
-    """(key, reads, writes, payload) when *inst* can join a fused window.
-
-    ``key`` identifies the batch shape (same key -> same group builder);
-    ``key is _SOLO`` marks an instruction that schedules but never batches.
-    """
-    if inst.pred is not None or _reads_clock(inst):
+    if uop.reads_clock or not uop.groups_ok or uop.fuse_key is None:
         return None
-    opcode = inst.opcode
-    if opcode == "HMMA":
-        ops = _mma_operands(inst)
-        if ops is None:
-            return None
-        d, a, b, c = ops
-        if "1688" in inst.mods:
-            if a + 2 > RZ_INDEX:
-                return None
-            if "F32" in inst.mods:
-                if c + 4 > RZ_INDEX or d + 4 > RZ_INDEX:
-                    return None
-                reads = {a, a + 1, b, *range(c, c + 4)}
-                writes = set(range(d, d + 4))
-                key = ("hmma", "f32") if frag._LITTLE_ENDIAN else _SOLO
-                return key, reads, writes, (d, a, b, c)
-            if c + 2 > RZ_INDEX or d + 2 > RZ_INDEX:
-                return None
-            key = ("hmma", "f16") if frag._LITTLE_ENDIAN else _SOLO
-            return key, {a, a + 1, b, c, c + 1}, {d, d + 1}, (d, a, b, c)
-        if "884" in inst.mods:
-            return _SOLO, {a, b, c}, {d}, None
-        return None
-    if opcode == "IMMA":
-        ops = _mma_operands(inst)
-        if ops is None or "8816" not in inst.mods or ops[3] + 2 > RZ_INDEX:
-            return None
-        d, a, b, c = ops
-        if d + 2 > RZ_INDEX:
-            return None
-        return _SOLO, {a, b, c, c + 1}, {d, d + 1}, None
-    if opcode in ("LDS", "LDG"):
-        parts = _memref_parts(inst)
-        dest = _gpr_dest(inst)
-        if parts is None or dest is None:
-            return None
-        base, offset, width, words = parts
-        if dest + words > RZ_INDEX:
-            return None
-        space = _MEM_GLOBAL if opcode == "LDG" else _MEM_SHARED
-        reads = {base.index, space} if not base.is_rz else {space}
-        writes = set(range(dest, dest + words))
-        return (("load", opcode, width), reads, writes,
-                (dest, base.index, offset, words))
-    if opcode in ("STS", "STG"):
-        if len(inst.srcs) != 2:
-            return None
-        parts = _memref_parts(inst)
-        if parts is None:
-            return None
-        base, offset, width, words = parts
-        src = inst.srcs[1]
-        if not isinstance(src, Reg) or src.is_rz or src.index + words > RZ_INDEX:
-            return None
-        space = _MEM_GLOBAL if opcode == "STG" else _MEM_SHARED
-        reads = set(range(src.index, src.index + words))
-        if not base.is_rz:
-            reads.add(base.index)
-        return (("store", opcode, width), reads, {space},
-                (src.index, base.index, offset, words))
-    if opcode in ("MOV", "MOV32I", "S2R", "CS2R"):
-        dest = _gpr_dest(inst)
-        if dest is None or len(inst.srcs) != 1:
-            return None
-        src = inst.srcs[0]
-        if isinstance(src, Reg):
-            reads = set() if src.is_rz else {src.index}
-            return ("mov", "r"), reads, {dest}, (dest, src.index)
-        if isinstance(src, Imm):
-            return ("mov", "i"), set(), {dest}, (dest, src.unsigned)
-        if isinstance(src, SpecialReg):
-            return _SOLO, set(), {dest}, None
-        return None
-    if opcode in ("IADD3", "IMAD"):
-        dest = _gpr_dest(inst)
-        if dest is None or not inst.srcs:
-            return None
-        if opcode == "IMAD" and len(inst.srcs) != 3:
-            return None
-        signature = []
-        terms = []
-        reads = set()
-        for src in inst.srcs:
-            if isinstance(src, Reg):
-                signature.append("r")
-                terms.append(src.index)
-                if not src.is_rz:
-                    reads.add(src.index)
-            elif isinstance(src, Imm):
-                signature.append("i")
-                terms.append(src.unsigned)
-            else:
-                return None
-        return ((opcode.lower(), tuple(signature)), reads, {dest},
-                (dest, tuple(terms)))
-    if opcode in ("SHF", "LOP3", "ISETP", "SEL", "HFMA2"):
-        sets = _solo_alu_sets(inst)
-        if sets is None:
-            return None
-        return _SOLO, sets[0], sets[1], None
-    if opcode == "NOP":
-        return _SOLO, set(), set(), None
-    return None
+    key = _SOLO if uop.fuse_key == SOLO else uop.fuse_key
+    return key, uop.reads, uop.writes, uop.fuse_payload
 
 
 def _build_hmma_group(key, payloads):
-    g = len(payloads)
-    f32 = key[1] == "f32"
-    c_regs = 4 if f32 else 2
+    c_regs = 4 if key[1] == "f32" else 2
+    batch = (mma_ops.hmma_1688_f32_batch if key[1] == "f32"
+             else mma_ops.hmma_1688_f16_batch)
     a_idx = np.array([[p[1], p[1] + 1] for p in payloads], dtype=np.intp)
     b_idx = np.array([p[2] for p in payloads], dtype=np.intp)
     c_idx = np.array([[p[3] + i for i in range(c_regs)] for p in payloads],
                      dtype=np.intp)
     d_idx = np.array([[p[0] + i for i in range(c_regs)] for p in payloads],
                      dtype=np.intp)
-    gather_a = frag._GATHER_16X8            # (16, 8) half index per register pair
-    gather_b = frag._PERMS[frag.COL_MAJOR][0]   # (8, 8)
-    half = frag.HALF
 
-    if f32:
-        inv_f32 = frag._INV_F32             # (16, 8)
-        perm_f32 = frag._PERM_F32           # (4, 32)
+    def run(warp):
+        regs = warp.regs._data
+        regs[d_idx] = batch(regs[a_idx], regs[b_idx], regs[c_idx])
+    return run
 
-        def run(warp):
-            regs = warp.regs._data
-            a16 = regs[a_idx].view(np.uint16).reshape(g, 128)[:, gather_a].view(half)
-            b16 = regs[b_idx].view(np.uint16)[:, gather_b].view(half)
-            c32 = regs[c_idx].view(np.float32).reshape(g, 128)[:, inv_f32]
-            a32 = a16.astype(np.float32)
-            b32 = b16.astype(np.float32)
-            prod = np.empty((g, 16, 8), dtype=np.float32)
-            for i in range(g):
-                prod[i] = a32[i] @ b32[i]
-            d = prod + c32
-            regs[d_idx] = d.reshape(g, 128)[:, perm_f32].view(np.uint32)
-    else:
-        # Full advanced index (rows x scatter) so the gathered halves come
-        # back C-contiguous, as the size-changing uint32 view requires.
-        scatter_rows = np.arange(g, dtype=np.intp)[:, None]
-        scatter_d = frag._SCATTER_16X8[None, :]     # flat (128,) table
 
-        def run(warp):
-            regs = warp.regs._data
-            a16 = regs[a_idx].view(np.uint16).reshape(g, 128)[:, gather_a].view(half)
-            b16 = regs[b_idx].view(np.uint16)[:, gather_b].view(half)
-            c16 = regs[c_idx].view(np.uint16).reshape(g, 128)[:, gather_a].view(half)
-            a32 = a16.astype(np.float32)
-            b32 = b16.astype(np.float32)
-            c32 = c16.astype(np.float32)
-            prod = np.empty((g, 16, 8), dtype=np.float32)
-            for i in range(g):
-                prod[i] = a32[i] @ b32[i]
-            d16 = (prod + c32).astype(np.float16)
-            regs[d_idx] = (d16.reshape(g, 128)[scatter_rows, scatter_d]
-                           .view(np.uint32).reshape(g, 2, WARP_LANES))
+def _build_imma_group(key, payloads):
+    a_idx = np.array([p[1] for p in payloads], dtype=np.intp)
+    b_idx = np.array([p[2] for p in payloads], dtype=np.intp)
+    c_idx = np.array([[p[3], p[3] + 1] for p in payloads], dtype=np.intp)
+    d_idx = np.array([[p[0], p[0] + 1] for p in payloads], dtype=np.intp)
+
+    def run(warp):
+        regs = warp.regs._data
+        regs[d_idx] = imma_8816_batch(regs[a_idx], regs[b_idx], regs[c_idx])
     return run
 
 
@@ -852,8 +566,8 @@ def _build_mov_group(key, payloads):
             regs = warp.regs._data
             regs[d_idx] = regs[s_idx]
     else:
-        values = np.array([p[1] for p in payloads], dtype=np.uint32).reshape(-1, 1)
-        values.setflags(write=False)
+        values = _frozen(
+            np.array([p[1] for p in payloads], dtype=np.uint32).reshape(-1, 1))
 
         def run(warp):
             warp.regs._data[d_idx] = values
@@ -869,9 +583,8 @@ def _group_terms(key, payloads):
             terms.append(("r", np.array([p[1][pos] for p in payloads],
                                         dtype=np.intp)))
         else:
-            col = np.array([p[1][pos] for p in payloads],
-                           dtype=np.uint32).reshape(-1, 1)
-            col.setflags(write=False)
+            col = _frozen(np.array([p[1][pos] for p in payloads],
+                                   dtype=np.uint32).reshape(-1, 1))
             terms.append(("i", col))
     return terms
 
@@ -882,11 +595,8 @@ def _build_iadd3_group(key, payloads):
 
     def run(warp):
         regs = warp.regs._data
-        acc = None
-        for kind, arr in terms:
-            value = regs[arr] if kind == "r" else arr
-            acc = value if acc is None else acc + value
-        regs[d_idx] = acc
+        regs[d_idx] = k_iadd3(
+            *[regs[arr] if kind == "r" else arr for kind, arr in terms])
     return run
 
 
@@ -896,15 +606,15 @@ def _build_imad_group(key, payloads):
 
     def run(warp):
         regs = warp.regs._data
-        a = regs[ta] if ka == "r" else ta
-        b = regs[tb] if kb == "r" else tb
-        c = regs[tc] if kc == "r" else tc
-        regs[d_idx] = a * b + c
+        regs[d_idx] = k_imad(regs[ta] if ka == "r" else ta,
+                             regs[tb] if kb == "r" else tb,
+                             regs[tc] if kc == "r" else tc)
     return run
 
 
 _GROUP_BUILDERS = {
     "hmma": _build_hmma_group,
+    "imma": _build_imma_group,
     "load": _build_mem_group,
     "store": _build_mem_group,
     "mov": _build_mov_group,
@@ -973,16 +683,25 @@ def _schedule_window(fuse, start, end):
 
 # ---------------------------------------------------------------- predecode
 
-def predecode(program) -> DecodedProgram:
-    """Decode *program* once into slot-indexed closures plus fused windows."""
+def predecode(program, lanes: int = WARP_LANES) -> DecodedProgram:
+    """Decode *program* once into slot-indexed closures plus fused windows.
+
+    ``lanes`` selects the lane count the closures operate on: 32 (default)
+    for per-warp execution, ``n_warps * 32`` for the lockstep engine.
+    """
     n = len(program)
     instructions = [program[pc] for pc in range(n)]
-    run_fns = [_decode_one(inst) for inst in instructions]
+    run_fns = []
+    fusible = []
+    for inst in instructions:
+        fn, fu = _decode_one(inst, lanes)
+        run_fns.append(fn)
+        fusible.append(fu)
     next_pc = [pc + 1 for pc in range(n)]
     lens = [1] * n
     reads_clock = [_reads_clock(inst) for inst in instructions]
     slot_ops = [((inst.opcode, 1),) for inst in instructions]
-    fuse = [_fuse_info(inst) for inst in instructions]
+    fuse = [_fuse_entry(instructions[pc], fusible[pc]) for pc in range(n)]
 
     start = 0
     while start < n:
@@ -996,7 +715,8 @@ def predecode(program) -> DecodedProgram:
                         fuse, start, end)
         start = end
 
-    return DecodedProgram(n, run_fns, next_pc, lens, reads_clock, slot_ops)
+    return DecodedProgram(n, run_fns, next_pc, lens, reads_clock, slot_ops,
+                          lanes)
 
 
 def _install_window(instructions, run_fns, next_pc, lens, slot_ops,

@@ -1,4 +1,4 @@
-"""Functional semantics of every opcode, shared by both simulators.
+"""Reference executor: a thin adapter over the µop semantics table.
 
 ``execute(inst, ctx)`` evaluates one instruction against a warp context and
 returns an :class:`Effects` record describing *what would change*:
@@ -10,6 +10,12 @@ returns an :class:`Effects` record describing *what would change*:
 * an optional memory transaction descriptor (the timing simulator prices
   bank conflicts and DRAM/L2 service from the actual lane addresses);
 * control outcomes (branch target, barrier arrival, warp exit).
+
+The per-opcode behaviour itself lives in :mod:`repro.sim.uop`
+(``SEMANTICS``): this module only evaluates the decoded operand
+descriptors against the context, runs the lane kernel, and packages the
+result.  The batched engines in :mod:`repro.sim.decode` compile the same
+descriptors, so there is exactly one definition of each opcode.
 
 The context must provide: ``regs`` / ``preds`` (register files), ``tid``
 (per-lane x-index within the CTA), ``ctaid`` (3-tuple), ``lane_ids``,
@@ -23,15 +29,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..arch.registers import WARP_LANES
-from ..hmma import mma as mma_ops
-from ..isa.instructions import Instruction
-from ..isa.operands import Imm, MemRef, Pred, Reg, SpecialReg
+from ..isa.instructions import Instruction, OPCODES
+from .uop import ExecError, decode_uop, special_value
 
 __all__ = ["Effects", "MemTransaction", "ExecError", "execute"]
-
-
-class ExecError(RuntimeError):
-    """Raised when an instruction cannot be executed (simulated fault)."""
 
 
 @dataclass
@@ -58,48 +59,6 @@ class Effects:
     barrier: bool = False
 
 
-def _as_uint32(values) -> np.ndarray:
-    return np.asarray(values, dtype=np.uint64).astype(np.uint32)
-
-
-def _src_value(ctx, operand) -> np.ndarray:
-    """Evaluate a scalar-ish source operand to (32,) uint32."""
-    if isinstance(operand, Reg):
-        return ctx.regs.read(operand.index).copy()
-    if isinstance(operand, Imm):
-        return np.full(WARP_LANES, operand.unsigned, dtype=np.uint32)
-    if isinstance(operand, SpecialReg):
-        return _special_value(ctx, operand)
-    raise ExecError(f"operand {operand!r} is not a value source")
-
-
-def _signed(values: np.ndarray) -> np.ndarray:
-    return values.astype(np.int64) - ((values >> np.uint32(31)).astype(np.int64) << 32)
-
-
-def _special_value(ctx, operand: SpecialReg) -> np.ndarray:
-    name = operand.name
-    if name == "SR_TID.X":
-        return _as_uint32(ctx.tid)
-    if name in ("SR_TID.Y", "SR_TID.Z"):
-        return np.zeros(WARP_LANES, dtype=np.uint32)
-    if name == "SR_CTAID.X":
-        return np.full(WARP_LANES, ctx.ctaid[0], dtype=np.uint32)
-    if name == "SR_CTAID.Y":
-        return np.full(WARP_LANES, ctx.ctaid[1], dtype=np.uint32)
-    if name == "SR_CTAID.Z":
-        return np.full(WARP_LANES, ctx.ctaid[2], dtype=np.uint32)
-    if name == "SR_LANEID":
-        return _as_uint32(ctx.lane_ids)
-    if name == "SR_CLOCKLO":
-        return np.full(WARP_LANES, ctx.clock() & 0xFFFFFFFF, dtype=np.uint32)
-    if name == "SR_CLOCKHI":
-        return np.full(WARP_LANES, (ctx.clock() >> 32) & 0xFFFFFFFF, dtype=np.uint32)
-    if name == "SRZ":
-        return np.zeros(WARP_LANES, dtype=np.uint32)
-    raise ExecError(f"unhandled special register {name}")
-
-
 # Shared all-lanes-on mask for unpredicated instructions (the common case);
 # read-only so no consumer can mutate it in place.
 _FULL_MASK = np.ones(WARP_LANES, dtype=bool)
@@ -112,231 +71,100 @@ def _guard_mask(ctx, inst: Instruction) -> np.ndarray:
     return ctx.preds.read(inst.pred.index, negated=inst.pred.negated)
 
 
-# --------------------------------------------------------------------- ALU
+def _read_source(ctx, desc) -> np.ndarray:
+    """Evaluate one µop source descriptor to a fresh (32,) / (n, 32) array.
 
-def _exec_mov(ctx, inst, mask, eff):
-    eff.reg_writes.append((inst.dests[0].index, _src_value(ctx, inst.srcs[0])[None, :], mask))
-
-
-def _exec_iadd3(ctx, inst, mask, eff):
-    total = sum(_signed(_src_value(ctx, s)) for s in inst.srcs)
-    eff.reg_writes.append((inst.dests[0].index, _as_uint32(total & 0xFFFFFFFF)[None, :], mask))
-
-
-def _exec_imad(ctx, inst, mask, eff):
-    a, b, c = (_signed(_src_value(ctx, s)) for s in inst.srcs)
-    result = (a * b + c) & 0xFFFFFFFF
-    eff.reg_writes.append((inst.dests[0].index, _as_uint32(result)[None, :], mask))
-
-
-def _exec_shf(ctx, inst, mask, eff):
-    value = _src_value(ctx, inst.srcs[0])
-    amount = _src_value(ctx, inst.srcs[1]) & np.uint32(31)
-    if "L" in inst.mods:
-        result = (value.astype(np.uint64) << amount.astype(np.uint64)) & 0xFFFFFFFF
-    elif "R" in inst.mods:
-        result = value.astype(np.uint64) >> amount.astype(np.uint64)
-    else:
-        raise ExecError(f"SHF needs .L or .R: {inst}")
-    eff.reg_writes.append((inst.dests[0].index, _as_uint32(result)[None, :], mask))
+    Register reads copy so deferred writes (timing simulator) never alias
+    live register-file rows; register *groups* stay live views because MMA
+    kernels consume them immediately and produce fresh outputs.
+    """
+    kind = desc[0]
+    if kind == "reg":
+        return ctx.regs.read(desc[1]).copy()
+    if kind == "reg_i32":
+        return ctx.regs.read(desc[1]).copy().view(np.int32)
+    if kind == "regs":
+        return ctx.regs.read_group(desc[1], desc[2])
+    if kind == "imm":
+        return np.full(WARP_LANES, desc[1], dtype=np.uint32)
+    if kind == "imm_i32":
+        return np.full(WARP_LANES, desc[1], dtype=np.uint32).view(np.int32)
+    if kind == "pred":
+        return ctx.preds.read(desc[1], negated=desc[2])
+    value = special_value(ctx, desc[1])         # ("sr", name) / ("sr_i32", name)
+    return value.view(np.int32) if kind == "sr_i32" else value
 
 
-def _exec_lop3(ctx, inst, mask, eff):
-    a = _src_value(ctx, inst.srcs[0])
-    b = _src_value(ctx, inst.srcs[1])
-    if "AND" in inst.mods:
-        result = a & b
-    elif "OR" in inst.mods:
-        result = a | b
-    elif "XOR" in inst.mods:
-        result = a ^ b
-    else:
-        raise ExecError(f"LOP3 needs .AND/.OR/.XOR: {inst}")
-    eff.reg_writes.append((inst.dests[0].index, result[None, :], mask))
-
-
-_CMPS = {
-    "LT": np.less, "LE": np.less_equal, "GT": np.greater,
-    "GE": np.greater_equal, "EQ": np.equal, "NE": np.not_equal,
-}
-
-
-def _exec_isetp(ctx, inst, mask, eff):
-    cmp_name = inst.mods[0] if inst.mods else None
-    if cmp_name not in _CMPS:
-        raise ExecError(f"ISETP comparison missing or unknown: {inst}")
-    a = _signed(_src_value(ctx, inst.srcs[0]))
-    b = _signed(_src_value(ctx, inst.srcs[1]))
-    combine = inst.srcs[2]
-    if not isinstance(combine, Pred):
-        raise ExecError(f"ISETP third source must be a predicate: {inst}")
-    base = ctx.preds.read(combine.index, negated=combine.negated)
-    result = _CMPS[cmp_name](a, b) & base
-    eff.pred_writes.append((inst.dests[0].index, result, mask))
-
-
-def _exec_sel(ctx, inst, mask, eff):
-    a = _src_value(ctx, inst.srcs[0])
-    b = _src_value(ctx, inst.srcs[1])
-    pred = inst.srcs[2]
-    if not isinstance(pred, Pred):
-        raise ExecError(f"SEL third source must be a predicate: {inst}")
-    choose = ctx.preds.read(pred.index, negated=pred.negated)
-    eff.reg_writes.append((inst.dests[0].index, np.where(choose, a, b)[None, :], mask))
-
-
-def _exec_s2r(ctx, inst, mask, eff):
-    eff.reg_writes.append((inst.dests[0].index, _src_value(ctx, inst.srcs[0])[None, :], mask))
-
-
-def _exec_hfma2(ctx, inst, mask, eff):
-    from ..hmma.fp16 import pack_half2, unpack_half2
-
-    a_lo, a_hi = unpack_half2(ctx.regs.read(inst.srcs[0].index))
-    b_lo, b_hi = unpack_half2(ctx.regs.read(inst.srcs[1].index))
-    c_lo, c_hi = unpack_half2(ctx.regs.read(inst.srcs[2].index))
-    d_lo = (a_lo.astype(np.float32) * b_lo.astype(np.float32)
-            + c_lo.astype(np.float32)).astype(np.float16)
-    d_hi = (a_hi.astype(np.float32) * b_hi.astype(np.float32)
-            + c_hi.astype(np.float32)).astype(np.float16)
-    eff.reg_writes.append((inst.dests[0].index, pack_half2(d_lo, d_hi)[None, :], mask))
-
-
-# ------------------------------------------------------------- Tensor Core
-
-def _hmma_operand_regs(inst) -> tuple:
-    for op in (inst.dests[0], *inst.srcs):
-        if not isinstance(op, Reg) or op.is_rz:
-            raise ExecError(f"HMMA operands must be general registers: {inst}")
-    return inst.dests[0].index, inst.srcs[0].index, inst.srcs[1].index, inst.srcs[2].index
-
-
-def _exec_imma(ctx, inst, mask, eff):
-    if not np.all(mask):
-        raise ExecError("IMMA cannot be lane-predicated; it is a warp-wide op")
-    from ..hmma.int8 import imma_8816
-
-    d, a, b, c = _hmma_operand_regs(inst)
-    if "8816" not in inst.mods:
-        raise ExecError(f"unknown IMMA shape: {inst}")
-    result = imma_8816(ctx.regs.read(a), ctx.regs.read(b),
-                       ctx.regs.read_group(c, 2))
-    eff.reg_writes.append((d, result, mask))
-
-
-def _exec_hmma(ctx, inst, mask, eff):
-    if not np.all(mask):
-        raise ExecError("HMMA cannot be lane-predicated; it is a warp-wide op")
-    d, a, b, c = _hmma_operand_regs(inst)
-    if "1688" in inst.mods:
-        a_regs = ctx.regs.read_group(a, 2)
-        b_reg = ctx.regs.read(b)
-        if "F32" in inst.mods:
-            c_regs = ctx.regs.read_group(c, 4)
-            result = mma_ops.hmma_1688_f32(a_regs, b_reg, c_regs)
-        else:
-            c_regs = ctx.regs.read_group(c, 2)
-            result = mma_ops.hmma_1688_f16(a_regs, b_reg, c_regs)
-        eff.reg_writes.append((d, result, mask))
-    elif "884" in inst.mods:
-        result = mma_ops.hmma_884_f16(
-            ctx.regs.read(a), ctx.regs.read(b), ctx.regs.read(c)
-        )
-        eff.reg_writes.append((d, result[None, :], mask))
-    else:
-        raise ExecError(f"unknown HMMA shape: {inst}")
-
-
-# ----------------------------------------------------------------- memory
-
-def _mem_addresses(ctx, memref: MemRef) -> np.ndarray:
-    base = ctx.regs.read(memref.base.index).astype(np.int64)
-    return base + memref.offset
-
-
-def _exec_load(ctx, inst, mask, eff, space: str):
-    memref = inst.srcs[0]
-    if not isinstance(memref, MemRef):
-        raise ExecError(f"load source must be a memory reference: {inst}")
-    addresses = _mem_addresses(ctx, memref)
-    width = inst.width // 8
-    memory = ctx.global_mem if space == "global" else ctx.shared_mem
-    data = memory.load_warp(addresses, width, mask)
-    eff.reg_writes.append((inst.dests[0].index, data, mask))
-    eff.transaction = MemTransaction(
-        space=space, addresses=addresses, width_bytes=width,
-        is_store=False, mask=mask, bypass_l1="CG" in inst.mods,
-    )
-
-
-def _exec_store(ctx, inst, mask, eff, space: str):
-    memref, src = inst.srcs
-    if not isinstance(memref, MemRef) or not isinstance(src, Reg):
-        raise ExecError(f"store operands must be ([mem], reg): {inst}")
-    addresses = _mem_addresses(ctx, memref)
-    width = inst.width // 8
-    data = ctx.regs.read_group(src.index, width // 4)
-    memory = ctx.global_mem if space == "global" else ctx.shared_mem
-    memory.store_warp(addresses, data, width, mask)
-    eff.transaction = MemTransaction(
-        space=space, addresses=addresses, width_bytes=width,
-        is_store=True, mask=mask,
-    )
-
-
-# ----------------------------------------------------------------- control
-
-def _exec_bra(ctx, inst, mask, eff):
-    taken = bool(mask.any())
-    if taken and not mask.all():
-        raise ExecError(
-            "divergent branch: this subset requires warp-uniform branch "
-            f"predicates ({int(mask.sum())}/32 lanes taken)"
-        )
-    if taken:
-        eff.branch_target = inst.target_index
-
-
-_HANDLERS = {
-    "NOP": lambda ctx, inst, mask, eff: None,
-    "MOV": _exec_mov,
-    "MOV32I": _exec_mov,
-    "IADD3": _exec_iadd3,
-    "IMAD": _exec_imad,
-    "SHF": _exec_shf,
-    "LOP3": _exec_lop3,
-    "ISETP": _exec_isetp,
-    "SEL": _exec_sel,
-    "S2R": _exec_s2r,
-    "CS2R": _exec_s2r,
-    "HFMA2": _exec_hfma2,
-    "HMMA": _exec_hmma,
-    "IMMA": _exec_imma,
-    "LDG": lambda ctx, inst, mask, eff: _exec_load(ctx, inst, mask, eff, "global"),
-    "STG": lambda ctx, inst, mask, eff: _exec_store(ctx, inst, mask, eff, "global"),
-    "LDS": lambda ctx, inst, mask, eff: _exec_load(ctx, inst, mask, eff, "shared"),
-    "STS": lambda ctx, inst, mask, eff: _exec_store(ctx, inst, mask, eff, "shared"),
-    "BRA": _exec_bra,
-}
+def _mem_addresses(ctx, mem) -> np.ndarray:
+    return ctx.regs.read(mem.base_index).astype(np.int64) + mem.offset
 
 
 def execute(inst: Instruction, ctx) -> Effects:
     """Execute *inst* against warp context *ctx*; see module docstring."""
     eff = Effects()
     mask = _guard_mask(ctx, inst)
+    opcode = inst.opcode
 
-    if inst.opcode == "EXIT":
+    if opcode == "EXIT":
         eff.exited = bool(mask.all())
         return eff
-    if inst.opcode == "BAR":
+    if opcode == "BAR":
         eff.barrier = True
         return eff
 
-    if not mask.any() and inst.opcode != "BRA":
+    if not mask.any() and opcode != "BRA":
         return eff  # fully predicated off
 
-    handler = _HANDLERS.get(inst.opcode)
-    if handler is None:
-        raise ExecError(f"no executor for opcode {inst.opcode}")
-    handler(ctx, inst, mask, eff)
-    return eff
+    if OPCODES[opcode].warp_wide and not mask.all():
+        raise ExecError(f"{opcode} cannot be lane-predicated; it is a warp-wide op")
+
+    uop = decode_uop(inst)
+    kind = uop.kind
+
+    if kind == "alu":
+        values = [_read_source(ctx, desc) for desc in uop.srcs]
+        out = uop.kernel(*values) if uop.kernel is not None else values[0]
+        dest = uop.dest
+        if dest[0] == "pred":
+            eff.pred_writes.append((dest[1], out, mask))
+        else:
+            eff.reg_writes.append(
+                (dest[1], out if out.ndim == 2 else out[None, :], mask))
+        return eff
+
+    if kind == "load":
+        mem = uop.mem
+        addresses = _mem_addresses(ctx, mem)
+        memory = ctx.global_mem if mem.space == "global" else ctx.shared_mem
+        data = memory.load_warp(addresses, mem.width, mask)
+        eff.reg_writes.append((uop.dest[1], data, mask))
+        eff.transaction = MemTransaction(
+            space=mem.space, addresses=addresses, width_bytes=mem.width,
+            is_store=False, mask=mask, bypass_l1=mem.bypass_l1,
+        )
+        return eff
+
+    if kind == "store":
+        mem = uop.mem
+        addresses = _mem_addresses(ctx, mem)
+        data = ctx.regs.read_group(mem.reg, mem.words)
+        memory = ctx.global_mem if mem.space == "global" else ctx.shared_mem
+        memory.store_warp(addresses, data, mem.width, mask)
+        eff.transaction = MemTransaction(
+            space=mem.space, addresses=addresses, width_bytes=mem.width,
+            is_store=True, mask=mask,
+        )
+        return eff
+
+    if kind == "bra":
+        taken = bool(mask.any())
+        if taken and not mask.all():
+            raise ExecError(
+                "divergent branch: this subset requires warp-uniform branch "
+                f"predicates ({int(mask.sum())}/32 lanes taken)"
+            )
+        if taken:
+            eff.branch_target = uop.target
+        return eff
+
+    return eff  # NOP

@@ -9,14 +9,23 @@ This is exact for well-synchronised programs (all cross-warp communication
 through shared memory must be separated by barriers -- which is also the
 hardware's own correctness contract).
 
-Two execution engines share those semantics:
+Three execution engines share those semantics (all compiled from the one
+µop table in :mod:`repro.sim.uop`, so they cannot drift apart):
 
-* ``"predecoded"`` (the default) -- programs are decoded once by
-  :func:`repro.sim.decode.predecode` into slot-indexed closures with fused
-  NumPy fast paths for the hot opcode runs; the interval loop just dispatches
-  signals.  Select explicitly with ``REPRO_FUNC_ENGINE=predecoded``.
-* ``"reference"`` -- the original instruction-at-a-time interpreter through
-  :func:`repro.sim.exec_units.execute`, kept verbatim as the semantic ground
+* ``"lockstep"`` (the default) -- the program is decoded once for
+  ``n_warps * 32`` stacked lanes and, between barriers, all warps of a CTA
+  execute each slot as one warp-lockstep NumPy operation.  Wherever the
+  warps could stop agreeing (cross-warp-divergent predicates or branches,
+  reference-only paths) the closure returns ``DIVERGED`` *before* mutating
+  state and the CTA de-stacks onto the per-warp interleave loop
+  (``STATS`` counter ``func.destacks``).  Well-synchronised GEMM kernels
+  never de-stack.  Select explicitly with ``REPRO_FUNC_ENGINE=lockstep``.
+* ``"predecoded"`` -- programs are decoded once by
+  :func:`repro.sim.decode.predecode` into 32-lane slot-indexed closures with
+  fused NumPy fast paths for the hot opcode runs; warps run round-robin in
+  barrier intervals (``REPRO_FUNC_ENGINE=predecoded``).
+* ``"reference"`` -- the instruction-at-a-time interpreter through
+  :func:`repro.sim.exec_units.execute`, kept as the semantic ground
   truth for differential tests and benchmark baselines
   (``REPRO_FUNC_ENGINE=reference``).
 
@@ -43,18 +52,18 @@ import numpy as np
 from ..arch.registers import PredicateFile, RegisterFile, WARP_LANES
 from ..isa.program import Program
 from ..perf import STATS, default_workers, parallel_map
-from .decode import BARRIER, EXITED, predecode
+from .decode import DIVERGED, EXITED, predecode
 from .exec_units import ExecError, execute
 from .memory import GlobalMemory
 from .shared import SharedMemory
 
 __all__ = ["FunctionalSimulator", "FunctionalResult", "SimLimitError"]
 
-ENGINES = ("predecoded", "reference")
+ENGINES = ("lockstep", "predecoded", "reference")
 
 
 def _default_engine() -> str:
-    engine = os.environ.get("REPRO_FUNC_ENGINE", "predecoded")
+    engine = os.environ.get("REPRO_FUNC_ENGINE", "lockstep")
     if engine not in ENGINES:
         raise ValueError(
             f"REPRO_FUNC_ENGINE must be one of {ENGINES}, got {engine!r}")
@@ -92,6 +101,46 @@ class _WarpState:
         return self.retired
 
 
+class _CtaState:
+    """Stacked execution context: all warps of one CTA as ``n_warps * 32``
+    lanes, laid out warp-major (warp 0's lanes first).
+
+    Duck-types the warp attributes the decoded closures touch (``regs``,
+    ``preds``, ``tid``, ``lane_ids``, ``ctaid``, memories, ``retired``), so
+    a closure compiled for stacked lanes runs every warp at once.
+    """
+
+    def __init__(self, n_warps: int, ctaid, block_dim: int,
+                 global_mem: GlobalMemory, shared_mem: SharedMemory):
+        self.n_warps = n_warps
+        self.ctaid = ctaid
+        self.block_dim = block_dim
+        lanes = n_warps * WARP_LANES
+        self.lane_ids = np.tile(
+            np.arange(WARP_LANES, dtype=np.uint32), n_warps)
+        self.tid = np.arange(lanes, dtype=np.uint32)
+        self.regs = RegisterFile(lanes)
+        self.preds = PredicateFile(lanes)
+        self.global_mem = global_mem
+        self.shared_mem = shared_mem
+        self.retired = 0
+
+    def split(self, pc: int, retired: int) -> list:
+        """De-stack into per-warp states (column-slice copies), all resuming
+        at *pc* with *retired* instructions already counted."""
+        warps = []
+        for w in range(self.n_warps):
+            warp = _WarpState(w, self.ctaid, self.block_dim,
+                              self.global_mem, self.shared_mem)
+            cols = slice(w * WARP_LANES, (w + 1) * WARP_LANES)
+            warp.regs._data[:] = self.regs._data[:, cols]
+            warp.preds._data[:] = self.preds._data[:, cols]
+            warp.pc = pc
+            warp.retired = retired
+            warps.append(warp)
+        return warps
+
+
 @dataclass
 class FunctionalResult:
     """Statistics of one functional launch."""
@@ -115,7 +164,7 @@ class FunctionalSimulator:
     """Executes programs functionally over an (x, y) grid of CTAs.
 
     ``engine`` selects the execution engine (``None`` -> ``REPRO_FUNC_ENGINE``
-    or predecoded); ``max_workers`` the CTA-parallel worker count with the
+    or lockstep); ``max_workers`` the CTA-parallel worker count with the
     :func:`repro.perf.parallel.parallel_map` conventions (``None``/1 serial,
     0 auto, ``REPRO_FUNC_JOBS`` supplying the default).
     """
@@ -167,12 +216,29 @@ class FunctionalSimulator:
                 self._run_cta(program, global_mem, ctaid, result)
                 result.ctas_run += 1
             return result
-        decoded = predecode(program)
+        if self.engine == "predecoded":
+            decoded = predecode(program)
+            counts = decoded.new_counts()
+            for ctaid in ctaids:
+                self._run_cta_decoded(program, decoded, counts, global_mem,
+                                      ctaid)
+                result.ctas_run += 1
+            decoded.accumulate(counts, result)
+            return result
+        # lockstep: one stacked decoding for the whole run, plus a lazily
+        # built 32-lane decoding for CTAs that de-stack.  Each decoding
+        # keeps its own counters because their window structures can differ.
+        n_warps = program.meta.warps_per_cta
+        decoded = predecode(program, lanes=n_warps * WARP_LANES)
         counts = decoded.new_counts()
+        fallback = [None, None]  # [DecodedProgram, counts], built on demand
         for ctaid in ctaids:
-            self._run_cta_decoded(program, decoded, counts, global_mem, ctaid)
+            self._run_cta_lockstep(program, decoded, counts, fallback,
+                                   global_mem, ctaid)
             result.ctas_run += 1
         decoded.accumulate(counts, result)
+        if fallback[0] is not None:
+            fallback[0].accumulate(fallback[1], result)
         return result
 
     def _run_parallel(self, program: Program, global_mem: GlobalMemory,
@@ -274,6 +340,10 @@ class FunctionalSimulator:
             _WarpState(w, ctaid, program.meta.block_dim, global_mem, shared)
             for w in range(program.meta.warps_per_cta)
         ]
+        self._interleave_decoded(decoded, counts, warps, ctaid)
+
+    def _interleave_decoded(self, decoded, counts, warps, ctaid) -> None:
+        """Round-robin barrier-interval loop over per-warp states."""
         while True:
             progressed = False
             for warp in warps:
@@ -332,6 +402,61 @@ class FunctionalSimulator:
         finally:
             warp.pc = pc
             warp.retired = retired
+
+    # ------------------------------------------------------- lockstep engine
+
+    def _run_cta_lockstep(self, program: Program, decoded, counts, fallback,
+                          global_mem: GlobalMemory, ctaid) -> None:
+        """Run one CTA with all warps stacked into a single lane dimension.
+
+        Between barriers every warp executes the same slot simultaneously,
+        so barriers release instantly and the interval machinery disappears;
+        the loop is a straight signal dispatch.  On ``DIVERGED`` the CTA
+        de-stacks (no state was mutated) and finishes on the 32-lane
+        interleave path, which owns all per-warp semantics.
+        """
+        shared = SharedMemory(program.meta.smem_bytes)
+        n_warps = program.meta.warps_per_cta
+        cta = _CtaState(n_warps, ctaid, program.meta.block_dim,
+                        global_mem, shared)
+        run_fns = decoded.run_fns
+        next_pc = decoded.next_pc
+        lens = decoded.lens
+        reads_clock = decoded.reads_clock
+        n = decoded.n
+        limit = self.max_instructions_per_warp
+        pc = 0
+        retired = 0  # per-warp retired count (identical across warps here)
+        while True:
+            if retired >= limit:
+                raise SimLimitError(
+                    f"CTA {ctaid} exceeded {limit} instructions per warp")
+            if pc >= n:
+                raise ExecError(
+                    f"CTA {ctaid} ran off the end of the program "
+                    f"(pc={pc}); missing EXIT?")
+            if reads_clock[pc]:
+                cta.retired = retired  # CS2R reads the pre-retire count
+            signal = run_fns[pc](cta)
+            if signal == DIVERGED:
+                STATS.count("func.destacks")
+                if fallback[0] is None:
+                    fallback[0] = predecode(program)
+                    fallback[1] = fallback[0].new_counts()
+                warps = cta.split(pc, retired)
+                self._interleave_decoded(fallback[0], fallback[1], warps,
+                                         ctaid)
+                return
+            counts[pc] += n_warps
+            retired += lens[pc]
+            if signal is None:
+                pc = next_pc[pc]
+            elif signal >= 0:
+                pc = signal
+            elif signal == EXITED:
+                return  # warp-uniform by construction: all warps exit
+            else:  # BARRIER: every warp arrived together; release instantly
+                pc = next_pc[pc]
 
 
 def _opt_mask(mask: np.ndarray):

@@ -224,8 +224,10 @@ class MemorySubsystem:
         self.spec = spec
         self.l1 = _LruLineSet(l1_bytes, self.L1_LINE)
         self.l2 = _LruLineSet(spec.l2_bytes, spec.l2_sector_bytes)
-        bytes_per_cycle = lambda gbps: gbps * bandwidth_share / (spec.clock_ghz)
-        # GB/s / (Gcycle/s) = bytes/cycle.
+        def bytes_per_cycle(gbps):
+            # GB/s / (Gcycle/s) = bytes/cycle.
+            return gbps * bandwidth_share / (spec.clock_ghz)
+
         self._l2_bpc = bytes_per_cycle(spec.l2_measured_gbps)
         self._dram_bpc = bytes_per_cycle(spec.dram_measured_gbps)
         self._l2_free = 0.0

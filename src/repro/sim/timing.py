@@ -203,7 +203,7 @@ class _DecodedInst:
         self.inst = inst
         self.opcode = inst.opcode
         self.is_memory = info.is_memory
-        self.is_mma = inst.opcode in ("HMMA", "IMMA")
+        self.is_mma = info.warp_wide
         self.is_tensor = info.pipe == Pipe.TENSOR
         self.wait_mask = ctrl.wait_mask
         self.write_bar = ctrl.write_bar

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.analysis import PerformanceModel, autotune, candidate_space
-from repro.arch import RTX2070, T4
+from repro.arch import RTX2070
 
 
 @pytest.fixture(scope="module")

@@ -1,7 +1,5 @@
 """Tests for the occupancy model (paper Table VII)."""
 
-import pytest
-
 from repro.analysis import occupancy, table7
 from repro.arch import RTX2070, T4
 from repro.core import cublas_like, ours

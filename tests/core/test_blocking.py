@@ -3,7 +3,7 @@
 import pytest
 
 from repro.arch import RTX2070, T4
-from repro.core import KernelConfig, blocking, cublas_like, ours
+from repro.core import KernelConfig, cublas_like, ours
 from repro.core.blocking import (
     TABLE6_CONFIGS,
     choose_blocking,

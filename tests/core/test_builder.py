@@ -3,10 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.arch import RTX2070
 from repro.core import ConfigError, KernelConfig, cublas_like, ours
 from repro.core.builder import HgemmProblem, RegisterPlan, build_hgemm
-from repro.core.scheduler import spacing_for
 from repro.sim import FunctionalSimulator, GlobalMemory
 
 TINY = KernelConfig(b_m=64, b_n=64, b_k=16, w_m=32, w_n=32, w_k=8, name="tiny")

@@ -5,8 +5,6 @@ per pipeline segment) so schedule regressions show up as structured diffs
 rather than only as cycle changes.
 """
 
-import pytest
-
 from repro.core import KernelConfig, cublas_like, ours, ours_f32, ours_int8
 from repro.core.builder import HgemmProblem, build_hgemm
 

@@ -4,7 +4,7 @@ bank-conflict properties of all three layout modes."""
 import numpy as np
 import pytest
 
-from repro.core import KernelConfig, SmemPlan, TileLayout, cublas_like, ours
+from repro.core import SmemPlan, TileLayout, cublas_like, ours
 from repro.sim.shared import conflict_multiplier
 
 

@@ -1,7 +1,5 @@
 """Tests for the kernel verification harness."""
 
-import pytest
-
 from repro.core import KernelConfig, verify_kernel
 from repro.core.verify import DEFAULT_SHAPES
 

@@ -23,7 +23,9 @@ from repro.isa import (
 
 #: Operand templates per opcode: (dests, srcs) builders.
 def _operands_for(opcode, reg):
-    r = lambda i: Reg((reg + i) % 255)
+    def r(i):
+        return Reg((reg + i) % 255)
+
     mem = MemRef(r(1), (reg % 1000) * 4)
     table = {
         "NOP": ((), ()),

@@ -1,14 +1,16 @@
-"""Golden functional regression: the predecoded engine is pinned bit-exactly.
+"""Golden functional regression: every execution engine is pinned bit-exactly.
 
 These values were captured from the seed interpreter (pre-predecode).
-The decoded-op engine, the window scheduler's batched fast paths, and the
-CTA-parallel sharding must all be provably behaviour-preserving: for every
-launch they must retire the same opcode mix and produce the same C matrix
-to the bit.  Any change to a digest or count here is a semantics change
-and must be deliberate.
+The decoded-op engine, the warp-lockstep engine, the window scheduler's
+batched fast paths, and the CTA-parallel sharding must all be provably
+behaviour-preserving: for every launch they must retire the same opcode mix
+and produce the same C matrix to the bit.  Any change to a digest or count
+here is a semantics change and must be deliberate.
 
 The digests hash the raw float16 output bytes, so they also pin the HMMA
 precision model (per-step FP16 accumulator rounding, BLAS product order).
+The IGEMM goldens pin the ``IMMA.8816`` batched fast paths and the int8
+epilogue the same way (raw int32 bytes, exact integer arithmetic).
 """
 
 import hashlib
@@ -16,7 +18,7 @@ import hashlib
 import numpy as np
 import pytest
 
-from repro.core import hgemm
+from repro.core import hgemm, igemm
 from repro.sim import functional
 
 
@@ -58,10 +60,39 @@ GOLDEN = {
 }
 
 
+#: (m, n, k) -> (sha256 of int32 C bytes, instructions retired, CTAs,
+#: full retired-opcode counts) for the generated IMMA.8816 kernel.
+GOLDEN_IGEMM = {
+    (128, 128, 32): (
+        "8eea040b3a29d65179a05df09a08992424714f4c51f038959c9646e283ce5ee4",
+        1792, 1,
+        {"BAR": 12, "BRA": 4, "EXIT": 4, "IADD3": 104, "IMAD": 72,
+         "IMMA": 512, "ISETP": 8, "LDG": 32, "LDS": 164, "LOP3": 20,
+         "MOV": 516, "MOV32I": 12, "NOP": 12, "S2R": 12, "SHF": 20,
+         "STG": 256, "STS": 32},
+    ),
+    (192, 128, 64): (
+        "b46cc9b641f98e5782aae9c447d6b2e950d39900756ffc89006799c5d546978e",
+        3984, 3,
+        {"BAR": 18, "BRA": 6, "EXIT": 6, "IADD3": 300, "IMAD": 108,
+         "IMMA": 1536, "ISETP": 12, "LDG": 144, "LDS": 438, "LOP3": 30,
+         "MOV": 774, "MOV32I": 18, "NOP": 18, "S2R": 18, "SHF": 30,
+         "STG": 384, "STS": 144},
+    ),
+}
+
+
 def _inputs(m, n, k):
     rng = np.random.default_rng(7)
     a = rng.uniform(-2, 2, (m, k)).astype(np.float16)
     b = rng.uniform(-2, 2, (k, n)).astype(np.float16)
+    return a, b
+
+
+def _int8_inputs(m, n, k):
+    rng = np.random.default_rng(11)
+    a = rng.integers(-128, 128, (m, k), dtype=np.int8)
+    b = rng.integers(-128, 128, (k, n), dtype=np.int8)
     return a, b
 
 
@@ -74,10 +105,39 @@ def _run(kernel, m, n, k, **kwargs):
     return hgemm(a, b, kernel=kernel, return_run=True, **kwargs)
 
 
+@pytest.mark.parametrize("engine", functional.ENGINES)
 @pytest.mark.parametrize("kernel,m,n,k", sorted(GOLDEN))
-def test_golden_functional(kernel, m, n, k):
+def test_golden_functional(kernel, m, n, k, engine, monkeypatch):
+    monkeypatch.setenv("REPRO_FUNC_ENGINE", engine)
     digest, retired, ctas, opcodes = GOLDEN[(kernel, m, n, k)]
     run = _run(kernel, m, n, k)
+    assert _digest(run.c) == digest
+    assert run.stats.instructions_retired == retired
+    assert run.stats.ctas_run == ctas
+    assert run.stats.opcode_counts == opcodes
+
+
+@pytest.mark.parametrize("engine", functional.ENGINES)
+@pytest.mark.parametrize("m,n,k", sorted(GOLDEN_IGEMM))
+def test_golden_igemm(m, n, k, engine, monkeypatch):
+    """IMMA.8816 kernels retire identically on every engine; the int32
+    digests were captured from the reference interpreter."""
+    monkeypatch.setenv("REPRO_FUNC_ENGINE", engine)
+    digest, retired, ctas, opcodes = GOLDEN_IGEMM[(m, n, k)]
+    a, b = _int8_inputs(m, n, k)
+    run = igemm(a, b, return_run=True)
+    assert _digest(run.c) == digest
+    assert run.stats.instructions_retired == retired
+    assert run.stats.ctas_run == ctas
+    assert run.stats.opcode_counts == opcodes
+
+
+def test_igemm_parallel_matches_serial():
+    """CTA sharding is bit-identical for the int8 kernel too."""
+    m, n, k = 192, 128, 64  # 3 CTAs -> real sharding
+    digest, retired, ctas, opcodes = GOLDEN_IGEMM[(m, n, k)]
+    a, b = _int8_inputs(m, n, k)
+    run = igemm(a, b, return_run=True, max_workers=2)
     assert _digest(run.c) == digest
     assert run.stats.instructions_retired == retired
     assert run.stats.ctas_run == ctas

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.sim.shared import (
-    NUM_BANKS,
     SharedMemory,
     bank_conflict_degree,
     conflict_multiplier,

@@ -1,6 +1,5 @@
 """Tests for the command-line interface."""
 
-import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
@@ -15,6 +14,13 @@ class TestParser:
         args = build_parser().parse_args(["hgemm", "64", "64", "32"])
         assert (args.m, args.n, args.k) == (64, 64, 32)
         assert args.kernel == "ours"
+
+    def test_igemm_args(self):
+        args = build_parser().parse_args(
+            ["igemm", "128", "128", "32", "--seed", "3", "--jobs", "2"])
+        assert (args.m, args.n, args.k) == (128, 128, 32)
+        assert args.seed == 3
+        assert args.jobs == 2
 
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
@@ -34,6 +40,17 @@ class TestCommands:
     def test_hgemm_f32(self, capsys):
         assert main(["hgemm", "64", "64", "32", "--accumulate", "f32"]) == 0
         assert "True" in capsys.readouterr().out
+
+    def test_igemm_ok(self, capsys):
+        assert main(["igemm", "128", "128", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "IMMA" in out
+        assert "bit-exact vs int8 oracle: True" in out
+
+    def test_igemm_parallel(self, capsys):
+        assert main(["igemm", "192", "128", "32", "--jobs", "2",
+                     "--seed", "5"]) == 0
+        assert "bit-exact vs int8 oracle: True" in capsys.readouterr().out
 
     def test_roofline(self, capsys):
         assert main(["roofline", "--device", "T4"]) == 0
