@@ -1,17 +1,24 @@
-"""Simulator speed benchmark: cold simulation vs warm cache.
+"""Simulator speed benchmark: engine sweep + cold simulation vs warm cache.
 
-Measures the wall time of profiling both paper kernels (``ours`` and
-``cublas-like``) on the RTX 2070 model three ways:
+Two families of legs, written to ``BENCH_simspeed.json`` in the repo root:
 
-* **cold** -- empty cache: every profile leg runs the cycle-level timing
-  simulator;
+**Engine sweep** (no cache anywhere): both paper kernels (``ours`` and
+``cublas-like``) at their true occupancy (CTAs/SM) across a k-depth ladder
+-- the same composition ``PerformanceModel.sm_profile``/``sweep`` simulate
+-- run directly through ``TimingSimulator`` on the ``reference`` and
+``event`` engines.  Every per-run :class:`TimingResult` must compare equal
+across engines (the event engine's core invariant) and the event engine
+must finish the sweep at least 3x faster end-to-end.
+
+**Cache ladder**: profiling both kernels three ways --
+
+* **cold** -- empty cache: every profile leg runs the timing simulator;
 * **warm disk** -- the in-process layer is dropped, so profiles reload
   from the on-disk store (what a fresh interpreter sees);
 * **warm memory** -- everything hits the in-process layer.
 
 Runs against a throwaway cache directory, never the user's real one, and
-verifies that all three paths return identical profiles (the cache's core
-invariant).  Results go to ``BENCH_simspeed.json`` in the repo root.
+verifies that all three paths return identical profiles.
 
 Usage::
 
@@ -27,6 +34,49 @@ import sys
 import tempfile
 import time
 from pathlib import Path
+
+#: k depths of the engine-sweep leg.  Matches the range the figure sweeps
+#: exercise (profile legs at small k, long-k estimates amortising them).
+SWEEP_KS = (64, 128, 256, 512)
+
+#: Required end-to-end event-over-reference speedup on the sweep leg.
+EVENT_SPEEDUP_TARGET = 3.0
+
+
+def _engine_sweep(spec):
+    """Time both engines over the sweep; returns (times, identical, runs)."""
+    from repro.analysis import PerformanceModel
+    from repro.core import cublas_like, ours
+    from repro.core.builder import HgemmProblem, build_hgemm
+    from repro.sim.memory import GlobalMemory
+    from repro.sim.timing import TimingSimulator
+
+    pm = PerformanceModel(spec)
+    legs = []
+    for config in (ours(), cublas_like()):
+        ctas = pm.ctas_per_sm(config)
+        for k in SWEEP_KS:
+            problem = HgemmProblem(m=config.b_m, n=config.b_n, k=k,
+                                   a_addr=0, b_addr=4 << 20, c_addr=8 << 20)
+            program = build_hgemm(config, problem, spec)
+            legs.append((f"{config.name}/k{k}/ctas{ctas}", ctas, program))
+
+    times, results = {}, {}
+    for engine in ("reference", "event"):
+        total = 0.0
+        out = []
+        for _label, ctas, program in legs:
+            sim = TimingSimulator(spec, engine=engine)
+            memory = GlobalMemory(16 << 20)
+            start = time.perf_counter()
+            out.append(sim.run(program, memory, num_ctas=ctas))
+            total += time.perf_counter() - start
+        times[engine] = total
+        results[engine] = out
+    identical = all(
+        ref == evt for ref, evt in zip(results["reference"], results["event"])
+    )
+    return times, identical, [label for label, _, _ in legs]
 
 
 def _profile_all(spec, configs):
@@ -49,6 +99,8 @@ def main() -> int:
 
     configs = [ours(), cublas_like()]
     try:
+        engine_times, engines_identical, sweep_legs = _engine_sweep(RTX2070)
+
         STATS.reset()
         cold_s, cold = _profile_all(RTX2070, configs)
         sim_stats = STATS.snapshot()
@@ -60,15 +112,26 @@ def main() -> int:
     finally:
         shutil.rmtree(scratch, ignore_errors=True)
 
+    if not engines_identical:
+        print("FAIL: event engine results differ from reference",
+              file=sys.stderr)
+        return 1
     if not (cold == warm_disk == warm_mem):
         print("FAIL: cached profiles differ from simulated ones", file=sys.stderr)
         return 1
 
+    ref_s, evt_s = engine_times["reference"], engine_times["event"]
+    event_speedup = ref_s / evt_s if evt_s else None
     counters = sim_stats["counters"]
     sim_wall = sim_stats["timers"].get("sim.wall", 0.0)
     payload = {
         "device": RTX2070.name,
         "kernels": [c.name for c in configs],
+        "sweep_legs": sweep_legs,
+        "reference_engine_seconds": round(ref_s, 4),
+        "event_engine_seconds": round(evt_s, 4),
+        "event_engine_speedup": round(event_speedup, 2) if event_speedup else None,
+        "engines_bit_identical": engines_identical,
         "cold_seconds": round(cold_s, 4),
         "warm_disk_seconds": round(disk_s, 4),
         "warm_memory_seconds": round(mem_s, 4),
@@ -85,6 +148,11 @@ def main() -> int:
     out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(json.dumps(payload, indent=2))
     print(f"wrote {out}")
+
+    if (event_speedup or 0.0) < EVENT_SPEEDUP_TARGET:
+        print(f"FAIL: event engine only {event_speedup:.2f}x over reference "
+              f"(< {EVENT_SPEEDUP_TARGET}x target)", file=sys.stderr)
+        return 1
     return 0
 
 

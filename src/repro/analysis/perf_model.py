@@ -66,6 +66,11 @@ class PerfOptions:
     cliff_devices: tuple = ("RTX2070",)
     #: Effective measurement k-depths for the SM profile.
     profile_iters: tuple = (2, 6)
+    #: Timing engine driving the SM-profile runs ("event"/"reference");
+    #: None defers to ``REPRO_TIMING_ENGINE``.  The engines are bit-identical
+    #: (pinned by the differential suite), so this deliberately does not
+    #: enter any profile-cache key.
+    timing_engine: str = None
 
 
 @dataclass(frozen=True)
@@ -160,7 +165,8 @@ class PerformanceModel:
         cached = PROFILE_CACHE.get(run_key)
         if cached is not None:
             return cached["cycles"]
-        sim = TimingSimulator(self.spec, bandwidth_share=1.0)
+        sim = TimingSimulator(self.spec, bandwidth_share=1.0,
+                              engine=self.options.timing_engine)
         result = sim.run(program, GlobalMemory(_PROFILE_MEM_BYTES),
                          num_ctas=ctas_per_sm)
         PROFILE_CACHE.put(run_key, {"cycles": result.cycles})

@@ -15,6 +15,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -276,6 +277,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Tensor Core HGEMM reproduction (IPDPS 2020)")
+    parser.add_argument(
+        "--timing-engine", choices=["event", "reference"], default=None,
+        help="cycle-level simulator engine (default: $REPRO_TIMING_ENGINE "
+             "or 'event'; the engines are bit-identical, 'event' is faster)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("tables", help="regenerate Tables I-VII")
@@ -366,4 +371,8 @@ _COMMANDS = {
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.timing_engine is not None:
+        # Every simulator construction site (including worker processes,
+        # which inherit the environment) honours this.
+        os.environ["REPRO_TIMING_ENGINE"] = args.timing_engine
     return _COMMANDS[args.command](args)

@@ -9,6 +9,10 @@ Counter names use dotted namespaces by convention:
 
 * ``sim.runs`` / ``sim.cycles`` / ``sim.instructions`` -- incremented by
   :class:`~repro.sim.timing.TimingSimulator` per ``run()``.
+* ``sim.plans`` / ``sim.plan_insts`` -- incremented by the event timing
+  engine when a straight-line MMA issue plan fires: plans executed as one
+  stacked batch kernel, and the instructions those plans covered (only
+  recorded when nonzero, so a reference-engine run leaves them absent).
 * ``sim.wall`` (a timer, seconds) -- wall time inside ``run()``.
 * ``func.runs`` / ``func.ctas`` / ``func.instructions`` /
   ``func.workers`` -- incremented by

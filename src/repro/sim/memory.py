@@ -158,6 +158,25 @@ class GlobalMemory:
             )
 
 
+def _touched_units(active: np.ndarray, width_bytes: int, unit: int) -> list:
+    """Sorted distinct ``unit``-byte block indices touched by width-byte
+    accesses at the given (non-negative) byte addresses.
+
+    Equivalent to ``np.unique(word_starts // unit)`` over every 4-byte word
+    start: when a whole access spans at most two blocks (``width_bytes - 4
+    <= unit``) only the end words matter.
+    """
+    if width_bytes - 4 <= unit:
+        out = set((active // unit).tolist())
+        if width_bytes > 4:
+            out.update(((active + (width_bytes - 4)) // unit).tolist())
+    else:
+        out = set()
+        for off in range(0, width_bytes, 4):
+            out.update(((active + off) // unit).tolist())
+    return sorted(out)
+
+
 @dataclass
 class AccessSummary:
     """Timing outcome of one warp-level global access."""
@@ -184,10 +203,13 @@ class _LruLineSet:
     def insert(self, line: int) -> None:
         if self.capacity_lines == 0:
             return
-        self._lines[line] = True
-        self._lines.move_to_end(line)
-        while len(self._lines) > self.capacity_lines:
-            self._lines.popitem(last=False)
+        lines = self._lines
+        if line in lines:
+            lines.move_to_end(line)
+        else:
+            lines[line] = True
+            if len(lines) > self.capacity_lines:
+                lines.popitem(last=False)
 
     def __len__(self) -> int:
         return len(self._lines)
@@ -243,38 +265,41 @@ class MemorySubsystem:
             return AccessSummary(level="l1", sectors=0, ready_cycle=cycle)
 
         sector = self.spec.l2_sector_bytes
-        starts = np.repeat(active, width_bytes // 4) + np.tile(
-            np.arange(0, width_bytes, 4, dtype=addresses.dtype), active.size
-        )
-        sectors = np.unique(starts // sector)
-        nbytes = int(sectors.size) * sector
+        sector_list = _touched_units(active, width_bytes, sector)
+        nbytes = len(sector_list) * sector
+        # Every touched L1 line contains a touched sector, so the line set
+        # comes from the (much smaller) sector set when the sizes nest.
+        if self.L1_LINE % sector == 0:
+            ratio = self.L1_LINE // sector
+            line_list = sorted({q // ratio for q in sector_list})
+        else:
+            line_list = _touched_units(active, width_bytes, self.L1_LINE)
 
         if is_store:
             # Write-through accounting: stores consume DRAM write bandwidth.
             self.counters.store_bytes += nbytes
-            for line in np.unique(starts // self.L1_LINE):
-                if not bypass_l1:
-                    self.l1.insert(int(line))
-            for s in sectors:
-                self.l2.insert(int(s))
+            if not bypass_l1:
+                for line in line_list:
+                    self.l1.insert(line)
+            for s in sector_list:
+                self.l2.insert(s)
             ready = self._serve(cycle, nbytes, dram=True)
-            return AccessSummary(level="dram", sectors=int(sectors.size), ready_cycle=ready)
+            return AccessSummary(level="dram", sectors=len(sector_list), ready_cycle=ready)
 
-        lines = np.unique(starts // self.L1_LINE)
-        if not bypass_l1 and all(self.l1.lookup(int(line)) for line in lines):
+        if not bypass_l1 and all(self.l1.lookup(line) for line in line_list):
             self.counters.l1_hit_bytes += nbytes
             return AccessSummary(
                 level="l1",
-                sectors=int(sectors.size),
+                sectors=len(sector_list),
                 ready_cycle=cycle + self.spec.lds_latency_cycles,
             )
 
-        l2_hit = all(self.l2.lookup(int(s)) for s in sectors)
-        for s in sectors:
-            self.l2.insert(int(s))
+        l2_hit = all(self.l2.lookup(s) for s in sector_list)
+        for s in sector_list:
+            self.l2.insert(s)
         if not bypass_l1:
-            for line in lines:
-                self.l1.insert(int(line))
+            for line in line_list:
+                self.l1.insert(line)
 
         if l2_hit:
             self.counters.l2_hit_bytes += nbytes
@@ -284,7 +309,7 @@ class MemorySubsystem:
             self.counters.dram_bytes += nbytes
             ready = self._serve(cycle, nbytes, dram=True)
             level = "dram"
-        return AccessSummary(level=level, sectors=int(sectors.size), ready_cycle=ready)
+        return AccessSummary(level=level, sectors=len(sector_list), ready_cycle=ready)
 
     def _serve(self, cycle: int, nbytes: int, dram: bool) -> int:
         base_latency = self.spec.ldg_latency_cycles

@@ -23,11 +23,38 @@ Models exactly the mechanisms the paper measures and then exploits:
 The simulator is also a full functional interpreter (it uses the same
 executors), so timing experiments can verify results, and correctness
 experiments can read clocks.
+
+Engines
+-------
+
+Two interchangeable engines drive the model (``REPRO_TIMING_ENGINE`` or the
+``engine=`` constructor argument):
+
+* ``reference`` -- the seed loop: every scheduler scan evaluates each warp
+  against live state and every instruction runs through the generic
+  :func:`~repro.sim.exec_units.execute` adapter.
+* ``event`` (the default) -- same cycle-for-cycle semantics, restructured
+  for speed: per-warp *block status* caches (stall / scoreboard / MIO /
+  pipe) with release-cycle expiries let idle-cycle probes and fully-blocked
+  scheduler scans reuse the scan's own conclusions instead of re-deriving
+  them; instructions compile once per program into slot-specialised
+  closures over live register rows (with per-slot address-pattern memos for
+  shared memory); straight-line runs of independent MMA ops become *issue
+  plans* whose math executes as one stacked batch kernel (per-issue
+  latency/CPI bookkeeping unchanged); and the MIO queue retires by
+  advancing a head index over a monotone completion list.
+
+The engines are **bit-identical** on every :class:`TimingResult` field and
+on final memory/register state (pinned by
+``tests/sim/test_timing_differential.py`` and the per-engine goldens in
+``tests/sim/test_golden_cycles.py``), so the engine is deliberately *not*
+part of the result-cache key and ``SIM_VERSION`` does not change with it.
 """
 
 from __future__ import annotations
 
 import math
+import os
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -38,19 +65,42 @@ from ..arch.registers import PredicateFile, RegisterFile, WARP_LANES
 from ..arch.turing import GpuSpec
 from ..isa.control import NO_BARRIER
 from ..isa.instructions import Pipe
+from ..isa.operands import RZ_INDEX
 from ..isa.program import Program
 from ..perf.stats import STATS
 from .exec_units import ExecError, execute
 from .memory import GlobalMemory, MemorySubsystem
 from .shared import SharedMemory, conflict_multiplier
+from .uop import MMA_BATCH_KERNELS, decode_uop, k_iadd3, special_value
 
-__all__ = ["TimingSimulator", "TimingResult", "ALU_LATENCY"]
+__all__ = ["TimingSimulator", "TimingResult", "ALU_LATENCY", "ENGINES"]
 
 #: Cycles from issue to result for short ALU/FMA operations.
 ALU_LATENCY = 5
 
 #: Simulation fuel: cycles after which we declare the kernel hung.
 DEFAULT_MAX_CYCLES = 30_000_000
+
+#: Recognised timing engines, fastest first.
+ENGINES = ("event", "reference")
+
+_INF = float("inf")
+_U32 = np.dtype(np.uint32)
+
+# Shared all-lanes-on mask for the compiled (unpredicated-only) fast paths;
+# read-only so no consumer can mutate it in place.
+_FULL_MASK = np.ones(WARP_LANES, dtype=bool)
+_FULL_MASK.setflags(write=False)
+
+
+def _default_engine() -> str:
+    """Engine named by ``REPRO_TIMING_ENGINE`` (default: ``event``)."""
+    engine = os.environ.get("REPRO_TIMING_ENGINE", ENGINES[0])
+    if engine not in ENGINES:
+        raise ValueError(
+            f"REPRO_TIMING_ENGINE must be one of {ENGINES}, got {engine!r}"
+        )
+    return engine
 
 
 class _MioQueue:
@@ -93,6 +143,62 @@ class _MioQueue:
             done.popleft()
 
 
+class _VecMioQueue:
+    """Flat-list MIO queue used by the event engine.
+
+    Completion times are monotonically non-decreasing (each entry drains
+    after the previous one), so retirement just advances a head index; a
+    cached Python-float head completion keeps the hot ``can_accept`` check
+    free of any indexing.  API- and number-identical to :class:`_MioQueue`:
+    ``push`` computes the same IEEE float sequence.
+    """
+
+    __slots__ = ("depth", "drain_free", "_done", "_head", "_head_done")
+
+    def __init__(self, depth: int):
+        self.depth = depth
+        self.drain_free = 0.0
+        self._done = []          # drain-completion times, nondecreasing
+        self._head = 0
+        self._head_done = _INF   # mirror of _done[_head] (inf when empty)
+
+    def can_accept(self, cycle: int) -> bool:
+        if self._head_done <= cycle:
+            self._retire(cycle)
+        return len(self._done) - self._head < self.depth
+
+    def next_slot_free(self, cycle: int):
+        if self._head_done <= cycle:
+            self._retire(cycle)
+        if len(self._done) - self._head < self.depth:
+            return cycle
+        return self._head_done
+
+    def push(self, cycle: int, occupancy: float) -> float:
+        start = self.drain_free
+        if cycle > start:
+            start = float(cycle)
+        done = start + occupancy
+        self.drain_free = done
+        if self._head == len(self._done):
+            self._head_done = done
+        self._done.append(done)
+        return done
+
+    def _retire(self, cycle: int) -> None:
+        done = self._done
+        head = self._head
+        n = len(done)
+        while head < n and done[head] <= cycle:
+            head += 1
+        if head >= 512:
+            del done[:head]
+            head = 0
+            n = len(done)
+        self._head = head
+        self._head_done = done[head] if head < n else _INF
+
+
 class _TimedWarp:
     """Per-warp microarchitectural state."""
 
@@ -101,6 +207,7 @@ class _TimedWarp:
         "global_mem", "shared_mem", "pc", "next_issue", "exited",
         "at_barrier", "scoreboards", "pending_writes",
         "pending_tensor_writes", "retired", "_clock_now",
+        "wid", "min_due", "tensor_min_due", "plan_queue", "plan_qi",
     )
 
     def __init__(self, warp_id, cta_slot, ctaid, global_mem, shared_mem):
@@ -123,29 +230,58 @@ class _TimedWarp:
         self.pending_tensor_writes = []  # same shape; forwardable inside the pipe
         self.retired = 0
         self._clock_now = 0
+        self.wid = 0                     # index into the SM-wide warp list
+        self.min_due = _INF              # earliest pending_writes apply cycle
+        self.tensor_min_due = _INF       # earliest pending tensor apply cycle
+        self.plan_queue = None           # queued (pc, values) from an MMA plan
+        self.plan_qi = 0
 
     def clock(self) -> int:
         return self._clock_now
 
+    def defer_write(self, due, first_reg, values, mask) -> None:
+        self.pending_writes.append((due, first_reg, values, mask))
+        if due < self.min_due:
+            self.min_due = due
+
+    def defer_tensor_write(self, due, first_reg, values, mask) -> None:
+        self.pending_tensor_writes.append((due, first_reg, values, mask))
+        if due < self.tensor_min_due:
+            self.tensor_min_due = due
+
     def apply_due_writes(self, cycle: int) -> None:
-        if self.pending_writes:
-            self.pending_writes = self._drain_due(self.pending_writes, cycle)
-        if self.pending_tensor_writes:
-            self.pending_tensor_writes = self._drain_due(
+        if self.min_due <= cycle:
+            self.pending_writes, self.min_due = self._drain_due(
+                self.pending_writes, cycle
+            )
+        if self.tensor_min_due <= cycle:
+            self.pending_tensor_writes, self.tensor_min_due = self._drain_due(
                 self.pending_tensor_writes, cycle
             )
 
-    def _drain_due(self, queue: list, cycle: int) -> list:
+    def _drain_due(self, queue: list, cycle: int):
         remaining = []
+        nxt = _INF
+        data = self.regs._data
         write_group = self.regs.write_group
         for item in queue:
-            if item[0] <= cycle:
+            due = item[0]
+            if due <= cycle:
                 _, first_reg, values, mask = item
-                write_group(first_reg, values,
-                            mask=None if mask.all() else mask)
+                if mask is None and values.dtype == _U32:
+                    # Deferred values are pre-shaped (n, lanes) uint32;
+                    # skip the write_group asarray/bounds ceremony.
+                    data[first_reg:first_reg + values.shape[0]] = values
+                else:
+                    write_group(
+                        first_reg, values,
+                        mask=None if mask is None or mask.all() else mask,
+                    )
             else:
                 remaining.append(item)
-        return remaining
+                if due < nxt:
+                    nxt = due
+        return remaining, nxt
 
     def forward_tensor_writes(self) -> None:
         """Apply not-yet-due tensor results early (intra-pipe forwarding):
@@ -154,18 +290,25 @@ class _TimedWarp:
         the architectural 10/14 cycles."""
         self.pending_tensor_writes.sort(key=lambda item: item[0])
         for _, first_reg, values, mask in self.pending_tensor_writes:
-            self.regs.write_group(first_reg, values,
-                                  mask=None if mask.all() else mask)
+            self.regs.write_group(
+                first_reg, values,
+                mask=None if mask is None or mask.all() else mask,
+            )
         self.pending_tensor_writes = []
+        self.tensor_min_due = _INF
 
     def flush_writes(self) -> None:
         combined = self.pending_writes + self.pending_tensor_writes
         combined.sort(key=lambda item: item[0])
         for _, first_reg, values, mask in combined:
-            self.regs.write_group(first_reg, values,
-                                  mask=None if mask.all() else mask)
+            self.regs.write_group(
+                first_reg, values,
+                mask=None if mask is None or mask.all() else mask,
+            )
         self.pending_writes = []
         self.pending_tensor_writes = []
+        self.min_due = _INF
+        self.tensor_min_due = _INF
 
     def wait_satisfied(self, wait_mask: int, cycle: int) -> bool:
         if not wait_mask:
@@ -268,20 +411,362 @@ class TimingResult:
         return self.cycles / count
 
     def pipe_utilization(self, pipe: str) -> float:
-        """Busy fraction of the named pipe class (tensor/alu/fma have one
-        unit per scheduler; lsu has a single drain port)."""
+        """Busy fraction of the named pipe class over the whole run.
+
+        ``tensor`` / ``alu`` / ``fma`` have one unit per scheduler, so
+        their busy cycles are normalised by ``cycles * num_schedulers``;
+        ``lsu`` has a single SM-wide drain port and is normalised by
+        ``cycles`` alone.  A pipe with no recorded busy time -- including
+        names this run never touched -- reports 0.0 rather than raising.
+        """
         units = 1 if pipe == "lsu" else self.num_schedulers
         return self.pipe_busy.get(pipe, 0) / max(1, self.cycles * units)
+
+
+# --------------------------------------------------------------------------
+# Event-engine compilation: one closure per program slot, specialised from
+# the µop descriptors.  Only unpredicated instructions with fully static
+# operand plumbing compile; everything else (predication, decode failures,
+# control flow, RZ-group corner cases) falls back to the generic
+# `exec_units.execute` adapter so error behaviour matches the reference
+# engine exactly.
+
+_K_GENERIC, _K_ALU, _K_PRED, _K_LOAD, _K_STORE, _K_MMA = range(6)
+
+_Z32 = np.zeros(WARP_LANES, dtype=np.uint32)
+_Z32.setflags(write=False)
+_Z32_I32 = _Z32.view(np.int32)
+
+
+def _t_reader(desc):
+    """Compile one source descriptor to ``reader(warp) -> array``.
+
+    Readers may return live register-file rows: every lane kernel is pure
+    and every deferred value is either a fresh kernel output or explicitly
+    copied (see `_compile_alu`), so nothing aliases mutable state.
+    """
+    kind = desc[0]
+    if kind == "reg":
+        i = desc[1]
+        if i == RZ_INDEX:
+            return lambda w: _Z32
+        return lambda w: w.regs._data[i]
+    if kind == "reg_i32":
+        i = desc[1]
+        if i == RZ_INDEX:
+            return lambda w: _Z32_I32
+        return lambda w: w.regs._data[i].view(np.int32)
+    if kind == "regs":
+        i, n = desc[1], desc[2]
+        if i == RZ_INDEX or i + n > RZ_INDEX:
+            raise ExecError("register group touches RZ")  # generic fallback
+        return lambda w: w.regs._data[i:i + n]
+    if kind == "imm":
+        buf = np.full(WARP_LANES, desc[1], dtype=np.uint32)
+        buf.setflags(write=False)
+        return lambda w: buf
+    if kind == "imm_i32":
+        buf = np.full(WARP_LANES, desc[1], dtype=np.uint32).view(np.int32)
+        buf.setflags(write=False)
+        return lambda w: buf
+    if kind == "pred":
+        i, neg = desc[1], desc[2]
+        if neg:
+            return lambda w: ~w.preds._data[i]
+        return lambda w: w.preds._data[i]
+    name = desc[1]
+    if kind == "sr_i32":
+        return lambda w: special_value(w, name).view(np.int32)
+    return lambda w: special_value(w, name)
+
+
+def _compile_alu(kernel, readers):
+    """Closure computing one ALU/MMA µop's lane math for a warp.
+
+    Kernel-less µops (the MOV family) and single-term IADD3 return their
+    input unchanged, so those copy: the result is deferred and must not
+    alias a live register row.  Every real kernel produces a fresh array.
+    """
+    n = len(readers)
+    if kernel is None or (kernel is k_iadd3 and n == 1):
+        if n != 1:
+            return None
+        r0, = readers
+        return lambda w: r0(w).copy()
+    if n == 1:
+        r0, = readers
+        return lambda w: kernel(r0(w))
+    if n == 2:
+        r0, r1 = readers
+        return lambda w: kernel(r0(w), r1(w))
+    if n == 3:
+        r0, r1, r2 = readers
+        return lambda w: kernel(r0(w), r1(w), r2(w))
+    return None
+
+
+#: Per-slot memo capacity for address-pattern caches.  A GEMM inner loop
+#: revisits a handful of patterns (double-buffered LDS offsets); the cap only
+#: guards against degenerate programs with unbounded distinct patterns.
+_ADDR_CACHE_CAP = 4096
+
+
+def _load_fn(mem):
+    """Closure returning ``(addresses, data, conflict)`` for an unpredicated
+    load; ``conflict`` is the shared-bank multiplier (``None`` for global).
+
+    The pure per-pattern work -- alignment/bounds validation, word-index
+    construction, bank-conflict degree -- is memoised per address pattern, so
+    the double-buffered LDS patterns a k-loop cycles through skip straight to
+    the gather.  Misaligned/out-of-range patterns raise before caching, with
+    the same exception the uncompiled path produces.
+    """
+    base, off, width = mem.base_index, mem.offset, mem.width
+    if mem.space != "shared":
+        # Global addresses advance every loop iteration, so a pattern memo
+        # never hits -- validate and gather directly.
+        def fn(w):
+            if base == RZ_INDEX:
+                addrs = np.full(WARP_LANES, off, dtype=np.int64)
+            else:
+                addrs = w.regs._data[base].astype(np.int64)
+                addrs += off
+            memory = w.global_mem
+            idx = memory._word_indices(addrs, width, None)
+            return addrs, memory._words[idx], None
+
+        return fn
+
+    cache = {}
+
+    def fn(w):
+        if base == RZ_INDEX:
+            addrs = np.full(WARP_LANES, off, dtype=np.int64)
+        else:
+            addrs = w.regs._data[base].astype(np.int64)
+            addrs += off
+        memory = w.shared_mem
+        key = addrs.tobytes()
+        ent = cache.get(key)
+        if ent is None:
+            idx = memory._word_indices(addrs, width, None)
+            mult = conflict_multiplier(addrs, width, None)
+            if len(cache) >= _ADDR_CACHE_CAP:
+                cache.clear()
+            cache[key] = ent = (idx, mult)
+        idx, mult = ent
+        return addrs, memory._words[idx], mult
+
+    return fn
+
+
+def _store_fn(mem):
+    """Closure performing an unpredicated store; returns ``(addresses,
+    conflict)`` with the same per-pattern memoisation as :func:`_load_fn`."""
+    base, off, width = mem.base_index, mem.offset, mem.width
+    reg, words = mem.reg, mem.words
+    if mem.space != "shared":
+        def fn(w):
+            if base == RZ_INDEX:
+                addrs = np.full(WARP_LANES, off, dtype=np.int64)
+            else:
+                addrs = w.regs._data[base].astype(np.int64)
+                addrs += off
+            memory = w.global_mem
+            idx = memory._word_indices(addrs, width, None)
+            memory._words[idx] = w.regs._data[reg:reg + words]
+            return addrs, None
+
+        return fn
+
+    cache = {}
+
+    def fn(w):
+        if base == RZ_INDEX:
+            addrs = np.full(WARP_LANES, off, dtype=np.int64)
+        else:
+            addrs = w.regs._data[base].astype(np.int64)
+            addrs += off
+        memory = w.shared_mem
+        key = addrs.tobytes()
+        ent = cache.get(key)
+        if ent is None:
+            idx = memory._word_indices(addrs, width, None)
+            mult = conflict_multiplier(addrs, width, None)
+            if len(cache) >= _ADDR_CACHE_CAP:
+                cache.clear()
+            cache[key] = ent = (idx, mult)
+        idx, mult = ent
+        memory._words[idx] = w.regs._data[reg:reg + words]
+        return addrs, mult
+
+    return fn
+
+
+def _compile_slot(dec):
+    """Compile one `_DecodedInst` to ``(kind, fn, aux)``."""
+    inst = dec.inst
+    if inst.pred is not None:
+        return _K_GENERIC, None, None
+    try:
+        u = decode_uop(inst)
+    except ExecError:
+        return _K_GENERIC, None, None
+    if u.kind == "alu":
+        try:
+            readers = tuple(_t_reader(d) for d in u.srcs)
+        except ExecError:
+            return _K_GENERIC, None, None
+        fn = _compile_alu(u.kernel, readers)
+        if fn is None:
+            return _K_GENERIC, None, None
+        if u.dest[0] == "pred":
+            return _K_PRED, fn, u.dest[1]
+        if dec.is_mma:
+            return _K_MMA, fn, u.dest[1]
+        return _K_ALU, fn, u.dest[1]
+    if u.kind == "load":
+        m = u.mem
+        return _K_LOAD, _load_fn(m), (u.dest[1], m.width, m.bypass_l1)
+    if u.kind == "store":
+        m = u.mem
+        if m.reg == RZ_INDEX or m.reg + m.words > RZ_INDEX:
+            return _K_GENERIC, None, None  # read_group raises in reference
+        return _K_STORE, _store_fn(m), m.width
+    return _K_GENERIC, None, None  # nop / control flow / unknown
+
+
+#: Issue-plan window limits: max program slots spanned / max batched members.
+_PLAN_SPAN = 96
+_PLAN_MEMBERS = 32
+
+
+class _Plan:
+    """A static window of independent same-shape MMA ops batched as one
+    kernel call at the head's issue; tail members consume queued rows."""
+
+    __slots__ = ("members", "tail", "a_idx", "b_idx", "c_idx", "fn",
+                 "read_mask", "read_lo", "read_hi")
+
+
+def _build_plans(decoded, kinds):
+    """Find batchable MMA windows.
+
+    A window grows from an unpredicated batchable MMA head over straight
+    line code (any control-flow µop ends it).  A later MMA joins as a
+    *member* iff it has the same fuse key, no scoreboard wait, and reads
+    nothing written earlier in the window (so its operands at its own issue
+    equal its operands at the head's issue -- the gather moment).  All
+    other slots are *interleaved*: their writes join the window write set
+    but they execute normally between members.
+    """
+    n = len(decoded)
+    plans = {}
+    consumed = [False] * n
+    for pc in range(n):
+        if consumed[pc] or kinds[pc] != _K_MMA:
+            continue
+        head = decode_uop(decoded[pc].inst)
+        entry = MMA_BATCH_KERNELS.get(head.fuse_key)
+        if entry is None or not head.groups_ok or head.fuse_payload is None:
+            continue
+        batch_fn, a_words, c_words = entry
+        members = [pc]
+        payloads = [head.fuse_payload]
+        window_writes = set(head.writes)
+        member_reads = set(head.reads)
+        j = pc + 1
+        while j < n and j - pc < _PLAN_SPAN and len(members) < _PLAN_MEMBERS:
+            try:
+                uj = decode_uop(decoded[j].inst)
+            except ExecError:
+                break
+            if uj.kind in ("bra", "exit", "bar"):
+                break
+            if (kinds[j] == _K_MMA and uj.fuse_key == head.fuse_key
+                    and uj.groups_ok and uj.fuse_payload is not None
+                    and decoded[j].wait_mask == 0
+                    and not (uj.reads & window_writes)):
+                members.append(j)
+                payloads.append(uj.fuse_payload)
+                member_reads |= uj.reads
+            window_writes |= uj.writes
+            j += 1
+        if len(members) < 2:
+            continue
+        # fuse_payload is (d, a, b, c); gather index arrays over reg rows.
+        if a_words == 2:
+            a_idx = np.array([[p[1], p[1] + 1] for p in payloads],
+                             dtype=np.intp)
+        else:
+            a_idx = np.array([p[1] for p in payloads], dtype=np.intp)
+        b_idx = np.array([p[2] for p in payloads], dtype=np.intp)
+        c_idx = np.array(
+            [[p[3] + i for i in range(c_words)] for p in payloads],
+            dtype=np.intp,
+        )
+        read_regs = sorted(r for r in member_reads if isinstance(r, int))
+        read_mask = np.zeros(256, dtype=bool)
+        read_mask[read_regs] = True
+        plan = _Plan()
+        plan.members = tuple(members)
+        plan.tail = tuple(members[1:])
+        plan.a_idx = a_idx
+        plan.b_idx = b_idx
+        plan.c_idx = c_idx
+        plan.fn = batch_fn
+        plan.read_mask = read_mask
+        plan.read_lo = read_regs[0]
+        plan.read_hi = read_regs[-1] + 1
+        plans[pc] = plan
+        for m in members:
+            consumed[m] = True
+    return plans
+
+
+def _plan_clear(warp, plan) -> bool:
+    """May this plan batch *now*?  Only if no in-flight deferred write
+    targets a register any member reads: operands are gathered at the head
+    but consumed over later cycles, so a write landing mid-window to a
+    member-read register would make the batch read stale state."""
+    lo = plan.read_lo
+    hi = plan.read_hi
+    read_mask = plan.read_mask
+    for item in warp.pending_writes:
+        first = item[1]
+        count = item[2].shape[0]
+        if first < hi and first + count > lo \
+                and read_mask[first:first + count].any():
+            return False
+    return True
+
+
+def _compile_event(decoded):
+    """Compile a predecoded program for the event engine."""
+    kinds = []
+    fns = []
+    aux = []
+    for dec in decoded:
+        k, f, a = _compile_slot(dec)
+        kinds.append(k)
+        fns.append(f)
+        aux.append(a)
+    return kinds, fns, aux, _build_plans(decoded, kinds)
 
 
 class TimingSimulator:
     """Simulates *num_ctas* CTAs of one program resident on one SM."""
 
     def __init__(self, spec: GpuSpec, bandwidth_share: float = 1.0,
-                 l1_bytes: int = 32 * 1024):
+                 l1_bytes: int = 32 * 1024, engine: str = None):
         self.spec = spec
         self.bandwidth_share = bandwidth_share
         self.l1_bytes = l1_bytes
+        self.engine = engine if engine is not None else _default_engine()
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
 
     def run(self, program: Program, global_mem: GlobalMemory = None,
             num_ctas: int = 1, first_ctaid=(0, 0, 0),
@@ -301,7 +786,44 @@ class TimingSimulator:
             ]
             warps.extend(members)
             cta_warps.append(members)
+        for i, w in enumerate(warps):
+            w.wid = i
+        decoded = [_DecodedInst(inst, self.spec) for inst in program]
 
+        start_wall = time.perf_counter()
+        if self.engine == "reference":
+            outcome = self._run_reference(
+                warps, cta_warps, decoded, memsys, max_cycles)
+        else:
+            outcome = self._run_event(
+                warps, cta_warps, decoded, memsys, max_cycles)
+        cycle, retired, opcode_counts, pipe_busy_total, stall_reasons, \
+            plan_stats = outcome
+
+        for w in warps:
+            w.flush_writes()
+
+        STATS.count("sim.runs")
+        STATS.count("sim.cycles", cycle)
+        STATS.count("sim.instructions", retired)
+        if plan_stats[0]:
+            STATS.count("sim.plans", plan_stats[0])
+            STATS.count("sim.plan_insts", plan_stats[1])
+        STATS.add_time("sim.wall", time.perf_counter() - start_wall)
+
+        return TimingResult(
+            cycles=cycle,
+            instructions=retired,
+            opcode_counts=opcode_counts,
+            pipe_busy=pipe_busy_total,
+            issue_stall_reasons=stall_reasons,
+            traffic=memsys.counters,
+            num_schedulers=self.spec.warp_schedulers_per_sm,
+        )
+
+    # ------------------------------------------------------ reference engine
+
+    def _run_reference(self, warps, cta_warps, decoded, memsys, max_cycles):
         n_sched = self.spec.warp_schedulers_per_sm
         pipes = {
             **{("tensor", s): 0 for s in range(n_sched)},
@@ -317,9 +839,7 @@ class TimingSimulator:
             [w for i, w in enumerate(warps) if i % n_sched == s]
             for s in range(n_sched)
         ]
-        decoded = [_DecodedInst(inst, self.spec) for inst in program]
 
-        start_wall = time.perf_counter()
         cycle = 0
         retired = 0
         while cycle < max_cycles:
@@ -353,24 +873,8 @@ class TimingSimulator:
                 f"timing simulation exceeded {max_cycles} cycles; "
                 "kernel appears hung"
             )
-
-        for w in warps:
-            w.flush_writes()
-
-        STATS.count("sim.runs")
-        STATS.count("sim.cycles", cycle)
-        STATS.count("sim.instructions", retired)
-        STATS.add_time("sim.wall", time.perf_counter() - start_wall)
-
-        return TimingResult(
-            cycles=cycle,
-            instructions=retired,
-            opcode_counts=opcode_counts,
-            pipe_busy=pipe_busy_total,
-            issue_stall_reasons=stall_reasons,
-            traffic=memsys.counters,
-            num_schedulers=n_sched,
-        )
+        return (cycle, retired, opcode_counts, pipe_busy_total,
+                stall_reasons, (0, 0))
 
     # ---------------------------------------------------------------- issue
 
@@ -444,12 +948,12 @@ class TimingSimulator:
             # Drained through the MIO queue, not a pipe: occupancy stays 0.
             write_bar_release = ready
             for first_reg, values, mask in eff.reg_writes:
-                warp.pending_writes.append((ready, first_reg, values, mask))
+                warp.defer_write(ready, first_reg, values, mask)
         else:
             occupancy = dec.occupancy
             due = cycle + ALU_LATENCY
             for first_reg, values, mask in eff.reg_writes:
-                warp.pending_writes.append((due, first_reg, values, mask))
+                warp.defer_write(due, first_reg, values, mask)
 
         # Predicates use the ALU latency as well.
         for index, values, mask in eff.pred_writes:
@@ -498,17 +1002,13 @@ class TimingSimulator:
             n = values.shape[0]
             first = values[: (n + 1) // 2]
             second = values[(n + 1) // 2 :]
-            warp.pending_tensor_writes.append(
-                (cycle + spec.hmma_latency_first_half, first_reg, first, mask)
+            warp.defer_tensor_write(
+                cycle + spec.hmma_latency_first_half, first_reg, first, mask
             )
             if second.shape[0]:
-                warp.pending_tensor_writes.append(
-                    (
-                        cycle + spec.hmma_latency_second_half,
-                        first_reg + first.shape[0],
-                        second,
-                        mask,
-                    )
+                warp.defer_tensor_write(
+                    cycle + spec.hmma_latency_second_half,
+                    first_reg + first.shape[0], second, mask,
                 )
 
     def _price_memory(self, dec, eff, cycle, memsys, mio):
@@ -581,3 +1081,390 @@ class TimingSimulator:
                     )
             candidates.append(t)
         return min(candidates, default=horizon)
+
+    # ---------------------------------------------------------- event engine
+
+    def _run_event(self, warps, cta_warps, decoded, memsys, max_cycles):
+        """Event-driven issue loop: cycle-identical to `_run_reference`.
+
+        Each warp carries a cached *block status* with a release-cycle
+        expiry: 1=stall-count (expires at ``next_issue``), 2=scoreboard
+        (expires at ``next_wait_release``), 3=MIO-full (expires when the
+        head entry retires), 4=pipe-busy (expires at ``floor(free_time)``),
+        5=at-barrier, 6=exited.  Expiry alone validates a cached status:
+        codes 1/2 only move on the warp's own issue; a full MIO queue is
+        frozen until its head retires (a push would need ``can_accept``);
+        and a busy pipe only gets busier, so re-examination at the cached
+        expiry re-derives the same reason if the window grew.  The scan
+        consumes valid caches without touching warp state, and idle-cycle
+        probes take the minimum over the cached expiries -- on a no-issue
+        cycle every live warp was just (re)examined or provably unchanged,
+        so the status arrays hold exactly the candidate set `_next_event`
+        recomputes from scratch and the two engines visit identical cycles
+        and count identical stall reasons.
+        """
+        spec = self.spec
+        n_sched = spec.warp_schedulers_per_sm
+        pipes = {
+            **{("tensor", s): 0 for s in range(n_sched)},
+            **{("alu", s): 0 for s in range(n_sched)},
+            **{("fma", s): 0 for s in range(n_sched)},
+        }
+        pipe_keys = {
+            cls: tuple((cls, s) for s in range(n_sched))
+            for cls in ("tensor", "alu", "fma")
+        }
+        mio = _VecMioQueue(spec.mio_queue_depth)
+        pipe_busy_total = {"tensor": 0, "alu": 0, "fma": 0, "lsu": 0}
+        opcode_counts: dict = {}
+        rr = [0] * n_sched
+        by_sched = [
+            [w for i, w in enumerate(warps) if i % n_sched == s]
+            for s in range(n_sched)
+        ]
+        kinds, fns, aux, plans = _compile_event(decoded)
+        plan_stats = [0, 0]
+
+        n_warps = len(warps)
+        n_slots = len(decoded)
+        st_code = [0] * n_warps
+        st_expiry = [0] * n_warps
+        wids_by_sched = [[w.wid for w in ws] for ws in by_sched]
+        # Fully-blocked scheduler summary: (stall, scoreboard, pipe counter
+        # adds, valid-until cycle).  While valid it replays the scheduler's
+        # per-cycle stall counts in O(1) instead of re-examining every warp;
+        # the earliest member expiry or a barrier/exit wake invalidates it.
+        sched_sum = [None] * n_sched
+        live = n_warps
+        n_stall = n_score = n_pipe = 0
+        retired = 0
+        floor = math.floor
+        ceil = math.ceil
+
+        cycle = 0
+        while cycle < max_cycles:
+            if live == 0:
+                break
+            issued_any = False
+            base_rot = cycle % n_sched
+            for soff in range(n_sched):
+                s = base_rot + soff
+                if s >= n_sched:
+                    s -= n_sched
+                sched_warps = by_sched[s]
+                n = len(sched_warps)
+                if not n:
+                    continue
+                summ = sched_sum[s]
+                if summ is not None:
+                    if cycle < summ[3]:
+                        n_stall += summ[0]
+                        n_score += summ[1]
+                        n_pipe += summ[2]
+                        continue
+                    sched_sum[s] = None
+                swids = wids_by_sched[s]
+                base = rr[s]
+                for k in range(n):
+                    idx = base + k
+                    if idx >= n:
+                        idx -= n
+                    wid = swids[idx]
+                    code = st_code[wid]
+                    if code:
+                        if code >= 5:
+                            continue
+                        if st_expiry[wid] > cycle:
+                            if code == 1:
+                                n_stall += 1
+                            elif code == 2:
+                                n_score += 1
+                            else:
+                                n_pipe += 1
+                            continue
+                    # Cache expired: re-evaluate live state.  A blocked warp
+                    # cannot issue, so its pc / next_issue / satisfied waits
+                    # are frozen -- an expired MIO or pipe block only needs
+                    # its own condition re-tested, not the full chain.
+                    warp = sched_warps[idx]
+                    if code == 3:
+                        if not mio.can_accept(cycle):
+                            st_expiry[wid] = ceil(mio.next_slot_free(cycle))
+                            n_pipe += 1
+                            continue
+                        pc = warp.pc
+                        dec = decoded[pc]
+                        pipe_key = None
+                    elif code == 4:
+                        pc = warp.pc
+                        dec = decoded[pc]
+                        pipe_key = pipe_keys[dec.pipe_class][s]
+                        v = pipes[pipe_key]
+                        if v >= cycle + 1:
+                            st_expiry[wid] = floor(v)
+                            n_pipe += 1
+                            continue
+                    else:
+                        if warp.next_issue > cycle:
+                            st_code[wid] = 1
+                            st_expiry[wid] = warp.next_issue
+                            n_stall += 1
+                            continue
+                        pc = warp.pc
+                        if pc >= n_slots:
+                            raise ExecError(
+                                f"warp {warp.warp_id} ran off the end of the "
+                                f"program (pc={pc}); missing EXIT?"
+                            )
+                        dec = decoded[pc]
+                        wait_mask = dec.wait_mask
+                        if wait_mask and not warp.wait_satisfied(
+                            wait_mask, cycle
+                        ):
+                            st_code[wid] = 2
+                            st_expiry[wid] = warp.next_wait_release(wait_mask)
+                            n_score += 1
+                            continue
+                        if dec.is_memory:
+                            if not mio.can_accept(cycle):
+                                st_code[wid] = 3
+                                st_expiry[wid] = ceil(
+                                    mio.next_slot_free(cycle)
+                                )
+                                n_pipe += 1
+                                continue
+                            pipe_key = None
+                        elif dec.pipe_class is None:
+                            pipe_key = None
+                        else:
+                            pipe_key = pipe_keys[dec.pipe_class][s]
+                            v = pipes[pipe_key]
+                            if v >= cycle + 1:
+                                st_code[wid] = 4
+                                st_expiry[wid] = floor(v)
+                                n_pipe += 1
+                                continue
+
+                    # Issue!
+                    kindc = kinds[pc]
+                    if kindc:
+                        self._issue_fast(
+                            warp, dec, kindc, fns[pc], aux[pc], cycle,
+                            pipes, pipe_key, mio, pipe_busy_total, memsys,
+                            plans, plan_stats,
+                        )
+                    else:
+                        self._issue(warp, dec, cycle, pipes, pipe_key, mio,
+                                    pipe_busy_total, memsys, cta_warps)
+                    opcode_counts[dec.opcode] = (
+                        opcode_counts.get(dec.opcode, 0) + 1
+                    )
+                    retired += 1
+                    rr[s] = idx + 1 if idx + 1 < n else 0
+                    issued_any = True
+                    # Re-prime this warp's cache (and CTA mates a barrier
+                    # release or exit may have woken).
+                    if warp.exited:
+                        st_code[wid] = 6
+                        live -= 1
+                        for m in cta_warps[warp.cta_slot]:
+                            if st_code[m.wid] == 5 and not m.at_barrier:
+                                st_code[m.wid] = 1
+                                st_expiry[m.wid] = m.next_issue
+                                sched_sum[m.wid % n_sched] = None
+                    elif warp.at_barrier:
+                        st_code[wid] = 5
+                    else:
+                        st_code[wid] = 1
+                        st_expiry[wid] = warp.next_issue
+                        if dec.opcode == "BAR":
+                            for m in cta_warps[warp.cta_slot]:
+                                if st_code[m.wid] == 5 and not m.at_barrier:
+                                    st_code[m.wid] = 1
+                                    st_expiry[m.wid] = m.next_issue
+                                    sched_sum[m.wid % n_sched] = None
+                    break  # this scheduler issued; next scheduler
+                else:
+                    # All warps blocked: snapshot this scheduler's per-cycle
+                    # stall counts (just added above) for O(1) replay.
+                    a = b = c = 0
+                    vu = _INF
+                    for wid2 in swids:
+                        code = st_code[wid2]
+                        if code >= 5:
+                            continue
+                        e = st_expiry[wid2]
+                        if e < vu:
+                            vu = e
+                        if code == 1:
+                            a += 1
+                        elif code == 2:
+                            b += 1
+                        else:
+                            c += 1
+                    sched_sum[s] = (a, b, c, vu)
+            if issued_any:
+                cycle += 1
+                continue
+            # Nothing issued: probe the cached block statuses for the next
+            # event (the same candidate set `_next_event` would compute --
+            # every live warp was just (re)examined, so caches are fresh).
+            nxt = _INF
+            pipe_blocked = False
+            for wid2 in range(n_warps):
+                c2 = st_code[wid2]
+                if c2 == 4:
+                    pipe_blocked = True
+                elif 0 < c2 <= 3:
+                    e = st_expiry[wid2]
+                    if e < nxt:
+                        nxt = e
+            if pipe_blocked:
+                horizon = cycle + 1
+                t = _INF
+                for v in pipes.values():
+                    if v >= horizon and v < t:
+                        t = v
+                t = horizon if t is _INF else floor(t)
+                if t < nxt:
+                    nxt = t
+            if nxt is _INF:
+                nxt = cycle + 1
+            if nxt <= cycle:
+                cycle += 1
+            else:
+                cycle = min(nxt, max_cycles)
+        else:
+            raise RuntimeError(
+                f"timing simulation exceeded {max_cycles} cycles; "
+                "kernel appears hung"
+            )
+        stall_reasons = {
+            "pipe": n_pipe, "scoreboard": n_score, "stall": n_stall,
+            "barrier": 0,
+        }
+        return (cycle, retired, opcode_counts, pipe_busy_total,
+                stall_reasons, plan_stats)
+
+    def _issue_fast(self, warp, dec, kindc, fn, aux, cycle, pipes, pipe_key,
+                    mio, pipe_busy_total, memsys, plans, plan_stats) -> None:
+        """Issue one compiled slot: `_issue` minus the generic adapter.
+
+        Same state transitions in the same order; the lane math comes from
+        the slot's compiled closure (or a queued MMA-plan row) instead of
+        `execute`, and deferred values skip the Effects packaging.
+        """
+        if warp.min_due <= cycle or warp.tensor_min_due <= cycle:
+            warp.apply_due_writes(cycle)
+        warp._clock_now = cycle
+        release = None
+        if kindc == _K_MMA:
+            if warp.pending_tensor_writes:
+                warp.forward_tensor_writes()
+            out = None
+            queue = warp.plan_queue
+            if queue is not None:
+                plan_pc, values = queue[warp.plan_qi]
+                if plan_pc == warp.pc:
+                    out = values
+                    warp.plan_qi += 1
+                    if warp.plan_qi == len(queue):
+                        warp.plan_queue = None
+                        warp.plan_qi = 0
+                else:  # branched off the window: abandon queued rows
+                    warp.plan_queue = None
+                    warp.plan_qi = 0
+            if out is None:
+                plan = plans.get(warp.pc)
+                if plan is not None and _plan_clear(warp, plan):
+                    rows = warp.regs._data
+                    batch = plan.fn(rows[plan.a_idx], rows[plan.b_idx],
+                                    rows[plan.c_idx])
+                    out = batch[0]
+                    warp.plan_queue = list(zip(plan.tail, batch[1:]))
+                    warp.plan_qi = 0
+                    plan_stats[0] += 1
+                    plan_stats[1] += len(plan.members)
+                else:
+                    out = fn(warp)
+            warp.retired += 1
+            if out.ndim != 2:
+                out = out[None, :]
+            half = (out.shape[0] + 1) // 2
+            spec = self.spec
+            warp.defer_tensor_write(
+                cycle + spec.hmma_latency_first_half, aux, out[:half], None
+            )
+            if out.shape[0] > half:
+                warp.defer_tensor_write(
+                    cycle + spec.hmma_latency_second_half, aux + half,
+                    out[half:], None,
+                )
+            occupancy = dec.occupancy
+            pipes[pipe_key] = max(pipes[pipe_key], float(cycle)) + occupancy
+            pipe_busy_total[pipe_key[0]] += occupancy
+        elif kindc == _K_ALU:
+            out = fn(warp)
+            warp.retired += 1
+            warp.defer_write(cycle + ALU_LATENCY, aux, out[None, :], None)
+            occupancy = dec.occupancy
+            if occupancy:
+                pipes[pipe_key] = (
+                    max(pipes[pipe_key], float(cycle)) + occupancy
+                )
+                pipe_busy_total[pipe_key[0]] += occupancy
+        elif kindc == _K_LOAD:
+            dest, width, bypass_l1 = aux
+            addrs, data, mult = fn(warp)
+            warp.retired += 1
+            if dec.mem_shared:
+                occupancy = dec.mem_cpi * mult
+                done = mio.push(cycle, occupancy)
+                ready = int(done) + self.spec.lds_latency_cycles
+            else:
+                summary = memsys.access(cycle, addrs, width, _FULL_MASK,
+                                        is_store=False, bypass_l1=bypass_l1)
+                occupancy = (dec.mem_cpi if summary.level == "l1"
+                             else dec.mem_cpi_l2)
+                done = mio.push(cycle, occupancy)
+                ready = max(summary.ready_cycle, int(done) + 1)
+            pipe_busy_total["lsu"] += occupancy
+            warp.defer_write(ready, dest, data, None)
+            release = ready
+        elif kindc == _K_STORE:
+            addrs, mult = fn(warp)
+            warp.retired += 1
+            if dec.mem_shared:
+                occupancy = dec.mem_cpi * mult
+                done = mio.push(cycle, occupancy)
+            else:
+                occupancy = dec.mem_cpi
+                done = mio.push(cycle, occupancy)
+                memsys.access(int(done), addrs, aux, _FULL_MASK,
+                              is_store=True, bypass_l1=False)
+            pipe_busy_total["lsu"] += occupancy
+            release = int(done) + 1
+        else:  # _K_PRED
+            out = fn(warp)
+            warp.retired += 1
+            warp.preds.write(aux, out, mask=None)
+            occupancy = dec.occupancy
+            if occupancy:
+                pipes[pipe_key] = (
+                    max(pipes[pipe_key], float(cycle)) + occupancy
+                )
+                pipe_busy_total[pipe_key[0]] += occupancy
+
+        if dec.write_bar != NO_BARRIER:
+            bar_release = release
+            if bar_release is None:
+                bar_release = cycle + ALU_LATENCY
+            scoreboards = warp.scoreboards
+            if bar_release > scoreboards[dec.write_bar]:
+                scoreboards[dec.write_bar] = bar_release
+        if dec.read_bar != NO_BARRIER:
+            scoreboards = warp.scoreboards
+            if cycle + 2 > scoreboards[dec.read_bar]:
+                scoreboards[dec.read_bar] = cycle + 2
+        warp.pc += 1
+        warp.next_issue = cycle + dec.issue_stall

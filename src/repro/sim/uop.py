@@ -58,6 +58,7 @@ __all__ = [
     "Uop",
     "SEMANTICS",
     "SOLO",
+    "MMA_BATCH_KERNELS",
     "decode_uop",
     "special_value",
     "k_iadd3",
@@ -544,3 +545,18 @@ def decode_uop(inst) -> Uop:
     except KeyError:
         raise ExecError(f"no executor for opcode {inst.opcode}") from None
     return decoder(inst)
+
+
+#: Stacked batch kernels by MMA fuse key, shared by every engine that
+#: groups independent MMA ops (the functional window scheduler and the
+#: timing simulator's issue plans).  Each batch call over ``g`` gathered
+#: operand sets is bit-identical to ``g`` sequential single-op kernel
+#: calls because the kernels compute every product as an individual 2-D
+#: matmul.  Values are ``(batch_fn, a_words, c_words)``: the per-member
+#: A-operand register count (1 means a single ``(g, lanes)`` gather) and
+#: the accumulator/dest register count.
+MMA_BATCH_KERNELS = {
+    ("hmma", "f16"): (mma_ops.hmma_1688_f16_batch, 2, 2),
+    ("hmma", "f32"): (mma_ops.hmma_1688_f32_batch, 2, 4),
+    ("imma", "8816"): (int8_ops.imma_8816_batch, 1, 2),
+}

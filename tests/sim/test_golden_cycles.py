@@ -16,9 +16,9 @@ import pytest
 
 from repro.arch import RTX2070
 from repro.core.builder import HgemmProblem, build_hgemm
-from repro.core.config import cublas_like, ours
+from repro.core.config import cublas_like, ours, ours_int8
 from repro.sim.memory import GlobalMemory
-from repro.sim.timing import TimingSimulator
+from repro.sim.timing import ENGINES, TimingSimulator
 
 #: (config factory, k depth) -> (cycles, instructions, opcode counts).
 GOLDEN = {
@@ -55,21 +55,53 @@ GOLDEN = {
 _CONFIGS = {"ours": ours, "cublas-like": cublas_like}
 
 
-def _run(config, k):
+def _run(config, k, engine=None):
     problem = HgemmProblem(m=config.b_m, n=config.b_n, k=k,
                            a_addr=0, b_addr=4 << 20, c_addr=8 << 20)
     program = build_hgemm(config, problem, RTX2070)
-    return TimingSimulator(RTX2070).run(program, GlobalMemory(16 << 20),
-                                        num_ctas=1)
+    return TimingSimulator(RTX2070, engine=engine).run(
+        program, GlobalMemory(16 << 20), num_ctas=1)
 
 
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("name,k", sorted(GOLDEN))
-def test_golden_cycles(name, k):
+def test_golden_cycles(name, k, engine):
     cycles, instructions, opcodes = GOLDEN[(name, k)]
-    result = _run(_CONFIGS[name](), k)
+    result = _run(_CONFIGS[name](), k, engine=engine)
     assert result.cycles == cycles
     assert result.instructions == instructions
     assert result.opcode_counts == opcodes
+
+
+#: Figure-level per-engine goldens: total cycles and the CPIs of the five
+#: most-issued opcodes, for one HGEMM and one IGEMM configuration.  Both
+#: engines must reproduce these to the bit, so the numbers feeding the
+#: paper's tables cannot drift silently with either code path.
+CPI_GOLDEN = {
+    "hgemm-ours-k64": (
+        ours, 64, 15353, 8912,
+        {"HMMA": 4096, "LDS": 1616, "MOV": 1032, "STG": 1024, "IADD3": 376},
+    ),
+    "igemm-ours_int8-k64": (
+        ours_int8, 64, 8605, 4976,
+        {"IMMA": 2048, "MOV": 1032, "LDS": 584, "STG": 512, "IADD3": 256},
+    ),
+}
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("case", sorted(CPI_GOLDEN))
+def test_golden_top5_cpis(case, engine):
+    factory, k, cycles, instructions, top5 = CPI_GOLDEN[case]
+    result = _run(factory(), k, engine=engine)
+    assert result.cycles == cycles
+    assert result.instructions == instructions
+    got_top5 = sorted(result.opcode_counts,
+                      key=lambda o: (-result.opcode_counts[o], o))[:5]
+    assert got_top5 == sorted(top5, key=lambda o: (-top5[o], o))
+    for opcode, count in top5.items():
+        assert result.opcode_counts[opcode] == count
+        assert result.cpi_of(opcode) == cycles / count
 
 
 def test_golden_runs_are_deterministic():

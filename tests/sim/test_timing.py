@@ -7,11 +7,18 @@ CPIs flowing through to issue timing.
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.arch import RTX2070
 from repro.isa import ProgramBuilder, Reg, assemble
 from repro.sim import GlobalMemory, TimingSimulator
 from repro.sim.exec_units import ExecError
+from repro.sim.timing import (
+    TimingResult,
+    _MioQueue,
+    _TimedWarp,
+    _VecMioQueue,
+)
 
 
 def run(program, mem_size=1 << 20, num_ctas=1):
@@ -352,6 +359,83 @@ class TestBarriersAndCompletion:
         prog = assemble(".block 32\nNOP {stall=4}\nEXIT")
         result, _ = run(prog, num_ctas=3)
         assert result.cycles < 40
+
+
+class TestTimingPrimitiveProperties:
+    """Randomized-sequence properties of the issue-loop primitives.
+
+    The event engine swaps `_MioQueue` for `_VecMioQueue` and replaces
+    live scoreboard scans with cached `next_wait_release` expiries, so
+    these pin exactly the contracts that substitution relies on: the two
+    queues agree on every observable under any interleaving of pushes and
+    queries, occupancy never exceeds the configured depth,
+    `next_slot_free` is monotone as time advances, and `wait_satisfied`
+    is equivalent to comparing the cycle against `next_wait_release`.
+    """
+
+    @settings(max_examples=100, deadline=None)
+    @given(data=st.data())
+    def test_mio_queues_equivalent_and_bounded(self, data):
+        depth = data.draw(st.integers(1, 6))
+        ref = _MioQueue(depth)
+        vec = _VecMioQueue(depth)
+        cycle = 0
+        prev_free = 0.0
+        for _ in range(data.draw(st.integers(1, 60))):
+            cycle += data.draw(st.integers(0, 6))
+            assert ref.can_accept(cycle) == vec.can_accept(cycle)
+            free = ref.next_slot_free(cycle)
+            assert free == vec.next_slot_free(cycle)
+            # A slot can never open in the past, and the opening time
+            # never moves backwards as the clock advances.
+            assert free >= cycle
+            assert free >= prev_free
+            prev_free = free
+            if data.draw(st.booleans()) and ref.can_accept(cycle):
+                occ = data.draw(st.floats(min_value=0.5, max_value=12.0))
+                assert ref.push(cycle, occ) == vec.push(cycle, occ)
+            # Push/retire never exceeds the queue depth.
+            assert len(ref._done) <= depth
+            assert len(vec._done) - vec._head <= depth
+
+    @settings(max_examples=100, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_scoreboard_wait_release_consistency(self, seed):
+        rng = np.random.default_rng(seed)
+        warp = _TimedWarp(0, 0, (0, 0, 0), None, None)
+        for _ in range(40):
+            bar = int(rng.integers(0, 6))
+            warp.scoreboards[bar] = max(
+                warp.scoreboards[bar], int(rng.integers(0, 200))
+            )
+            mask = int(rng.integers(0, 64))
+            release = warp.next_wait_release(mask)
+            probes = {0, max(0, release - 1), release, release + 1,
+                      int(rng.integers(0, 250))}
+            for cycle in probes:
+                assert warp.wait_satisfied(mask, cycle) == (release <= cycle)
+
+
+class TestPipeUtilization:
+    def _result(self, cycles):
+        return TimingResult(
+            cycles=cycles, instructions=5, opcode_counts={"NOP": 5},
+            pipe_busy={"tensor": 80.0, "lsu": 30.0},
+            issue_stall_reasons={}, traffic=None,
+        )
+
+    def test_per_scheduler_pipes_normalise_by_unit_count(self):
+        r = self._result(100)
+        assert r.pipe_utilization("tensor") == pytest.approx(80.0 / 400)
+        assert r.pipe_utilization("lsu") == pytest.approx(30.0 / 100)
+
+    def test_empty_pipe_query_returns_zero(self):
+        r = self._result(100)
+        assert r.pipe_utilization("fma") == 0.0
+        assert r.pipe_utilization("no-such-pipe") == 0.0
+
+    def test_zero_cycle_run_does_not_divide_by_zero(self):
+        assert self._result(0).pipe_utilization("tensor") == 80.0
 
 
 class TestErrors:
