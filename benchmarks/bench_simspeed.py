@@ -10,6 +10,14 @@ Two families of legs, written to ``BENCH_simspeed.json`` in the repo root:
 across engines (the event engine's core invariant) and the event engine
 must finish the sweep at least 3x faster end-to-end.
 
+**Fast-forward leg**: the deep-k end of the ladder -- the cublas-like
+kernel at k=16384, where the main loop's steady state dominates -- run on
+the event engine with steady-state fast-forward disabled
+(``REPRO_TIMING_FF=0``) and enabled.  Both runs must produce equal
+:class:`TimingResult` payloads and bit-identical memory images, and the
+fast-forwarding run must finish at least 2x faster -- the gate for the
+period-detection/replay layer actually paying for its bookkeeping.
+
 **Cache ladder**: profiling both kernels three ways --
 
 * **cold** -- empty cache: every profile leg runs the timing simulator;
@@ -41,6 +49,60 @@ SWEEP_KS = (64, 128, 256, 512)
 
 #: Required end-to-end event-over-reference speedup on the sweep leg.
 EVENT_SPEEDUP_TARGET = 3.0
+
+#: k depth of the fast-forward leg: deep enough that the k-loop steady
+#: state dominates the run (the figure sweeps' long-k estimates).
+FF_K = 16384
+
+#: Required fast-forward-over-exact speedup on the deep-k leg.
+FF_SPEEDUP_TARGET = 2.0
+
+
+def _ff_leg(spec):
+    """Time the event engine with and without steady-state fast-forward on
+    the deep-k leg; returns a payload fragment with the identity verdict."""
+    from repro.core import cublas_like
+    from repro.core.builder import HgemmProblem, build_hgemm
+    from repro.perf import STATS
+    from repro.sim.memory import GlobalMemory
+    from repro.sim.timing import TimingSimulator
+
+    config = cublas_like()
+    problem = HgemmProblem(m=config.b_m, n=config.b_n, k=FF_K,
+                           a_addr=0, b_addr=16 << 20, c_addr=32 << 20)
+    program = build_hgemm(config, problem, spec)
+
+    runs = {}
+    for name, flag in (("exact", "0"), ("fast_forward", "1")):
+        os.environ["REPRO_TIMING_FF"] = flag
+        try:
+            STATS.counters.pop("sim.ff_periods", None)
+            STATS.counters.pop("sim.ff_cycles", None)
+            sim = TimingSimulator(spec, engine="event")
+            memory = GlobalMemory(40 << 20)
+            start = time.perf_counter()
+            result = sim.run(program, memory, num_ctas=1)
+            wall = time.perf_counter() - start
+        finally:
+            os.environ.pop("REPRO_TIMING_FF", None)
+        runs[name] = (wall, result, memory._words,
+                      STATS.counters.get("sim.ff_periods", 0),
+                      STATS.counters.get("sim.ff_cycles", 0))
+
+    import numpy as np
+
+    exact, ff = runs["exact"], runs["fast_forward"]
+    identical = exact[1] == ff[1] and np.array_equal(exact[2], ff[2])
+    return {
+        "ff_leg": f"{config.name}/k{FF_K}/ctas1",
+        "ff_exact_seconds": round(exact[0], 4),
+        "ff_seconds": round(ff[0], 4),
+        "ff_speedup": round(exact[0] / ff[0], 2) if ff[0] else None,
+        "ff_periods": ff[3],
+        "ff_cycles_skipped": ff[4],
+        "ff_total_cycles": ff[1].cycles,
+        "ff_bit_identical": identical,
+    }
 
 
 def _engine_sweep(spec):
@@ -100,6 +162,7 @@ def main() -> int:
     configs = [ours(), cublas_like()]
     try:
         engine_times, engines_identical, sweep_legs = _engine_sweep(RTX2070)
+        ff_payload = _ff_leg(RTX2070)
 
         STATS.reset()
         cold_s, cold = _profile_all(RTX2070, configs)
@@ -114,6 +177,10 @@ def main() -> int:
 
     if not engines_identical:
         print("FAIL: event engine results differ from reference",
+              file=sys.stderr)
+        return 1
+    if not ff_payload["ff_bit_identical"]:
+        print("FAIL: fast-forward leg differs from exact event simulation",
               file=sys.stderr)
         return 1
     if not (cold == warm_disk == warm_mem):
@@ -132,6 +199,7 @@ def main() -> int:
         "event_engine_seconds": round(evt_s, 4),
         "event_engine_speedup": round(event_speedup, 2) if event_speedup else None,
         "engines_bit_identical": engines_identical,
+        **ff_payload,
         "cold_seconds": round(cold_s, 4),
         "warm_disk_seconds": round(disk_s, 4),
         "warm_memory_seconds": round(mem_s, 4),
@@ -152,6 +220,11 @@ def main() -> int:
     if (event_speedup or 0.0) < EVENT_SPEEDUP_TARGET:
         print(f"FAIL: event engine only {event_speedup:.2f}x over reference "
               f"(< {EVENT_SPEEDUP_TARGET}x target)", file=sys.stderr)
+        return 1
+    if (ff_payload["ff_speedup"] or 0.0) < FF_SPEEDUP_TARGET:
+        print(f"FAIL: fast-forward only {ff_payload['ff_speedup']}x over "
+              f"exact event simulation (< {FF_SPEEDUP_TARGET}x target)",
+              file=sys.stderr)
         return 1
     return 0
 

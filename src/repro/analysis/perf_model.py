@@ -71,6 +71,12 @@ class PerfOptions:
     #: (pinned by the differential suite), so this deliberately does not
     #: enter any profile-cache key.
     timing_engine: str = None
+    #: Functional engine for launches run on the model consumer's behalf
+    #: ("lockstep"/"gridlock"/"predecoded"/"reference"); None defers to
+    #: ``REPRO_FUNC_ENGINE``.  The CLI plumbs ``--func-engine`` here and
+    #: into :func:`repro.core.hgemm`/``igemm``/``verify_kernel``.  Engines
+    #: are bit-identical, so it never enters a cache key either.
+    func_engine: str = None
 
 
 @dataclass(frozen=True)

@@ -134,7 +134,8 @@ def _cmd_hgemm(args) -> int:
     a = rng.uniform(-1, 1, (args.m, args.k)).astype(np.float16)
     b = rng.uniform(-1, 1, (args.k, args.n)).astype(np.float16)
     run = hgemm(a, b, kernel=args.kernel, accumulate=args.accumulate,
-                return_run=True, max_workers=args.jobs)
+                return_run=True, max_workers=args.jobs,
+                engine=args.func_engine)
     reference = hgemm_reference(a, b, accumulate=args.accumulate)
     exact = np.array_equal(run.c, reference)
     print(f"kernel: {run.config.describe()}")
@@ -151,7 +152,8 @@ def _cmd_igemm(args) -> int:
     rng = np.random.default_rng(args.seed)
     a = rng.integers(-128, 128, (args.m, args.k), dtype=np.int8)
     b = rng.integers(-128, 128, (args.k, args.n), dtype=np.int8)
-    run = igemm(a, b, return_run=True, max_workers=args.jobs)
+    run = igemm(a, b, return_run=True, max_workers=args.jobs,
+                engine=args.func_engine)
     reference = igemm_reference(a, b)
     exact = np.array_equal(run.c, reference)
     print(f"kernel: {run.config.describe()}")
@@ -174,7 +176,7 @@ def _cmd_autotune(args) -> int:
 
 
 def _cmd_perfstats(args) -> int:
-    from .analysis import PerformanceModel
+    from .analysis import PerfOptions, PerformanceModel
     from .arch import get_device
     from .core import cublas_like, hgemm, ours
     from .perf import PROFILE_CACHE, STATS, cache_dir, cache_enabled
@@ -182,8 +184,10 @@ def _cmd_perfstats(args) -> int:
     spec = get_device(args.device)
     kernels = {"ours": [ours()], "cublas": [cublas_like()],
                "both": [ours(), cublas_like()]}
+    options = PerfOptions(timing_engine=args.timing_engine,
+                          func_engine=args.func_engine)
     STATS.reset()
-    pm = PerformanceModel(spec)
+    pm = PerformanceModel(spec, options)
     with STATS.timer("perfstats.wall"):
         profiles = pm.profile_many(kernels[args.kernel],
                                    max_workers=args.jobs)
@@ -194,7 +198,8 @@ def _cmd_perfstats(args) -> int:
         b = rng.uniform(-1, 1, (32, 256)).astype(np.float16)
         for name in ("ours", "cublas"):
             if args.kernel in (name, "both"):
-                hgemm(a, b, kernel=name, spec=spec, max_workers=args.jobs)
+                hgemm(a, b, kernel=name, spec=spec, max_workers=args.jobs,
+                      engine=options.func_engine)
     state = ("enabled" if cache_enabled()
              else "DISABLED (REPRO_NO_CACHE set)")
     print(f"result cache: {state}")
@@ -252,7 +257,7 @@ def _cmd_verify(args) -> int:
         smem_pad_halves=8 if not config.smem_swizzle else 8,
     )
     report = verify_kernel(config, seeds=tuple(range(args.seeds)),
-                           max_workers=args.jobs)
+                           max_workers=args.jobs, engine=args.func_engine)
     print(report.summary())
     return 0 if report.passed else 1
 
@@ -281,6 +286,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--timing-engine", choices=["event", "reference"], default=None,
         help="cycle-level simulator engine (default: $REPRO_TIMING_ENGINE "
              "or 'event'; the engines are bit-identical, 'event' is faster)")
+    parser.add_argument(
+        "--func-engine",
+        choices=["lockstep", "gridlock", "predecoded", "reference"],
+        default=None,
+        help="functional simulator engine (default: $REPRO_FUNC_ENGINE or "
+             "'lockstep'; the engines are bit-identical, 'gridlock' stacks "
+             "the whole grid into one process)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("tables", help="regenerate Tables I-VII")
@@ -375,4 +387,6 @@ def main(argv=None) -> int:
         # Every simulator construction site (including worker processes,
         # which inherit the environment) honours this.
         os.environ["REPRO_TIMING_ENGINE"] = args.timing_engine
+    if args.func_engine is not None:
+        os.environ["REPRO_FUNC_ENGINE"] = args.func_engine
     return _COMMANDS[args.command](args)

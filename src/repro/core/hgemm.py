@@ -96,7 +96,8 @@ class HgemmRun:
 
 def hgemm(a, b, kernel="ours", spec: GpuSpec = RTX2070,
           accumulate: str = "f16", alpha: float = 1.0, beta: float = 0.0,
-          c=None, return_run: bool = False, max_workers: int = None):
+          c=None, return_run: bool = False, max_workers: int = None,
+          engine: str = None):
     """Compute ``C = alpha * A @ B + beta * C`` on the simulated GPU.
 
     Args:
@@ -114,6 +115,9 @@ def hgemm(a, b, kernel="ours", spec: GpuSpec = RTX2070,
         return_run: also return kernel statistics.
         max_workers: CTA-parallel worker processes for the functional run
            (``None``/1 serial, 0 one per CPU, ``REPRO_FUNC_JOBS`` default).
+        engine: functional execution engine ("lockstep", "gridlock",
+           "predecoded", "reference"); ``None`` defers to
+           ``REPRO_FUNC_ENGINE``.  All engines are bit-identical.
 
     Returns:
         (m, n) float16 (or float32) array, or an :class:`HgemmRun` when
@@ -154,9 +158,9 @@ def hgemm(a, b, kernel="ours", spec: GpuSpec = RTX2070,
     problem = HgemmProblem(m=m, n=n, k=k, a_addr=a_addr, b_addr=b_addr,
                            c_addr=c_addr, alpha=alpha, beta=beta)
     program = build_hgemm(config, problem, spec)
-    stats = FunctionalSimulator().run(program, memory,
-                                      grid_dim=config.grid_dim(m, n),
-                                      max_workers=max_workers)
+    stats = FunctionalSimulator(engine=engine).run(
+        program, memory, grid_dim=config.grid_dim(m, n),
+        max_workers=max_workers)
     out = memory.read_array(c_addr, c_dtype, m * n).reshape(m, n)
     if return_run:
         return HgemmRun(out, config, stats)

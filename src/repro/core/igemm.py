@@ -53,7 +53,8 @@ class IgemmRun:
 
 
 def igemm(a, b, kernel=None, spec: GpuSpec = RTX2070,
-          return_run: bool = False, max_workers: int = None):
+          return_run: bool = False, max_workers: int = None,
+          engine: str = None):
     """Compute ``C = A @ B`` on int8 operands with s32 accumulation.
 
     Args:
@@ -64,6 +65,9 @@ def igemm(a, b, kernel=None, spec: GpuSpec = RTX2070,
         spec: target device.
         return_run: also return kernel statistics.
         max_workers: CTA-parallel worker processes for the functional run.
+        engine: functional execution engine ("lockstep", "gridlock",
+            "predecoded", "reference"); ``None`` defers to
+            ``REPRO_FUNC_ENGINE``.
 
     Returns:
         (m, n) int32 array, or an :class:`IgemmRun` when *return_run*.
@@ -94,9 +98,9 @@ def igemm(a, b, kernel=None, spec: GpuSpec = RTX2070,
     problem = HgemmProblem(m=m, n=n, k=k, a_addr=a_addr, b_addr=b_addr,
                            c_addr=c_addr)
     program = build_hgemm(config, problem, spec)
-    stats = FunctionalSimulator().run(program, memory,
-                                      grid_dim=config.grid_dim(m, n),
-                                      max_workers=max_workers)
+    stats = FunctionalSimulator(engine=engine).run(
+        program, memory, grid_dim=config.grid_dim(m, n),
+        max_workers=max_workers)
     out = memory.read_array(c_addr, np.int32, m * n).reshape(m, n)
     if return_run:
         return IgemmRun(out, config, stats)

@@ -40,6 +40,7 @@ __all__ = [
     "hmma_884_f16",
     "hmma_1688_f16_batch",
     "hmma_1688_f32_batch",
+    "hmma_1688_window",
     "HMMA_1688_FLOPS",
 ]
 
@@ -103,6 +104,219 @@ def hmma_1688_f32(a_regs, b_reg, c_regs) -> np.ndarray:
     return matrix16x8_to_fragments_f32(d)
 
 
+#: Fused gather/scatter index tables for the batch kernels, keyed by the
+#: number of stacked warps.  Composing the warp-major de-interleave with the
+#: fragment permutation moves each operand register-file -> matrix form in
+#: ONE fancy-index gather (and the result back in one scatter) instead of a
+#: transpose copy plus a take copy per operand -- the batch kernels are the
+#: functional engines' hottest path, so the copies matter.
+_BATCH_IDX_CACHE: dict = {}
+
+
+def _batch_index_tables(n_warps: int):
+    """(a_idx, b_idx, d_idx, c32_idx, d32_idx) for ``n_warps`` stacked warps.
+
+    All tables index the flat u16 (fp16 operands) or f32 (``.F32``
+    accumulators) view of a warp-major ``(g, regs, total)`` uint32 block:
+
+    * ``a_idx``/``b_idx`` -- (nw, 16, 8) / (nw, 8, 8) gathers producing the
+      A (and C, same layout) and B matrices per warp;
+    * ``d_idx`` -- (nw, 128) scatter from flat D matrices back to fragment
+      pairs;
+    * ``c32_idx``/``d32_idx`` -- the float32-accumulator equivalents.
+    """
+    hit = _BATCH_IDX_CACHE.get(n_warps)
+    if hit is not None:
+        return hit
+    from . import fragments as frag
+
+    total = n_warps * 32
+    w3 = np.arange(n_warps, dtype=np.intp).reshape(n_warps, 1, 1)
+    w2 = np.arange(n_warps, dtype=np.intp).reshape(n_warps, 1)
+    # fp16 16x8 operands: u16 element e of pair-register c of warp w sits at
+    # flat offset c*2*total + 64*w + e of the (2, total)-u32 block.
+    c, e = np.divmod(np.asarray(frag._GATHER_16X8, dtype=np.intp), 64)
+    a_idx = c * (2 * total) + 64 * w3 + e
+    b_idx = 64 * w2.reshape(n_warps, 1, 1) + np.asarray(
+        frag._PERMS[COL_MAJOR][0], dtype=np.intp)
+    # D fp16: matrix element m of warp w lands in fragment slot
+    # Sinv[m] = argsort(S)[m], at the offset scheme above.
+    t = np.argsort(np.asarray(frag._SCATTER_16X8, dtype=np.intp))
+    c, e = np.divmod(t, 64)
+    d_idx = c * (2 * total) + 64 * w2 + e
+    # .F32 accumulators: f32 word q = r*32 + l of warp w sits at flat
+    # offset r*total + 32*w + l of the (4, total)-u32 block.
+    r, lane = np.divmod(np.asarray(frag._INV_F32, dtype=np.intp), 32)
+    c32_idx = r * total + 32 * w3 + lane
+    perm = np.asarray(frag._PERM_F32, dtype=np.intp).ravel()
+    q_off = (np.repeat(np.arange(4, dtype=np.intp), 32) * total
+             + np.tile(np.arange(32, dtype=np.intp), 4))
+    d32_idx = np.empty((n_warps, 128), dtype=np.intp)
+    d32_idx[:, perm] = 32 * w2 + q_off
+    tables = (a_idx, b_idx, d_idx, c32_idx, d32_idx)
+    _BATCH_IDX_CACHE[n_warps] = tables
+    return tables
+
+
+#: Per-warp column tables for :func:`hmma_1688_window`, keyed by n_warps.
+_WINDOW_COL_CACHE: dict = {}
+
+#: Ceiling on a window's flat index tables (int64 elements).  Above it the
+#: window falls back to the row-gather + batch-kernel path: the tables cost
+#: 8 bytes per gathered element, which stops being a good trade against a
+#: few-MB register file somewhere around the grid-lockstep engine's largest
+#: CTA chunks.
+_WINDOW_FLAT_MAX_ELEMS = 1 << 21
+
+
+def _window_col_tables(n_warps: int):
+    """Column tables indexing the register file's u16/f32 views directly.
+
+    Where :func:`_batch_index_tables` indexes an already-gathered
+    ``(g, regs, total)`` operand block, these carry the *column* part of a
+    composed index straight into the ``(256, lanes)`` register file: element
+    (i, j) of warp *w*'s A matrix sits at row ``a_base + cA[i, j]``, u16
+    column ``colA[w, i, j]``.  The caller folds in the per-payload register
+    rows and flattens.
+    """
+    hit = _WINDOW_COL_CACHE.get(n_warps)
+    if hit is not None:
+        return hit
+    from . import fragments as frag
+
+    w = np.arange(n_warps, dtype=np.intp)
+    # fp16 operands: warp w's u16 element e of pair-register c sits at
+    # register row base+c, u16 column 64*w + e.
+    cA, eA = np.divmod(np.asarray(frag._GATHER_16X8, dtype=np.intp), 64)
+    colA = 64 * w[:, None, None] + eA
+    colB = 64 * w[:, None, None] + np.asarray(
+        frag._PERMS[COL_MAJOR][0], dtype=np.intp)
+    t = np.argsort(np.asarray(frag._SCATTER_16X8, dtype=np.intp))
+    cD, eD = np.divmod(t, 64)
+    colD = 64 * w[:, None] + eD
+    # .F32 accumulators: f32 word q = r*32 + l of warp w sits at register
+    # row base+r, f32 column 32*w + l.
+    r32, l32 = np.divmod(np.asarray(frag._INV_F32, dtype=np.intp), 32)
+    colC32 = 32 * w[:, None, None] + l32
+    perm = np.asarray(frag._PERM_F32, dtype=np.intp).ravel()
+    rD32 = np.empty(128, dtype=np.intp)
+    lD32 = np.empty(128, dtype=np.intp)
+    rD32[perm] = np.repeat(np.arange(4, dtype=np.intp), 32)
+    lD32[perm] = np.tile(np.arange(32, dtype=np.intp), 4)
+    colD32 = 32 * w[:, None] + lD32
+    tables = (cA, colA, colB, cD, colD, r32, colC32, rD32, colD32)
+    _WINDOW_COL_CACHE[n_warps] = tables
+    return tables
+
+
+def hmma_1688_window(d_base, a_base, b_base, c_base, f32: bool):
+    """Compile an in-place executor for a fused window of *g* HMMA.1688s.
+
+    Returns ``run(regs)`` operating directly on the ``(256, lanes)`` uint32
+    register file.  Each operand is one fancy-index gather with a fully
+    materialised flat index (the window row gather fused with the fragment
+    permutation of :func:`_batch_index_tables`) -- NumPy's single-index take
+    beats both the two-index broadcast form and a row gather followed by a
+    block gather.  GEMM windows reuse fragments (each A row block multiplies
+    several B column blocks and vice versa), so A and B are gathered and
+    converted per *unique* register base only, then expanded to per-product
+    form with a float32 row gather -- a pure copy, so results stay
+    bit-identical to the batch kernels (the uop differential suite pins this
+    against the reference engine).  Windows whose tables would exceed
+    ``_WINDOW_FLAT_MAX_ELEMS`` fall back to the row-gather + batch-kernel
+    path, as do big-endian hosts.
+    """
+    from . import fragments as frag
+    from .fp16 import HALF
+
+    g = len(d_base)
+    nreg = 4 if f32 else 2
+    d_rows = np.asarray(d_base, dtype=np.intp)
+    c_rows = np.asarray(c_base, dtype=np.intp)
+    a_uniq, a_inv = np.unique(np.asarray(a_base, dtype=np.intp),
+                              return_inverse=True)
+    b_uniq, b_inv = np.unique(np.asarray(b_base, dtype=np.intp),
+                              return_inverse=True)
+    ua, ub = a_uniq.size, b_uniq.size
+
+    a_idx2 = np.asarray(a_base, dtype=np.intp)[:, None] + np.arange(
+        2, dtype=np.intp)
+    b_idx1 = np.asarray(b_base, dtype=np.intp)
+    c_idx2 = c_rows[:, None] + np.arange(nreg, dtype=np.intp)
+    d_idx2 = d_rows[:, None] + np.arange(nreg, dtype=np.intp)
+    batch = hmma_1688_f32_batch if f32 else hmma_1688_f16_batch
+
+    def run_blocks(regs):
+        regs[d_idx2] = batch(regs[a_idx2], regs[b_idx1], regs[c_idx2])
+
+    if not frag._LITTLE_ENDIAN:
+        return run_blocks
+
+    # Flat tables depend on the lane count, known only once the first
+    # register file arrives; one decoded program has exactly one lane count,
+    # so this cache holds a single entry in practice.
+    cache: dict = {}
+
+    def tables(lanes):
+        tab = cache.get(lanes)
+        if tab is not None:
+            return tab
+        nw = lanes // 32
+        elems = nw * (128 * ua + 64 * ub + 2 * 128 * g)
+        if elems > _WINDOW_FLAT_MAX_ELEMS:
+            tab = cache[lanes] = None
+            return tab
+        (cA, colA, colB, cD, colD,
+         r32, colC32, rD32, colD32) = _window_col_tables(nw)
+        s16 = 2 * lanes   # u16 row stride of the (256, lanes) u32 file
+        iA = ((a_uniq[:, None, None] + cA)[:, None] * s16 + colA[None]).ravel()
+        iB = (b_uniq[:, None, None, None] * s16 + colB[None]).ravel()
+        if f32:
+            iC = ((c_rows[:, None, None] + r32)[:, None] * lanes
+                  + colC32[None]).ravel()
+            iD = ((d_rows[:, None] + rD32)[:, None] * lanes
+                  + colD32[None]).ravel()
+        else:
+            iC = ((c_rows[:, None, None] + cA)[:, None] * s16
+                  + colA[None]).ravel()
+            iD = ((d_rows[:, None] + cD)[:, None] * s16 + colD[None]).ravel()
+        tab = cache[lanes] = (nw, iA, iB, iC, iD)
+        return tab
+
+    if f32:
+        def run(regs):
+            tab = tables(regs.shape[1])
+            if tab is None:
+                return run_blocks(regs)
+            nw, iA, iB, iC, iD = tab
+            gw = g * nw
+            f16 = regs.view(np.uint16).reshape(-1)
+            f32v = regs.view(np.float32).reshape(-1)
+            a32 = (f16[iA].view(HALF).reshape(ua, nw, 16, 8)
+                   .astype(np.float32)[a_inv].reshape(gw, 16, 8))
+            b32 = (f16[iB].view(HALF).reshape(ub, nw, 8, 8)
+                   .astype(np.float32)[b_inv].reshape(gw, 8, 8))
+            c32 = f32v[iC].reshape(gw, 16, 8)
+            d = np.matmul(a32, b32) + c32
+            f32v[iD] = d.reshape(-1)
+    else:
+        def run(regs):
+            tab = tables(regs.shape[1])
+            if tab is None:
+                return run_blocks(regs)
+            nw, iA, iB, iC, iD = tab
+            gw = g * nw
+            f16 = regs.view(np.uint16).reshape(-1)
+            a32 = (f16[iA].view(HALF).reshape(ua, nw, 16, 8)
+                   .astype(np.float32)[a_inv].reshape(gw, 16, 8))
+            b32 = (f16[iB].view(HALF).reshape(ub, nw, 8, 8)
+                   .astype(np.float32)[b_inv].reshape(gw, 8, 8))
+            c32 = f16[iC].view(HALF).reshape(gw, 16, 8).astype(np.float32)
+            d16 = (np.matmul(a32, b32) + c32).astype(np.float16)
+            f16[iD] = d16.view(np.uint16).reshape(-1)
+    return run
+
+
 def _hmma_1688_batch_fallback(a_regs, b_regs, c_regs, f32: bool) -> np.ndarray:
     """Per-(product, warp) scalar path (big-endian hosts)."""
     g, _, total = a_regs.shape
@@ -129,9 +343,10 @@ def hmma_1688_f16_batch(a_regs, b_regs, c_regs) -> np.ndarray:
     Returns:
         (g, 2, L) uint32 -- D fragments.
 
-    Each of the ``g * n_warps`` products is computed as an individual
-    (16,8) @ (8,8) float32 2-D matmul, so BLAS dispatch and rounding are
-    bit-identical to :func:`hmma_1688_f16` on every warp slice.
+    The ``g * n_warps`` products run as one stacked (gw,16,8) @ (gw,8,8)
+    float32 matmul; NumPy applies the same per-slice BLAS kernel as the 2-D
+    ``a @ b`` in :func:`hmma_1688_f16`, so rounding stays bit-identical on
+    every warp slice -- the golden functional digests pin this equivalence.
     """
     from . import fragments as frag
     from .fp16 import HALF
@@ -144,23 +359,18 @@ def hmma_1688_f16_batch(a_regs, b_regs, c_regs) -> np.ndarray:
     g, _, total = a_regs.shape
     n_warps = total // 32
     gw = g * n_warps
-    a16 = (a_regs.view(np.uint16).reshape(g, 2, n_warps, 64)
-           .transpose(0, 2, 1, 3).reshape(gw, 128)
-           .take(frag._GATHER_16X8, axis=1).view(HALF))
-    b16 = (b_regs.view(np.uint16).reshape(gw, 64)
-           .take(frag._PERMS[COL_MAJOR][0], axis=1).view(HALF))
-    c16 = (c_regs.view(np.uint16).reshape(g, 2, n_warps, 64)
-           .transpose(0, 2, 1, 3).reshape(gw, 128)
-           .take(frag._GATHER_16X8, axis=1).view(HALF))
-    a32 = a16.astype(np.float32)
-    b32 = b16.astype(np.float32)
-    prod = np.empty((gw, 16, 8), dtype=np.float32)
-    for i in range(gw):
-        prod[i] = a32[i] @ b32[i]
-    d16 = (prod + c16.astype(np.float32)).astype(np.float16)
-    return (d16.reshape(gw, 128).take(frag._SCATTER_16X8, axis=1)
-            .view(np.uint32).reshape(g, n_warps, 2, 32)
-            .transpose(0, 2, 1, 3).reshape(g, 2, total))
+    a_idx, b_idx, d_idx, _, _ = _batch_index_tables(n_warps)
+    af = a_regs.view(np.uint16).reshape(g, 4 * total)
+    bf = b_regs.view(np.uint16).reshape(g, 2 * total)
+    cf = c_regs.view(np.uint16).reshape(g, 4 * total)
+    a32 = af[:, a_idx].view(HALF).reshape(gw, 16, 8).astype(np.float32)
+    b32 = bf[:, b_idx].view(HALF).reshape(gw, 8, 8).astype(np.float32)
+    c32 = cf[:, a_idx].view(HALF).reshape(gw, 16, 8).astype(np.float32)
+    d16 = (np.matmul(a32, b32) + c32).astype(np.float16)
+    out = np.empty((g, 2, total), dtype=np.uint32)
+    out.view(np.uint16).reshape(g, 4 * total)[:, d_idx] = (
+        d16.view(np.uint16).reshape(g, n_warps, 128))
+    return out
 
 
 def hmma_1688_f32_batch(a_regs, b_regs, c_regs) -> np.ndarray:
@@ -179,23 +389,18 @@ def hmma_1688_f32_batch(a_regs, b_regs, c_regs) -> np.ndarray:
     g, _, total = a_regs.shape
     n_warps = total // 32
     gw = g * n_warps
-    a16 = (a_regs.view(np.uint16).reshape(g, 2, n_warps, 64)
-           .transpose(0, 2, 1, 3).reshape(gw, 128)
-           .take(frag._GATHER_16X8, axis=1).view(HALF))
-    b16 = (b_regs.view(np.uint16).reshape(gw, 64)
-           .take(frag._PERMS[COL_MAJOR][0], axis=1).view(HALF))
-    c32 = (c_regs.view(np.float32).reshape(g, 4, n_warps, 32)
-           .transpose(0, 2, 1, 3).reshape(gw, 128)
-           .take(frag._INV_F32.ravel(), axis=1).reshape(gw, 16, 8))
-    a32 = a16.astype(np.float32)
-    b32 = b16.astype(np.float32)
-    prod = np.empty((gw, 16, 8), dtype=np.float32)
-    for i in range(gw):
-        prod[i] = a32[i] @ b32[i]
-    d = prod + c32
-    return (d.reshape(gw, 128).take(frag._PERM_F32.ravel(), axis=1)
-            .view(np.uint32).reshape(g, n_warps, 4, 32)
-            .transpose(0, 2, 1, 3).reshape(g, 4, total))
+    a_idx, b_idx, _, c32_idx, d32_idx = _batch_index_tables(n_warps)
+    af = a_regs.view(np.uint16).reshape(g, 4 * total)
+    bf = b_regs.view(np.uint16).reshape(g, 2 * total)
+    a32 = af[:, a_idx].view(HALF).reshape(gw, 16, 8).astype(np.float32)
+    b32 = bf[:, b_idx].view(HALF).reshape(gw, 8, 8).astype(np.float32)
+    c32 = (c_regs.view(np.float32).reshape(g, 4 * total)[:, c32_idx]
+           .reshape(gw, 16, 8))
+    d = np.matmul(a32, b32) + c32
+    out = np.empty((g, 4, total), dtype=np.uint32)
+    out.view(np.float32).reshape(g, 4 * total)[:, d32_idx] = (
+        d.reshape(g, n_warps, 128))
+    return out
 
 
 def hmma_884_f16(a_reg, b_reg, c_reg) -> np.ndarray:

@@ -13,6 +13,11 @@ Counter names use dotted namespaces by convention:
   engine when a straight-line MMA issue plan fires: plans executed as one
   stacked batch kernel, and the instructions those plans covered (only
   recorded when nonzero, so a reference-engine run leaves them absent).
+* ``sim.ff_periods`` / ``sim.ff_cycles`` -- incremented by the event
+  engine's steady-state fast-forward layer: loop periods committed via
+  verified replay, and the simulated cycles those commits skipped past
+  the exact cycle-by-cycle path (absent when fast-forward never engages
+  or is disabled with ``REPRO_TIMING_FF=0``).
 * ``sim.wall`` (a timer, seconds) -- wall time inside ``run()``.
 * ``func.runs`` / ``func.ctas`` / ``func.instructions`` /
   ``func.workers`` -- incremented by
@@ -22,10 +27,15 @@ Counter names use dotted namespaces by convention:
 * ``func.destacks`` -- incremented by the warp-lockstep engine each time
   a CTA hits a stacked closure that returns ``DIVERGED`` and falls back
   to the per-warp interleave path (see :mod:`repro.sim.decode`).
+* ``func.grid_destacks`` -- incremented by the grid-lockstep engine each
+  time grid-uniform execution refuses (CTA-divergent control flow or a
+  non-uniform stacked closure) and the grid de-stacks to per-CTA runs.
 * ``func.wall`` (a timer, seconds) -- wall time inside functional
   ``run()``, including predecode and any worker fan-out.
 * ``cache.mem_hits`` / ``cache.disk_hits`` / ``cache.misses`` /
   ``cache.stores`` -- maintained by :mod:`repro.perf.cache`.
+* ``perfstats.wall`` (a timer, seconds) -- the ``perfstats`` CLI
+  command's whole measured section (profiling plus warm-up launches).
 """
 
 from __future__ import annotations

@@ -171,6 +171,109 @@ def test_engines_bit_identical(spec, seed):
     np.testing.assert_array_equal(evt_gm._words, ref_gm._words)
 
 
+# ------------------------------------------------------- steady-state FF
+
+def _steady_loop_program(seed, iters=48):
+    """A uniform steady-state loop: every iteration issues the same slots
+    with the same control fields, so the event engine's fast-forward layer
+    can detect the period, verify one recorded iteration and replay the
+    rest.  Loop-carried data (the counter feeds the ALU chain and the STS
+    payload) keeps the replay honest: values change every iteration even
+    though the schedule does not."""
+    rng = np.random.default_rng(seed)
+    block = int(rng.choice([32, 64]))
+    b = ProgramBuilder(name=f"steady{seed}", num_regs=64, smem_bytes=8192,
+                       block_dim=block)
+    b.s2r(2, "SR_TID.X", stall=6)
+    b.imad(4, Reg(2), 16, 0, stall=6)         # shared address
+    b.imad(3, Reg(2), 16, 0x1000, stall=6)    # global address
+    b.mov32i(1, iters, stall=6)
+    width = int(rng.choice([32, 64, 128]))
+    mma_run = int(rng.integers(3, 7))
+    b.label("LOOP")
+    b.iadd3(10, Reg(2), 5, Reg(1), stall=6)
+    b.hfma2(23, Reg(10), Reg(2), Reg(10), stall=4)
+    for _ in range(mma_run):
+        b.hmma_1688(40, 8, 10, 40, stall=8)
+    b.sts(4, 10, offset=0, width=width, stall=4)
+    b.lds(32, 4, offset=0, width=width, wb=0, stall=6)
+    b.bar_sync(stall=2)
+    b.iadd3(1, Reg(1), -1, wait=(0,), stall=6)
+    b.isetp(Pred(0), Reg(1), 0, cmp="GT", stall=6)
+    b.bra("LOOP", pred=Pred(0), stall=5)
+    b.cs2r_clock(36, stall=2)
+    b.stg(3, 36, offset=0x3000, width=32, stall=4)
+    b.exit()
+    return b.build()
+
+
+def _aperiodic_loop_program(iters=48):
+    """A loop whose iteration *timing* never repeats within the detector's
+    window: the LDS/STS address is ``tid * counter * 4``, so the bank
+    -conflict multiplier follows gcd(counter, 32) -- a ruler sequence whose
+    repeat length exceeds the maximum tracked period."""
+    b = ProgramBuilder(name="aperiodic", num_regs=64, smem_bytes=8192,
+                       block_dim=32)
+    b.s2r(2, "SR_TID.X", stall=6)
+    b.mov32i(1, iters, stall=6)
+    b.imad(3, Reg(2), 16, 0x1000, stall=6)
+    b.label("LOOP")
+    b.imad(5, Reg(2), Reg(1), 0, stall=6)     # tid * counter
+    b.shf_l(6, Reg(5), 2, stall=6)            # -> byte address
+    b.lds(32, 6, offset=0, width=32, stall=6)
+    b.sts(6, 2, offset=0, width=32, stall=4)
+    b.iadd3(1, Reg(1), -1, stall=6)
+    b.isetp(Pred(0), Reg(1), 0, cmp="GT", stall=6)
+    b.bra("LOOP", pred=Pred(0), stall=5)
+    b.cs2r_clock(36, stall=2)
+    b.stg(3, 36, offset=0x3000, width=32, stall=4)
+    b.exit()
+    return b.build()
+
+
+def _run_ff(spec, program, engine, ff, monkeypatch, num_ctas=1):
+    from repro.perf import STATS
+
+    monkeypatch.setenv("REPRO_TIMING_FF", "1" if ff else "0")
+    STATS.counters.pop("sim.ff_periods", None)
+    STATS.counters.pop("sim.ff_cycles", None)
+    result, gm = _run(spec, program, num_ctas, engine)
+    return (result, gm, STATS.counters.get("sim.ff_periods", 0),
+            STATS.counters.get("sim.ff_cycles", 0))
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_fast_forward_periodic_bit_identical(seed, monkeypatch):
+    """Fast-forward engages on a steady-state loop and stays bit-identical
+    to both the reference engine and the exact event engine."""
+    program = _steady_loop_program(seed)
+    ref, ref_gm, _, _ = _run_ff(RTX2070, program, "reference", False,
+                                monkeypatch)
+    noff, noff_gm, noff_p, _ = _run_ff(RTX2070, program, "event", False,
+                                       monkeypatch)
+    ff, ff_gm, ff_p, ff_c = _run_ff(RTX2070, program, "event", True,
+                                    monkeypatch)
+
+    assert noff == ref and ff == ref
+    np.testing.assert_array_equal(noff_gm._words, ref_gm._words)
+    np.testing.assert_array_equal(ff_gm._words, ref_gm._words)
+    # The disabled leg must never count, the enabled leg must engage.
+    assert noff_p == 0
+    assert ff_p > 0 and ff_c > 0
+
+
+def test_fast_forward_skips_aperiodic_loop(monkeypatch):
+    """No recurring period -> the detector must refuse (and stay exact)."""
+    program = _aperiodic_loop_program()
+    ref, ref_gm, _, _ = _run_ff(RTX2070, program, "reference", False,
+                                monkeypatch)
+    ff, ff_gm, ff_p, ff_c = _run_ff(RTX2070, program, "event", True,
+                                    monkeypatch)
+    assert ff == ref
+    np.testing.assert_array_equal(ff_gm._words, ref_gm._words)
+    assert ff_p == 0 and ff_c == 0
+
+
 def test_default_engine_is_event(monkeypatch):
     monkeypatch.delenv("REPRO_TIMING_ENGINE", raising=False)
     assert TimingSimulator(RTX2070).engine == "event"
