@@ -18,6 +18,12 @@ the event engine with steady-state fast-forward disabled
 fast-forwarding run must finish at least 2x faster -- the gate for the
 period-detection/replay layer actually paying for its bookkeeping.
 
+**Guard-sample leg**: the engine sweep re-run on the event engine with the
+divergence watchdog in ``sample`` mode.  The watchdog's wall-clock budget
+(``REPRO_GUARD_BUDGET``, default 5%) must keep the sweep's end-to-end
+overhead within ``GUARD_OVERHEAD_MAX`` (10%), every guarded result must
+equal its unguarded twin, and no divergence may fire.
+
 **Cache ladder**: profiling both kernels three ways --
 
 * **cold** -- empty cache: every profile leg runs the timing simulator;
@@ -56,6 +62,10 @@ FF_K = 16384
 
 #: Required fast-forward-over-exact speedup on the deep-k leg.
 FF_SPEEDUP_TARGET = 2.0
+
+#: Maximum tolerated end-to-end overhead of the sample-mode watchdog on
+#: the event sweep (the budget sampler targets 5%; 10% leaves noise room).
+GUARD_OVERHEAD_MAX = 0.10
 
 
 def _ff_leg(spec):
@@ -105,13 +115,11 @@ def _ff_leg(spec):
     }
 
 
-def _engine_sweep(spec):
-    """Time both engines over the sweep; returns (times, identical, runs)."""
+def _build_legs(spec):
+    """The sweep composition: both kernels at true occupancy across k."""
     from repro.analysis import PerformanceModel
     from repro.core import cublas_like, ours
     from repro.core.builder import HgemmProblem, build_hgemm
-    from repro.sim.memory import GlobalMemory
-    from repro.sim.timing import TimingSimulator
 
     pm = PerformanceModel(spec)
     legs = []
@@ -122,6 +130,13 @@ def _engine_sweep(spec):
                                    a_addr=0, b_addr=4 << 20, c_addr=8 << 20)
             program = build_hgemm(config, problem, spec)
             legs.append((f"{config.name}/k{k}/ctas{ctas}", ctas, program))
+    return legs
+
+
+def _engine_sweep(spec, legs):
+    """Time both engines over the sweep; returns (times, identical, runs)."""
+    from repro.sim.memory import GlobalMemory
+    from repro.sim.timing import TimingSimulator
 
     times, results = {}, {}
     for engine in ("reference", "event"):
@@ -139,6 +154,47 @@ def _engine_sweep(spec):
         ref == evt for ref, evt in zip(results["reference"], results["event"])
     )
     return times, identical, [label for label, _, _ in legs]
+
+
+def _guard_leg(spec, legs):
+    """Re-time the event sweep with the sample-mode watchdog engaged.
+
+    The budget sampler only spends reference re-runs it can afford, so the
+    guarded sweep must land within ``GUARD_OVERHEAD_MAX`` of the unguarded
+    one while producing equal results and zero divergences.
+    """
+    from repro.perf import STATS
+    from repro.robust import guard
+    from repro.sim.memory import GlobalMemory
+    from repro.sim.timing import TimingSimulator
+
+    def sweep(guard_mode):
+        guard.reset()
+        out = []
+        start = time.perf_counter()
+        for _label, ctas, program in legs:
+            sim = TimingSimulator(spec, engine="event", guard=guard_mode)
+            out.append(sim.run(program, GlobalMemory(16 << 20), num_ctas=ctas))
+        return time.perf_counter() - start, out
+
+    base_s, base = sweep("off")
+    checks0 = STATS.counters.get("guard.checks", 0)
+    div0 = STATS.counters.get("guard.divergences", 0)
+    guard_s, guarded = sweep("sample")
+    checks = STATS.counters.get("guard.checks", 0) - checks0
+    divergences = STATS.counters.get("guard.divergences", 0) - div0
+    guard.reset()
+
+    overhead = (guard_s / base_s - 1.0) if base_s else 0.0
+    return {
+        "guard_baseline_seconds": round(base_s, 4),
+        "guard_sample_seconds": round(guard_s, 4),
+        "guard_overhead": round(overhead, 4),
+        "guard_checks": checks,
+        "guard_divergences": divergences,
+        "guard_results_identical": all(
+            a == b for a, b in zip(base, guarded)),
+    }
 
 
 def _profile_all(spec, configs):
@@ -161,8 +217,11 @@ def main() -> int:
 
     configs = [ours(), cublas_like()]
     try:
-        engine_times, engines_identical, sweep_legs = _engine_sweep(RTX2070)
+        legs = _build_legs(RTX2070)
+        engine_times, engines_identical, sweep_legs = _engine_sweep(
+            RTX2070, legs)
         ff_payload = _ff_leg(RTX2070)
+        guard_payload = _guard_leg(RTX2070, legs)
 
         STATS.reset()
         cold_s, cold = _profile_all(RTX2070, configs)
@@ -186,6 +245,14 @@ def main() -> int:
     if not (cold == warm_disk == warm_mem):
         print("FAIL: cached profiles differ from simulated ones", file=sys.stderr)
         return 1
+    if not guard_payload["guard_results_identical"]:
+        print("FAIL: guarded sweep results differ from unguarded ones",
+              file=sys.stderr)
+        return 1
+    if guard_payload["guard_divergences"]:
+        print("FAIL: watchdog reported divergences on a clean sweep",
+              file=sys.stderr)
+        return 1
 
     ref_s, evt_s = engine_times["reference"], engine_times["event"]
     event_speedup = ref_s / evt_s if evt_s else None
@@ -200,6 +267,7 @@ def main() -> int:
         "event_engine_speedup": round(event_speedup, 2) if event_speedup else None,
         "engines_bit_identical": engines_identical,
         **ff_payload,
+        **guard_payload,
         "cold_seconds": round(cold_s, 4),
         "warm_disk_seconds": round(disk_s, 4),
         "warm_memory_seconds": round(mem_s, 4),
@@ -225,6 +293,11 @@ def main() -> int:
         print(f"FAIL: fast-forward only {ff_payload['ff_speedup']}x over "
               f"exact event simulation (< {FF_SPEEDUP_TARGET}x target)",
               file=sys.stderr)
+        return 1
+    if guard_payload["guard_overhead"] > GUARD_OVERHEAD_MAX:
+        print(f"FAIL: sample-mode watchdog overhead "
+              f"{guard_payload['guard_overhead']:.1%} exceeds "
+              f"{GUARD_OVERHEAD_MAX:.0%} budget", file=sys.stderr)
         return 1
     return 0
 

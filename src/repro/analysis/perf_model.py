@@ -77,6 +77,12 @@ class PerfOptions:
     #: into :func:`repro.core.hgemm`/``igemm``/``verify_kernel``.  Engines
     #: are bit-identical, so it never enters a cache key either.
     func_engine: str = None
+    #: Divergence-watchdog mode for the SM-profile runs ("off"/"sample"/
+    #: "full"); None defers to ``REPRO_GUARD``.  See
+    #: :mod:`repro.robust.guard`.  The guard never changes reported numbers
+    #: (a divergence heals to the reference result), so it stays out of the
+    #: cache key too.
+    guard: str = None
 
 
 @dataclass(frozen=True)
@@ -172,7 +178,8 @@ class PerformanceModel:
         if cached is not None:
             return cached["cycles"]
         sim = TimingSimulator(self.spec, bandwidth_share=1.0,
-                              engine=self.options.timing_engine)
+                              engine=self.options.timing_engine,
+                              guard=self.options.guard)
         result = sim.run(program, GlobalMemory(_PROFILE_MEM_BYTES),
                          num_ctas=ctas_per_sm)
         PROFILE_CACHE.put(run_key, {"cycles": result.cycles})

@@ -10,6 +10,7 @@ Commands
 ``autotune``    pick the best kernel configuration for a problem
 ``disasm``      generate an HGEMM kernel and print its SASS listing
 ``perfstats``   profile kernels and report simulator/cache statistics
+``doctor``      report robustness health (guard/cache/workers) + self-test
 """
 
 from __future__ import annotations
@@ -262,6 +263,17 @@ def _cmd_verify(args) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_doctor(args) -> int:
+    from .robust.doctor import format_report, run_doctor
+
+    report, ok = run_doctor(selftest=not args.no_selftest)
+    print(format_report(report))
+    if not args.no_selftest:
+        print("doctor: all self-tests passed" if ok
+              else "doctor: SELF-TEST FAILURES (see above)")
+    return 0 if ok else 1
+
+
 def _cmd_disasm(args) -> int:
     from .core import ours
     from .core.builder import HgemmProblem, build_hgemm
@@ -293,6 +305,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="functional simulator engine (default: $REPRO_FUNC_ENGINE or "
              "'lockstep'; the engines are bit-identical, 'gridlock' stacks "
              "the whole grid into one process)")
+    parser.add_argument(
+        "--guard", choices=["off", "sample", "full"], default=None,
+        help="divergence watchdog: re-run fast-engine launches on the "
+             "reference engines and degrade on mismatch (default: "
+             "$REPRO_GUARD or 'off'; 'sample' bounds overhead by "
+             "$REPRO_GUARD_BUDGET)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("tables", help="regenerate Tables I-VII")
@@ -358,6 +376,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=None,
                    help="worker processes (0 = one per CPU; default serial)")
 
+    p = sub.add_parser(
+        "doctor", help="robustness health report and pillar self-tests")
+    p.add_argument("--no-selftest", action="store_true",
+                   help="report configuration/state only; skip the cache, "
+                        "worker and guard self-tests")
+
     p = sub.add_parser("disasm", help="print a generated kernel's SASS")
     p.add_argument("--m", type=int, default=256)
     p.add_argument("--n", type=int, default=256)
@@ -378,6 +402,7 @@ _COMMANDS = {
     "verify": _cmd_verify,
     "disasm": _cmd_disasm,
     "perfstats": _cmd_perfstats,
+    "doctor": _cmd_doctor,
 }
 
 
@@ -389,4 +414,6 @@ def main(argv=None) -> int:
         os.environ["REPRO_TIMING_ENGINE"] = args.timing_engine
     if args.func_engine is not None:
         os.environ["REPRO_FUNC_ENGINE"] = args.func_engine
+    if args.guard is not None:
+        os.environ["REPRO_GUARD"] = args.guard
     return _COMMANDS[args.command](args)

@@ -97,7 +97,7 @@ class HgemmRun:
 def hgemm(a, b, kernel="ours", spec: GpuSpec = RTX2070,
           accumulate: str = "f16", alpha: float = 1.0, beta: float = 0.0,
           c=None, return_run: bool = False, max_workers: int = None,
-          engine: str = None):
+          engine: str = None, guard: str = None):
     """Compute ``C = alpha * A @ B + beta * C`` on the simulated GPU.
 
     Args:
@@ -118,6 +118,9 @@ def hgemm(a, b, kernel="ours", spec: GpuSpec = RTX2070,
         engine: functional execution engine ("lockstep", "gridlock",
            "predecoded", "reference"); ``None`` defers to
            ``REPRO_FUNC_ENGINE``.  All engines are bit-identical.
+        guard: divergence-watchdog mode ("off", "sample", "full");
+           ``None`` defers to ``REPRO_GUARD`` (see
+           :mod:`repro.robust.guard`).
 
     Returns:
         (m, n) float16 (or float32) array, or an :class:`HgemmRun` when
@@ -158,7 +161,7 @@ def hgemm(a, b, kernel="ours", spec: GpuSpec = RTX2070,
     problem = HgemmProblem(m=m, n=n, k=k, a_addr=a_addr, b_addr=b_addr,
                            c_addr=c_addr, alpha=alpha, beta=beta)
     program = build_hgemm(config, problem, spec)
-    stats = FunctionalSimulator(engine=engine).run(
+    stats = FunctionalSimulator(engine=engine, guard=guard).run(
         program, memory, grid_dim=config.grid_dim(m, n),
         max_workers=max_workers)
     out = memory.read_array(c_addr, c_dtype, m * n).reshape(m, n)

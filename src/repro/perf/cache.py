@@ -23,6 +23,21 @@ timing-run summaries).  **Invariant:** caching never changes reported
 numbers -- a hit returns exactly the summary the simulator produced when
 the entry was stored, and :data:`SIM_VERSION` must be bumped whenever the
 timing model's behaviour changes.
+
+**Integrity.**  Disk entries are envelopes
+``{"schema", "sim_version", "sha256", "payload"}``: the payload checksum,
+the writing simulator's version and the envelope schema are all verified
+on read.  Any failure -- truncated JSON, a foreign schema, a checksum
+mismatch, a stale ``SIM_VERSION`` -- is treated as a miss, the file is
+quarantined into ``<subdir>/quarantine/`` for post-mortem, and
+``cache.integrity_fails`` counts it.  A corrupt disk can therefore cost
+re-simulation but can never surface a wrong number.
+
+**Hygiene.**  With ``REPRO_CACHE_MAX_MB`` set, every disk store runs a
+size-bounded LRU sweep: reads touch entry mtimes, eviction unlinks oldest
+mtime first (``cache.evictions``), and stale ``*.tmp`` spill from
+interrupted writes is removed along the way (and unconditionally by
+``clear(disk=True)``).
 """
 
 from __future__ import annotations
@@ -31,15 +46,19 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from dataclasses import asdict, is_dataclass
 from pathlib import Path
 
+from ..robust import chaos
 from .stats import STATS
 
 __all__ = [
     "SIM_VERSION",
+    "SCHEMA_VERSION",
     "cache_enabled",
     "cache_dir",
+    "cache_max_bytes",
     "content_key",
     "ResultCache",
     "PROFILE_CACHE",
@@ -50,8 +69,17 @@ __all__ = [
 #: returned for the new behaviour.
 SIM_VERSION = "timing-v1"
 
+#: On-disk envelope schema.  Bump when the envelope layout itself changes;
+#: pre-envelope (or foreign) files then read as integrity misses.
+SCHEMA_VERSION = 1
+
+#: ``*.tmp`` spill older than this is swept by the eviction pass (a live
+#: ``put`` holds its tmp file for milliseconds; an hour is safely stale).
+_TMP_MAX_AGE_S = 3600.0
+
 _ENV_DIR = "REPRO_CACHE_DIR"
 _ENV_OFF = "REPRO_NO_CACHE"
+_ENV_MAX_MB = "REPRO_CACHE_MAX_MB"
 
 
 def cache_enabled() -> bool:
@@ -65,6 +93,17 @@ def cache_dir() -> Path:
     if override:
         return Path(override)
     return Path.home() / ".cache" / "repro-sim"
+
+
+def cache_max_bytes():
+    """Disk-layer size bound from ``REPRO_CACHE_MAX_MB``, or None."""
+    raw = os.environ.get(_ENV_MAX_MB, "")
+    if not raw:
+        return None
+    try:
+        return int(float(raw) * 1024 * 1024)
+    except ValueError:
+        return None
 
 
 def _canonical(part) -> bytes:
@@ -90,6 +129,10 @@ def content_key(*parts) -> str:
     return digest.hexdigest()
 
 
+def _payload_digest(payload) -> str:
+    return hashlib.sha256(_canonical(payload)).hexdigest()
+
+
 class ResultCache:
     """Two-layer (memory + disk) store of JSON-dict results."""
 
@@ -99,15 +142,68 @@ class ResultCache:
 
     # -------------------------------------------------------------- layout
 
+    def _root(self) -> Path:
+        return cache_dir() / self.subdir
+
     def _path(self, key: str) -> Path:
-        return cache_dir() / self.subdir / f"{key}.json"
+        return self._root() / f"{key}.json"
 
     def disk_entries(self) -> int:
         """Number of entries currently in the on-disk layer."""
-        root = cache_dir() / self.subdir
+        root = self._root()
         if not root.is_dir():
             return 0
         return sum(1 for _ in root.glob("*.json"))
+
+    def disk_bytes(self) -> int:
+        """Total size of the on-disk entries (quarantine excluded)."""
+        root = self._root()
+        if not root.is_dir():
+            return 0
+        total = 0
+        for entry in root.glob("*.json"):
+            try:
+                total += entry.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def quarantined_entries(self) -> int:
+        """Number of files moved aside by integrity failures."""
+        qdir = self._root() / "quarantine"
+        if not qdir.is_dir():
+            return 0
+        return sum(1 for _ in qdir.glob("*.json"))
+
+    # ----------------------------------------------------------- integrity
+
+    def _verify(self, envelope):
+        """The payload of a sound envelope, else None."""
+        if not isinstance(envelope, dict):
+            return None
+        if envelope.get("schema") != SCHEMA_VERSION:
+            return None
+        if envelope.get("sim_version") != SIM_VERSION:
+            return None
+        payload = envelope.get("payload")
+        if not isinstance(payload, dict):
+            return None
+        if envelope.get("sha256") != _payload_digest(payload):
+            return None
+        return payload
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a failed entry aside (never back in circulation)."""
+        STATS.count("cache.integrity_fails")
+        qdir = path.parent / "quarantine"
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / path.name)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
     # -------------------------------------------------------------- lookup
 
@@ -123,53 +219,124 @@ class ResultCache:
         path = self._path(key)
         try:
             with open(path, "r", encoding="utf-8") as fh:
-                value = json.load(fh)
-        except (OSError, ValueError):
-            # Missing, unreadable or corrupt: treat as a miss (and drop a
-            # corrupt file so it cannot shadow a future store).
-            if path.is_file():
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
+                envelope = json.load(fh)
+        except OSError:
             STATS.count("cache.misses")
             return None
+        except ValueError:
+            # Unparseable (truncated/corrupt) JSON: quarantine and miss.
+            if path.is_file():
+                self._quarantine(path)
+            STATS.count("cache.misses")
+            return None
+        value = self._verify(envelope)
+        if value is None:
+            # Parseable but unsound: wrong schema, stale SIM_VERSION or a
+            # checksum mismatch.  Never surface it.
+            self._quarantine(path)
+            STATS.count("cache.misses")
+            return None
+        try:
+            os.utime(path)  # LRU touch: disk hits refresh eviction order
+        except OSError:
+            pass
         self._memory[key] = value
         STATS.count("cache.disk_hits")
         return value
 
     def put(self, key: str, value: dict) -> None:
-        """Store *value* in both layers (atomic on disk)."""
+        """Store *value* in both layers (atomic, checksummed on disk)."""
         if not cache_enabled():
             return
         self._memory[key] = value
+        envelope = {
+            "schema": SCHEMA_VERSION,
+            "sim_version": SIM_VERSION,
+            "sha256": _payload_digest(value),
+            "payload": value,
+        }
         path = self._path(key)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
                 with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                    json.dump(value, fh, sort_keys=True)
+                    json.dump(envelope, fh, sort_keys=True)
                 os.replace(tmp, path)
             finally:
                 if os.path.exists(tmp):
                     os.unlink(tmp)
         except OSError:
             # A read-only or full filesystem degrades to memory-only.
-            pass
+            STATS.count("cache.store_errors")
+            return
         STATS.count("cache.stores")
+        if chaos.active():
+            chaos.maybe_corrupt_entry(path)
+        if cache_max_bytes() is not None:
+            self.evict()
+
+    # ------------------------------------------------------------- hygiene
+
+    def evict(self, max_bytes: int = None,
+              tmp_max_age: float = _TMP_MAX_AGE_S) -> int:
+        """Size-bounded LRU sweep of the disk layer; returns evictions.
+
+        Entries are unlinked oldest-mtime-first until the layer fits in
+        *max_bytes* (default ``REPRO_CACHE_MAX_MB``); stale ``*.tmp``
+        spill older than *tmp_max_age* seconds is removed first.
+        """
+        root = self._root()
+        if not root.is_dir():
+            return 0
+        now = time.time()
+        for tmp in root.glob("*.tmp"):
+            try:
+                if now - tmp.stat().st_mtime >= tmp_max_age:
+                    tmp.unlink()
+            except OSError:
+                pass
+        limit = cache_max_bytes() if max_bytes is None else max_bytes
+        if limit is None:
+            return 0
+        entries = []
+        for entry in root.glob("*.json"):
+            try:
+                stat = entry.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, entry))
+        total = sum(size for _, size, _ in entries)
+        evicted = 0
+        for _, size, entry in sorted(entries):
+            if total <= limit:
+                break
+            try:
+                entry.unlink()
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+        if evicted:
+            STATS.count("cache.evictions", evicted)
+        return evicted
 
     def clear(self, disk: bool = False) -> None:
-        """Drop the in-process layer; optionally the disk layer too."""
+        """Drop the in-process layer; optionally the disk layer too.
+
+        The disk pass also removes orphaned ``*.tmp`` spill from
+        interrupted ``put`` calls and any quarantined entries.
+        """
         self._memory.clear()
         if disk:
-            root = cache_dir() / self.subdir
+            root = self._root()
             if root.is_dir():
-                for entry in root.glob("*.json"):
-                    try:
-                        entry.unlink()
-                    except OSError:
-                        pass
+                for pattern in ("*.json", "*.tmp", "quarantine/*.json"):
+                    for entry in root.glob(pattern):
+                        try:
+                            entry.unlink()
+                        except OSError:
+                            pass
 
 
 #: Shared cache for SM profiles and timing-run summaries.

@@ -34,6 +34,21 @@ Counter names use dotted namespaces by convention:
   ``run()``, including predecode and any worker fan-out.
 * ``cache.mem_hits`` / ``cache.disk_hits`` / ``cache.misses`` /
   ``cache.stores`` -- maintained by :mod:`repro.perf.cache`.
+* ``cache.integrity_fails`` / ``cache.store_errors`` /
+  ``cache.evictions`` -- the cache's robustness edge: disk entries that
+  failed envelope verification (quarantined, read as a miss), disk writes
+  that failed (entry kept in memory only), and entries unlinked by the
+  ``REPRO_CACHE_MAX_MB`` LRU sweep.
+* ``guard.checks`` / ``guard.divergences`` / ``guard.degraded`` --
+  maintained by :mod:`repro.robust.guard`: reference re-executions
+  performed, mismatches caught, and engine-ladder degradation steps
+  taken.
+* ``par.tasks`` / ``par.retries`` / ``par.timeouts`` / ``par.crashes`` /
+  ``par.pool_rebuilds`` / ``par.serial_fallbacks`` -- maintained by the
+  supervised :func:`~repro.perf.parallel.parallel_map`: tasks submitted,
+  retry attempts scheduled, per-task deadline kills, abnormal worker
+  deaths, replacement workers spawned, and tasks that exhausted their
+  retries and ran on the in-process serial last rung.
 * ``perfstats.wall`` (a timer, seconds) -- the ``perfstats`` CLI
   command's whole measured section (profiling plus warm-up launches).
 """

@@ -1,0 +1,165 @@
+"""``repro doctor``: health report and self-test of the robustness stack.
+
+The report covers the four robustness surfaces:
+
+* **guard** -- mode, budget, and the process-wide degradation ladder state
+  (:func:`repro.robust.guard.degradation_report`);
+* **cache** -- location, layer sizes, quarantine count, configured size
+  bound;
+* **workers** -- CPU count and the supervisor's timeout/retry/backoff
+  configuration;
+* **chaos** -- any active ``REPRO_CHAOS`` directives (so a forgotten env
+  var cannot masquerade as a real fault).
+
+``run_doctor(selftest=True)`` additionally exercises each pillar once:
+
+* a cache round-trip (put/get under a private ``doctor`` subdir) plus a
+  deliberate corruption that must read back as a quarantined miss;
+* a supervised :func:`~repro.perf.parallel.parallel_map` across two
+  workers;
+* a tiny guarded functional launch in ``full`` mode, which must pass its
+  reference check with no divergence.
+
+Everything returns data; the CLI does the printing.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..perf import cache as cache_mod
+from ..perf.parallel import default_workers, parallel_map
+from ..perf.stats import STATS
+from . import chaos, guard
+
+__all__ = ["run_doctor", "format_report"]
+
+
+def _doctor_square(x):
+    """Module-level so the supervised worker self-test can pickle it."""
+    return x * x
+
+
+def _env(name: str, default: str) -> str:
+    return os.environ.get(name, "") or default
+
+
+def _section_guard() -> dict:
+    return {
+        "mode": guard.guard_mode(),
+        "budget": _env("REPRO_GUARD_BUDGET", "0.05 (default)"),
+        **guard.degradation_report(),
+    }
+
+
+def _section_cache() -> dict:
+    store = cache_mod.PROFILE_CACHE
+    max_bytes = cache_mod.cache_max_bytes()
+    return {
+        "enabled": cache_mod.cache_enabled(),
+        "dir": str(cache_mod.cache_dir()),
+        "sim_version": cache_mod.SIM_VERSION,
+        "disk_entries": store.disk_entries(),
+        "disk_bytes": store.disk_bytes(),
+        "quarantined": store.quarantined_entries(),
+        "max_bytes": max_bytes if max_bytes is not None else "unbounded",
+    }
+
+
+def _section_workers() -> dict:
+    return {
+        "cpus": default_workers(),
+        "task_timeout_s": _env("REPRO_TASK_TIMEOUT", "600 (default)"),
+        "task_retries": _env("REPRO_TASK_RETRIES", "2 (default)"),
+        "retry_backoff_s": _env("REPRO_RETRY_BACKOFF", "0.25 (default)"),
+    }
+
+
+def _section_chaos() -> dict:
+    spec = chaos.directives()
+    return {"active": chaos.active(), "directives": spec or "(none)"}
+
+
+# ------------------------------------------------------------------ selftests
+
+def _selftest_cache() -> str:
+    store = cache_mod.ResultCache(subdir="doctor")
+    key = cache_mod.content_key(b"doctor-selftest")
+    try:
+        store.put(key, {"ok": 1})
+        store._memory.clear()  # force the disk path
+        if store.get(key) != {"ok": 1}:
+            return "FAIL: disk round-trip returned a different value"
+        # A corrupted entry must quarantine and miss, never surface.
+        path = store._path(key)
+        if path.is_file():
+            with open(path, "r+b") as fh:
+                fh.write(b"\x00garbage\x00")
+            store._memory.clear()
+            if store.get(key) is not None:
+                return "FAIL: corrupted entry was served"
+            if path.is_file():
+                return "FAIL: corrupted entry was not quarantined"
+        return "ok"
+    except OSError as exc:
+        return f"SKIP: cache dir not writable ({exc})"
+    finally:
+        try:
+            store.clear(disk=True)
+        except OSError:
+            pass
+
+
+def _selftest_workers() -> str:
+    out = parallel_map(_doctor_square, [2, 3], max_workers=2, timeout=60)
+    if out != [4, 9]:
+        return f"FAIL: supervised map returned {out!r}"
+    return "ok"
+
+
+def _selftest_guard() -> str:
+    import numpy as np
+
+    from ..core.hgemm import hgemm, hgemm_reference
+
+    before = STATS.counters.get("guard.divergences", 0)
+    rng = np.random.default_rng(7)
+    a = rng.standard_normal((64, 16), dtype=np.float32).astype(np.float16)
+    b = rng.standard_normal((16, 64), dtype=np.float32).astype(np.float16)
+    out = hgemm(a, b, guard="full")
+    ref = hgemm_reference(a, b)
+    if not np.array_equal(out, ref):
+        return "FAIL: guarded hgemm mismatches the NumPy oracle"
+    diverged = STATS.counters.get("guard.divergences", 0) - before
+    if diverged:
+        return f"FAIL: guarded run diverged from the reference engine ({diverged})"
+    return "ok"
+
+
+def run_doctor(selftest: bool = True):
+    """Collect the health report; returns ``(report_dict, all_ok)``."""
+    report = {
+        "guard": _section_guard(),
+        "cache": _section_cache(),
+        "workers": _section_workers(),
+        "chaos": _section_chaos(),
+    }
+    ok = True
+    if selftest:
+        results = {
+            "cache_roundtrip": _selftest_cache(),
+            "supervised_map": _selftest_workers(),
+            "guarded_run": _selftest_guard(),
+        }
+        ok = not any(v.startswith("FAIL") for v in results.values())
+        report["selftest"] = results
+    return report, ok
+
+
+def format_report(report: dict) -> str:
+    """Render the report as aligned ``section.key  value`` lines."""
+    lines = []
+    for section, entries in report.items():
+        for key, value in entries.items():
+            lines.append(f"{section + '.' + key:<28s} {value}")
+    return "\n".join(lines)

@@ -65,6 +65,8 @@ import numpy as np
 from ..arch.registers import PredicateFile, RegisterFile, WARP_LANES
 from ..isa.program import Program
 from ..perf import STATS, default_workers, parallel_map
+from ..robust import chaos
+from ..robust import guard as _guard
 from .decode import DIVERGED, EXITED, predecode
 from .exec_units import ExecError, execute
 from .memory import GlobalMemory
@@ -240,16 +242,21 @@ class FunctionalSimulator:
     ``engine`` selects the execution engine (``None`` -> ``REPRO_FUNC_ENGINE``
     or lockstep); ``max_workers`` the CTA-parallel worker count with the
     :func:`repro.perf.parallel.parallel_map` conventions (``None``/1 serial,
-    0 auto, ``REPRO_FUNC_JOBS`` supplying the default).
+    0 auto, ``REPRO_FUNC_JOBS`` supplying the default); ``guard`` the
+    divergence-watchdog mode (``None`` -> ``REPRO_GUARD``, see
+    :mod:`repro.robust.guard`).  A watchdog degradation may run the launch
+    on a slower rung than ``engine`` requests -- never a faster one.
     """
 
     def __init__(self, max_instructions_per_warp: int = 5_000_000,
-                 engine: str = None, max_workers: int = None):
+                 engine: str = None, max_workers: int = None,
+                 guard: str = None):
         self.max_instructions_per_warp = max_instructions_per_warp
         self.engine = engine if engine is not None else _default_engine()
         if self.engine not in ENGINES:
             raise ValueError(f"engine must be one of {ENGINES}, got {self.engine!r}")
         self.max_workers = max_workers
+        self.guard = guard
 
     def run(self, program: Program, global_mem: GlobalMemory,
             grid_dim=(1, 1), max_workers: int = None) -> FunctionalResult:
@@ -257,13 +264,32 @@ class FunctionalSimulator:
         gx, gy = (grid_dim if len(grid_dim) == 2 else (*grid_dim, 1)[:2])
         ctaids = [(bx, by, 0) for by in range(gy) for bx in range(gx)]
         workers = self._resolve_workers(max_workers, len(ctaids))
+        mode = _guard.guard_mode(self.guard)
+        engine = _guard.effective_func_engine(self.engine)
+        ctx = None
+        if mode != "off" and engine != "reference":
+            ctx = _guard.GuardContext("functional", engine, mode,
+                                      global_mem._words)
         STATS.count("func.runs")
         STATS.count("func.workers", workers)
         with STATS.timer("func.wall"):
             if workers > 1:
-                result = self._run_parallel(program, global_mem, ctaids, workers)
+                result = self._run_parallel(program, global_mem, ctaids,
+                                            workers, engine)
             else:
-                result = self._run_ctas(program, global_mem, ctaids)
+                result = self._run_ctas(program, global_mem, ctaids, engine)
+        if ctx is not None:
+            # Chaos flip fires only on guarded runs: a synthetic fast-engine
+            # bug for the watchdog to catch, never silent corruption.
+            chaos.maybe_flip_output(global_mem._words)
+            result = ctx.conclude(
+                global_mem._words, result,
+                lambda: _reference_rerun(program, ctx.pre, grid_dim,
+                                         self.max_instructions_per_warp),
+                program=program,
+                context={"grid_dim": [gx, gy], "engine": engine,
+                         "workers": workers},
+            )
         STATS.count("func.ctas", result.ctas_run)
         STATS.count("func.instructions", result.instructions_retired)
         return result
@@ -283,14 +309,15 @@ class FunctionalSimulator:
         return max(1, min(int(workers), n_ctas))
 
     def _run_ctas(self, program: Program, global_mem: GlobalMemory,
-                  ctaids) -> FunctionalResult:
+                  ctaids, engine: str = None) -> FunctionalResult:
+        engine = engine or self.engine
         result = FunctionalResult()
-        if self.engine == "reference":
+        if engine == "reference":
             for ctaid in ctaids:
                 self._run_cta(program, global_mem, ctaid, result)
                 result.ctas_run += 1
             return result
-        if self.engine == "predecoded":
+        if engine == "predecoded":
             decoded = predecode(program)
             counts = decoded.new_counts()
             for ctaid in ctaids:
@@ -299,7 +326,7 @@ class FunctionalSimulator:
                 result.ctas_run += 1
             decoded.accumulate(counts, result)
             return result
-        if self.engine == "gridlock":
+        if engine == "gridlock":
             return self._run_grid(program, global_mem, ctaids, result)
         # lockstep: one stacked decoding for the whole run, plus a lazily
         # built 32-lane decoding for CTAs that de-stack.  Each decoding
@@ -318,7 +345,9 @@ class FunctionalSimulator:
         return result
 
     def _run_parallel(self, program: Program, global_mem: GlobalMemory,
-                      ctaids, workers: int) -> FunctionalResult:
+                      ctaids, workers: int,
+                      engine: str = None) -> FunctionalResult:
+        engine = engine or self.engine
         # Back device memory with a shared block; each worker attaches and
         # scatters its CTAs' stores straight into it.  CTAs write disjoint
         # output tiles, so in-place writes cannot race.
@@ -331,7 +360,7 @@ class FunctionalSimulator:
                 partials = parallel_map(
                     _worker_run_chunk, chunks, max_workers=workers,
                     initializer=_worker_init,
-                    initargs=(shm.name, global_mem.size, program, self.engine,
+                    initargs=(shm.name, global_mem.size, program, engine,
                               self.max_instructions_per_warp),
                 )
                 np.copyto(global_mem._words, view)
@@ -641,6 +670,18 @@ class FunctionalSimulator:
 def _opt_mask(mask: np.ndarray):
     """Treat an all-active mask as no mask (fast path + full overwrite)."""
     return None if mask.all() else mask
+
+
+def _reference_rerun(program: Program, pre_words: np.ndarray, grid_dim,
+                     fuel: int):
+    """Watchdog rerun: the same launch on the reference engine, from the
+    guarded run's memory snapshot.  Returns ``(result, memory_words)``."""
+    mem = GlobalMemory(pre_words.nbytes)
+    np.copyto(mem._words, pre_words)
+    sim = FunctionalSimulator(max_instructions_per_warp=fuel,
+                              engine="reference", max_workers=1, guard="off")
+    result = sim.run(program, mem, grid_dim=grid_dim)
+    return result, mem._words
 
 
 # ------------------------------------------------------- worker-side plumbing

@@ -1,8 +1,15 @@
-"""Unit tests for parallel_map and the parallel model entry points."""
+"""Unit tests for parallel_map and the parallel model entry points.
+
+The supervisor half uses :mod:`repro.robust.chaos` to inject worker
+crashes and hangs deterministically; recovered runs must be bit-identical
+to a fault-free serial run.
+"""
 
 import pytest
 
 from repro.perf.parallel import default_workers, parallel_map
+from repro.perf.stats import STATS
+from repro.robust import chaos
 
 
 def _square(x):
@@ -11,6 +18,18 @@ def _square(x):
 
 def _boom(x):
     raise ValueError(f"boom {x}")
+
+
+@pytest.fixture
+def chaos_env(monkeypatch):
+    """Set REPRO_CHAOS for one test; counters reset around it."""
+
+    def _set(spec):
+        monkeypatch.setenv("REPRO_CHAOS", spec)
+        chaos.reset()
+
+    yield _set
+    chaos.reset()
 
 
 def test_serial_by_default():
@@ -39,6 +58,58 @@ def test_auto_workers():
 def test_worker_exception_propagates():
     with pytest.raises(ValueError, match="boom"):
         parallel_map(_boom, [1, 2], max_workers=2)
+
+
+class TestSupervisor:
+    """Crash/timeout recovery and the serial last rung."""
+
+    def test_crash_recovers_bit_identical(self, chaos_env):
+        chaos_env("crash_task:1")
+        STATS.reset()
+        items = list(range(8))
+        got = parallel_map(_square, items, max_workers=2, timeout=60,
+                           backoff=0.05)
+        assert got == [_square(x) for x in items]  # == fault-free serial
+        assert STATS.counters.get("par.crashes") == 1
+        assert STATS.counters.get("par.retries") == 1
+        assert STATS.counters.get("par.pool_rebuilds", 0) >= 1
+
+    def test_timeout_recovers_bit_identical(self, chaos_env):
+        chaos_env("delay_task:0,delay_seconds:5")
+        STATS.reset()
+        items = list(range(4))
+        got = parallel_map(_square, items, max_workers=2, timeout=0.5,
+                           backoff=0.05)
+        assert got == [_square(x) for x in items]
+        assert STATS.counters.get("par.timeouts") == 1
+        assert STATS.counters.get("par.retries") == 1
+
+    def test_persistent_crash_falls_back_to_serial(self, chaos_env):
+        chaos_env("crash_task_always:2")
+        STATS.reset()
+        items = list(range(5))
+        # Every worker attempt at task 2 dies; the serial last rung (which
+        # never consults worker-crash directives) must complete it.
+        got = parallel_map(_square, items, max_workers=2, timeout=60,
+                           retries=1, backoff=0.05)
+        assert got == [_square(x) for x in items]
+        assert STATS.counters.get("par.serial_fallbacks") == 1
+        assert STATS.counters.get("par.crashes") == 2  # initial + 1 retry
+
+    def test_exception_still_propagates_under_chaos(self, chaos_env):
+        chaos_env("crash_task:0")
+        with pytest.raises(ValueError, match="boom"):
+            parallel_map(_boom, [1, 2, 3], max_workers=2, timeout=60,
+                         backoff=0.05)
+
+    def test_salvages_completed_results_after_crash(self, chaos_env):
+        # The crash hits task 3's first attempt only; tasks finished by the
+        # surviving worker are kept, nothing recomputed comes back wrong.
+        chaos_env("crash_task:3")
+        items = list(range(10))
+        got = parallel_map(_square, items, max_workers=3, timeout=60,
+                           backoff=0.05)
+        assert got == [_square(x) for x in items]
 
 
 class TestModelParallelism:
