@@ -162,6 +162,12 @@ def _guard_leg(spec, legs):
     The budget sampler only spends reference re-runs it can afford, so the
     guarded sweep must land within ``GUARD_OVERHEAD_MAX`` of the unguarded
     one while producing equal results and zero divergences.
+
+    Both legs take the best of three runs: single-shot wall times on a
+    shared CI box are noisy enough that the guarded leg used to beat the
+    unguarded one outright and report a (meaningless) negative overhead.
+    The overhead is clamped at zero -- the watchdog cannot make the
+    simulator faster, and a negative readout only advertises jitter.
     """
     from repro.perf import STATS
     from repro.robust import guard
@@ -177,15 +183,20 @@ def _guard_leg(spec, legs):
             out.append(sim.run(program, GlobalMemory(16 << 20), num_ctas=ctas))
         return time.perf_counter() - start, out
 
-    base_s, base = sweep("off")
+    def best_of_3(guard_mode):
+        runs = [sweep(guard_mode) for _ in range(3)]
+        return min(s for s, _ in runs), runs[-1][1]
+
+    base_s, base = best_of_3("off")
     checks0 = STATS.counters.get("guard.checks", 0)
     div0 = STATS.counters.get("guard.divergences", 0)
-    guard_s, guarded = sweep("sample")
-    checks = STATS.counters.get("guard.checks", 0) - checks0
+    guard_s, guarded = best_of_3("sample")
+    # Counter deltas span all three guarded runs; normalise to one sweep.
+    checks = (STATS.counters.get("guard.checks", 0) - checks0) // 3
     divergences = STATS.counters.get("guard.divergences", 0) - div0
     guard.reset()
 
-    overhead = (guard_s / base_s - 1.0) if base_s else 0.0
+    overhead = max(0.0, guard_s / base_s - 1.0) if base_s else 0.0
     return {
         "guard_baseline_seconds": round(base_s, 4),
         "guard_sample_seconds": round(guard_s, 4),

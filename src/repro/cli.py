@@ -11,6 +11,12 @@ Commands
 ``disasm``      generate an HGEMM kernel and print its SASS listing
 ``perfstats``   profile kernels and report simulator/cache statistics
 ``doctor``      report robustness health (guard/cache/workers) + self-test
+``serve``       run/manage the simulation-service daemon
+
+``hgemm``/``igemm``/``sweep``/``autotune``/``verify`` accept ``--remote
+[SOCKET]``: the work is submitted to a ``repro serve`` daemon (sharing
+its hot cache and coalescing with other tenants) and falls back to
+in-process execution, with a stderr note, when no daemon is reachable.
 """
 
 from __future__ import annotations
@@ -20,6 +26,80 @@ import os
 import sys
 
 import numpy as np
+
+
+# ------------------------------------------------------- remote plumbing
+
+def _resolve_remote(args):
+    """Daemon socket to use, or None for in-process execution.
+
+    ``--remote`` without a path means the default socket.  An unreachable
+    daemon degrades to in-process execution with a stderr note -- the
+    command still succeeds, it just pays full price.
+    """
+    if getattr(args, "remote", None) is None:
+        return None
+    from .serve import daemon_available, default_socket
+
+    path = args.remote or default_socket()
+    if daemon_available(path):
+        return path
+    print(f"warning: no daemon reachable at {path}; running in-process",
+          file=sys.stderr)
+    return None
+
+
+def _remote_run(remote: str, kind: str, payload: dict):
+    """Submit one job and wait; None (after a stderr note) on job failure."""
+    from .serve import JobFailed, ServeClient
+
+    with ServeClient(remote) as client:
+        try:
+            return client.run(kind, payload)
+        except JobFailed as exc:
+            print(f"error: daemon job failed: {exc}", file=sys.stderr)
+            return None
+
+
+def _job_origin(view: dict) -> str:
+    if view.get("cached"):
+        return "cache hit"
+    if view.get("coalesced"):
+        return "coalesced"
+    return "executed"
+
+
+def _remote_sweep(remote, spec, sizes, jobs):
+    """Both sweep legs (ours, cuBLAS-quirks) as one daemon batch."""
+    from .core import cublas_like, ours
+    from .serve import ServeClient
+    from .serve.jobs import config_to_dict, spec_to_dict
+
+    spec_d = spec_to_dict(spec)
+
+    def payload(config, quirks):
+        p = {"spec": spec_d, "config": config_to_dict(config),
+             "sizes": list(sizes), "baseline_quirks": quirks}
+        if jobs is not None:
+            p["jobs"] = jobs
+        return p
+
+    with ServeClient(remote) as client:
+        views = client.batch_submit([
+            {"kind": "sweep", "payload": payload(ours(), False)},
+            {"kind": "sweep", "payload": payload(cublas_like(), True)},
+        ])
+        series = []
+        for view in views:
+            if view["state"] not in ("done", "failed"):
+                view = client.wait(view["job_id"])
+            if view["state"] == "failed":
+                print("error: daemon job failed: "
+                      f"{view.get('error')}", file=sys.stderr)
+                return None
+            series.append([e["tflops"]
+                           for e in view["result"]["estimates"]])
+    return series
 
 
 def _cmd_tables(args) -> int:
@@ -111,14 +191,23 @@ def _cmd_sweep(args) -> int:
     from .report import ascii_chart, format_series
 
     spec = get_device(args.device)
-    pm = PerformanceModel(spec)
     sizes = list(range(args.start, args.stop + 1, args.step))
-    print(f"simulating SM profiles for {spec.name}...", file=sys.stderr)
-    pm.profile_many([ours(), cublas_like()], max_workers=args.jobs)
-    o = [e.tflops for e in pm.sweep(ours(), sizes, max_workers=args.jobs)]
-    c = [e.tflops for e in pm.sweep(cublas_like(), sizes,
-                                    baseline_quirks=True,
-                                    max_workers=args.jobs)]
+    remote = _resolve_remote(args)
+    if remote is not None:
+        print(f"submitting sweeps to daemon at {remote}...", file=sys.stderr)
+        series = _remote_sweep(remote, spec, sizes, args.jobs)
+        if series is None:
+            return 1
+        o, c = series
+    else:
+        pm = PerformanceModel(spec)
+        print(f"simulating SM profiles for {spec.name}...", file=sys.stderr)
+        pm.profile_many([ours(), cublas_like()], max_workers=args.jobs)
+        o = [e.tflops for e in pm.sweep(ours(), sizes,
+                                        max_workers=args.jobs)]
+        c = [e.tflops for e in pm.sweep(cublas_like(), sizes,
+                                        baseline_quirks=True,
+                                        max_workers=args.jobs)]
     print(format_series(sizes, {"ours": [round(v, 1) for v in o],
                                 "cuBLAS": [round(v, 1) for v in c]}))
     print(ascii_chart(sizes, {"ours": o, "cuBLAS": c}))
@@ -128,8 +217,36 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _gemm_view_exit(view: dict, opcode: str, oracle: str) -> int:
+    r = view["result"]
+    counters = (view.get("stats") or {}).get("counters") or {}
+    print(f"kernel: {r['describe']}")
+    print(f"instructions: {r['instructions']} ({r['mma']} {opcode}), "
+          f"CTAs: {r['ctas']}")
+    print(f"bit-exact vs {oracle}: {r['exact']}")
+    print(f"served by daemon: {_job_origin(view)} "
+          f"(job {view['job_id']}, "
+          f"{counters.get('func.instructions', 0)} instructions charged "
+          "to this request)")
+    return 0 if r["exact"] else 1
+
+
 def _cmd_hgemm(args) -> int:
     from .core import hgemm, hgemm_reference
+
+    remote = _resolve_remote(args)
+    if remote is not None:
+        payload = {"m": args.m, "n": args.n, "k": args.k,
+                   "kernel": args.kernel, "accumulate": args.accumulate,
+                   "seed": args.seed}
+        if args.jobs is not None:
+            payload["jobs"] = args.jobs
+        if args.func_engine is not None:
+            payload["engine"] = args.func_engine
+        view = _remote_run(remote, "hgemm", payload)
+        if view is None:
+            return 1
+        return _gemm_view_exit(view, "HMMA", "precision model")
 
     rng = np.random.default_rng(args.seed)
     a = rng.uniform(-1, 1, (args.m, args.k)).astype(np.float16)
@@ -150,6 +267,18 @@ def _cmd_hgemm(args) -> int:
 def _cmd_igemm(args) -> int:
     from .core import igemm, igemm_reference
 
+    remote = _resolve_remote(args)
+    if remote is not None:
+        payload = {"m": args.m, "n": args.n, "k": args.k, "seed": args.seed}
+        if args.jobs is not None:
+            payload["jobs"] = args.jobs
+        if args.func_engine is not None:
+            payload["engine"] = args.func_engine
+        view = _remote_run(remote, "igemm", payload)
+        if view is None:
+            return 1
+        return _gemm_view_exit(view, "IMMA", "int8 oracle")
+
     rng = np.random.default_rng(args.seed)
     a = rng.integers(-128, 128, (args.m, args.k), dtype=np.int8)
     b = rng.integers(-128, 128, (args.k, args.n), dtype=np.int8)
@@ -169,7 +298,24 @@ def _cmd_autotune(args) -> int:
     from .arch import get_device
     from .analysis import autotune
 
-    result = autotune(get_device(args.device), args.m, args.n, args.k,
+    spec = get_device(args.device)
+    remote = _resolve_remote(args)
+    if remote is not None:
+        from .serve.jobs import spec_to_dict
+
+        payload = {"spec": spec_to_dict(spec), "m": args.m, "n": args.n,
+                   "k": args.k, "accum_f32": args.accumulate == "f32"}
+        if args.jobs is not None:
+            payload["jobs"] = args.jobs
+        view = _remote_run(remote, "autotune", payload)
+        if view is None:
+            return 1
+        print(view["result"]["summary"])
+        print(f"served by daemon: {_job_origin(view)} "
+              f"(job {view['job_id']})")
+        return 0
+
+    result = autotune(spec, args.m, args.n, args.k,
                       accum_f32=args.accumulate == "f32",
                       max_workers=args.jobs)
     print(result.summary())
@@ -257,6 +403,23 @@ def _cmd_verify(args) -> int:
         smem_swizzle=False,
         smem_pad_halves=8 if not config.smem_swizzle else 8,
     )
+    remote = _resolve_remote(args)
+    if remote is not None:
+        from .serve.jobs import config_to_dict
+
+        payload = {"config": config_to_dict(config), "seeds": args.seeds}
+        if args.jobs is not None:
+            payload["jobs"] = args.jobs
+        if args.func_engine is not None:
+            payload["engine"] = args.func_engine
+        view = _remote_run(remote, "verify", payload)
+        if view is None:
+            return 1
+        print(view["result"]["summary"])
+        print(f"served by daemon: {_job_origin(view)} "
+              f"(job {view['job_id']})")
+        return 0 if view["result"]["passed"] else 1
+
     report = verify_kernel(config, seeds=tuple(range(args.seeds)),
                            max_workers=args.jobs, engine=args.func_engine)
     print(report.summary())
@@ -272,6 +435,112 @@ def _cmd_doctor(args) -> int:
         print("doctor: all self-tests passed" if ok
               else "doctor: SELF-TEST FAILURES (see above)")
     return 0 if ok else 1
+
+
+def _cmd_serve(args) -> int:
+    from .serve import ServeClient, ServeUnavailable, default_socket
+
+    sock = args.socket or default_socket()
+    if args.action == "start":
+        return _serve_start(args, sock)
+    try:
+        with ServeClient(sock) as client:
+            if args.action == "stop":
+                client.shutdown()
+                print(f"daemon at {sock} stopping")
+                return 0
+            if args.action == "status":
+                info = client.ping()
+                print(f"daemon at {sock}: pid {info['pid']}, "
+                      f"protocol {info['protocol']}, "
+                      f"sim {info['sim_version']}, "
+                      f"up {info['uptime_s']:.0f}s")
+                return 0
+            print(_format_serve_stats(client.stats()))
+            return 0
+    except ServeUnavailable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _serve_start(args, sock: str) -> int:
+    import signal
+
+    from .serve import ServeDaemon, daemon_available
+
+    if daemon_available(sock):
+        print(f"error: a daemon is already serving {sock}", file=sys.stderr)
+        return 1
+    if args.foreground:
+        daemon = ServeDaemon(sock, workers=args.workers,
+                             queue_max=args.queue_max)
+        try:
+            signal.signal(signal.SIGTERM, lambda *_: daemon.stop())
+        except ValueError:
+            pass  # not the main thread (embedded use)
+        print(f"serving on {sock} ({daemon.workers} workers)",
+              file=sys.stderr)
+        try:
+            daemon.serve_forever()
+        except KeyboardInterrupt:
+            daemon.stop()
+        return 0
+    return _serve_spawn(args, sock)
+
+
+def _serve_spawn(args, sock: str) -> int:
+    """Fork the daemon into its own session and wait for it to answer."""
+    import subprocess
+    import time
+
+    from .perf import cache_dir
+    from .serve import daemon_available
+
+    cmd = [sys.executable, "-m", "repro", "serve", "start", "--foreground",
+           "--socket", sock]
+    if args.workers is not None:
+        cmd += ["--workers", str(args.workers)]
+    if args.queue_max is not None:
+        cmd += ["--queue-max", str(args.queue_max)]
+    log_path = cache_dir() / "serve.log"
+    log_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(log_path, "ab") as log:
+        proc = subprocess.Popen(cmd, stdout=log, stderr=subprocess.STDOUT,
+                                start_new_session=True)
+    deadline = time.time() + 10.0
+    while time.time() < deadline:
+        if daemon_available(sock):
+            print(f"daemon started (pid {proc.pid}) on {sock}")
+            return 0
+        if proc.poll() is not None:
+            print(f"error: daemon exited with {proc.returncode} "
+                  f"(log: {log_path})", file=sys.stderr)
+            return 1
+        time.sleep(0.05)
+    print(f"error: daemon did not come up within 10s (log: {log_path})",
+          file=sys.stderr)
+    return 1
+
+
+def _format_serve_stats(stats: dict) -> str:
+    lines = [
+        f"daemon pid {stats['pid']}, up {stats['uptime_s']:.0f}s, "
+        f"{stats['workers']} workers",
+        f"queue: depth {stats['queue_depth']}, "
+        f"inflight {stats['inflight']}",
+        f"jobs: executed {stats['executed']}, failed {stats['failed']}, "
+        f"coalesced {stats['coalesced']}, cache hits {stats['cache_hits']}",
+        f"cache: {stats['cache_dir']} "
+        f"({stats['cache_disk_entries']} serve entries on disk)",
+    ]
+    for name, tenant in sorted(stats.get("tenants", {}).items()):
+        lines.append(f"tenant {name}: jobs {tenant['jobs']}, "
+                     f"coalesced {tenant['coalesced']}, "
+                     f"cache hits {tenant['cache_hits']}")
+        counters = tenant.get("counters") or {}
+        for cname in sorted(counters):
+            lines.append(f"    {cname:<26s} {counters[cname]}")
+    return "\n".join(lines)
 
 
 def _cmd_disasm(args) -> int:
@@ -382,6 +651,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="report configuration/state only; skip the cache, "
                         "worker and guard self-tests")
 
+    p = sub.add_parser("serve", help="simulation-service daemon")
+    p.add_argument("action", choices=["start", "stop", "status", "stats"])
+    p.add_argument("--socket", default=None,
+                   help="unix socket path (default: $REPRO_SERVE_SOCKET "
+                        "or <cache dir>/serve.sock)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="executor threads (default: $REPRO_SERVE_WORKERS "
+                        "or 2)")
+    p.add_argument("--queue-max", type=int, default=None,
+                   help="queued-job bound (default: $REPRO_SERVE_QUEUE_MAX "
+                        "or 256)")
+    p.add_argument("--foreground", action="store_true",
+                   help="with 'start': serve in this process instead of "
+                        "forking a background daemon")
+
+    # Thin-client mode: these commands can route through a running daemon.
+    for name in ("hgemm", "igemm", "sweep", "autotune", "verify"):
+        sub.choices[name].add_argument(
+            "--remote", nargs="?", const="", default=None, metavar="SOCKET",
+            help="submit to a 'repro serve' daemon (default socket when no "
+                 "path given); falls back to in-process when unreachable")
+
     p = sub.add_parser("disasm", help="print a generated kernel's SASS")
     p.add_argument("--m", type=int, default=256)
     p.add_argument("--n", type=int, default=256)
@@ -403,6 +694,7 @@ _COMMANDS = {
     "disasm": _cmd_disasm,
     "perfstats": _cmd_perfstats,
     "doctor": _cmd_doctor,
+    "serve": _cmd_serve,
 }
 
 

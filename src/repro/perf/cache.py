@@ -37,7 +37,11 @@ re-simulation but can never surface a wrong number.
 size-bounded LRU sweep: reads touch entry mtimes, eviction unlinks oldest
 mtime first (``cache.evictions``), and stale ``*.tmp`` spill from
 interrupted writes is removed along the way (and unconditionally by
-``clear(disk=True)``).
+``clear(disk=True)``).  The in-process layer is LRU-bounded too
+(``REPRO_CACHE_MEM_ENTRIES`` entries, default 4096;
+``cache.mem_evictions``): a long-running process -- the ``repro serve``
+daemon in particular -- keeps its hot set resident and re-reads colder
+entries from disk instead of growing without limit.
 """
 
 from __future__ import annotations
@@ -47,6 +51,7 @@ import json
 import os
 import tempfile
 import time
+from collections import OrderedDict
 from dataclasses import asdict, is_dataclass
 from pathlib import Path
 
@@ -59,6 +64,7 @@ __all__ = [
     "cache_enabled",
     "cache_dir",
     "cache_max_bytes",
+    "cache_mem_entries",
     "content_key",
     "ResultCache",
     "PROFILE_CACHE",
@@ -80,6 +86,11 @@ _TMP_MAX_AGE_S = 3600.0
 _ENV_DIR = "REPRO_CACHE_DIR"
 _ENV_OFF = "REPRO_NO_CACHE"
 _ENV_MAX_MB = "REPRO_CACHE_MAX_MB"
+_ENV_MEM_MAX = "REPRO_CACHE_MEM_ENTRIES"
+
+#: Default bound on the in-process layer (entries, not bytes: profile
+#: payloads are small dicts, so 4096 entries is a few MB at most).
+_MEM_MAX_DEFAULT = 4096
 
 
 def cache_enabled() -> bool:
@@ -104,6 +115,22 @@ def cache_max_bytes():
         return int(float(raw) * 1024 * 1024)
     except ValueError:
         return None
+
+
+def cache_mem_entries() -> int:
+    """In-process layer entry bound (``REPRO_CACHE_MEM_ENTRIES``).
+
+    0 (or a non-numeric value) means unbounded -- the pre-daemon
+    behaviour, useful for short-lived batch runs that want every entry
+    resident.
+    """
+    raw = os.environ.get(_ENV_MEM_MAX, "")
+    if not raw:
+        return _MEM_MAX_DEFAULT
+    try:
+        return max(0, int(float(raw)))
+    except ValueError:
+        return 0
 
 
 def _canonical(part) -> bytes:
@@ -138,7 +165,21 @@ class ResultCache:
 
     def __init__(self, subdir: str = "profiles"):
         self.subdir = subdir
-        self._memory: dict = {}
+        self._memory: OrderedDict = OrderedDict()
+
+    def _remember(self, key: str, value: dict) -> None:
+        """Insert into the in-process LRU layer, evicting past the bound."""
+        self._memory[key] = value
+        self._memory.move_to_end(key)
+        limit = cache_mem_entries()
+        if limit <= 0:
+            return
+        evicted = 0
+        while len(self._memory) > limit:
+            self._memory.popitem(last=False)
+            evicted += 1
+        if evicted:
+            STATS.count("cache.mem_evictions", evicted)
 
     # -------------------------------------------------------------- layout
 
@@ -214,6 +255,7 @@ class ResultCache:
             return None
         hit = self._memory.get(key)
         if hit is not None:
+            self._memory.move_to_end(key)
             STATS.count("cache.mem_hits")
             return hit
         path = self._path(key)
@@ -240,7 +282,7 @@ class ResultCache:
             os.utime(path)  # LRU touch: disk hits refresh eviction order
         except OSError:
             pass
-        self._memory[key] = value
+        self._remember(key, value)
         STATS.count("cache.disk_hits")
         return value
 
@@ -248,7 +290,7 @@ class ResultCache:
         """Store *value* in both layers (atomic, checksummed on disk)."""
         if not cache_enabled():
             return
-        self._memory[key] = value
+        self._remember(key, value)
         envelope = {
             "schema": SCHEMA_VERSION,
             "sim_version": SIM_VERSION,

@@ -32,6 +32,11 @@ and their payloads must pickle too -- ``GpuSpec``, ``KernelConfig`` and
 
 STATS counters: ``par.tasks``, ``par.crashes``, ``par.timeouts``,
 ``par.retries``, ``par.pool_rebuilds``, ``par.serial_fallbacks``.
+Additionally, every completed task ships its own ``STATS`` delta (the
+counters and timers it incremented in the worker process) back with its
+result; the supervisor folds those into the parent's ``STATS`` on the
+calling thread, so scoped attribution (``STATS.scoped()``) sees the work
+a sweep's workers did exactly as if it had run serially.
 """
 
 from __future__ import annotations
@@ -101,15 +106,29 @@ def _worker_main(worker_id, task_q, result_q, fn, initializer, initargs):
         if message is None:
             return
         task_id, attempt, item = message
-        chaos.maybe_crash_worker(task_id, attempt)
+        if chaos.should_crash(task_id, attempt):
+            # Die like an OOM kill -- but never while our feeder thread
+            # still holds the shared result-queue write lock (it may be
+            # a few instructions shy of releasing it after flushing the
+            # "ready" message).  An exit mid-send would poison the queue
+            # for every sibling and replacement worker; flush first.
+            result_q.close()
+            result_q.join_thread()
+            os._exit(13)
         chaos.maybe_delay_task(task_id, attempt)
+        before = STATS.snapshot()
         try:
             result = fn(item)
         except BaseException as exc:  # noqa: BLE001
             result_q.put((worker_id, task_id, "error", _dump_exc(exc)))
         else:
+            # Ship the task's counter/timer delta home with the result:
+            # the parent folds it into its own STATS (and any active
+            # scopes), so ``sim.*``/``func.*`` attribution survives the
+            # process gap.
+            delta = STATS.delta(before)
             try:
-                result_q.put((worker_id, task_id, "ok", result))
+                result_q.put((worker_id, task_id, "ok", (result, delta)))
             except Exception as exc:  # unpicklable result
                 result_q.put((worker_id, task_id, "error", _dump_exc(exc)))
 
@@ -281,7 +300,9 @@ class _Supervisor:
             worker.task = None
             worker.deadline = None
         if kind == "ok":
-            results[task_id] = payload
+            result, delta = payload
+            STATS.merge(delta)
+            results[task_id] = result
             return None
         return payload  # deterministic task error: propagate, no retry
 

@@ -1,4 +1,4 @@
-"""Process-wide performance counters and timers.
+"""Process-wide performance counters and timers, with scoped attribution.
 
 A single module-level :data:`STATS` instance collects what the performance
 layer wants to report: cache hits and misses, simulator invocations, total
@@ -35,10 +35,13 @@ Counter names use dotted namespaces by convention:
 * ``cache.mem_hits`` / ``cache.disk_hits`` / ``cache.misses`` /
   ``cache.stores`` -- maintained by :mod:`repro.perf.cache`.
 * ``cache.integrity_fails`` / ``cache.store_errors`` /
-  ``cache.evictions`` -- the cache's robustness edge: disk entries that
-  failed envelope verification (quarantined, read as a miss), disk writes
-  that failed (entry kept in memory only), and entries unlinked by the
-  ``REPRO_CACHE_MAX_MB`` LRU sweep.
+  ``cache.evictions`` / ``cache.mem_evictions`` -- the cache's
+  robustness and hygiene edge: disk entries that failed envelope
+  verification (quarantined, read as a miss), disk writes that failed
+  (entry kept in memory only), entries unlinked by the
+  ``REPRO_CACHE_MAX_MB`` LRU sweep, and in-process entries dropped by
+  the ``REPRO_CACHE_MEM_ENTRIES`` bound (a long-running daemon must not
+  grow its memory layer without limit).
 * ``guard.checks`` / ``guard.divergences`` / ``guard.degraded`` --
   maintained by :mod:`repro.robust.guard`: reference re-executions
   performed, mismatches caught, and engine-ladder degradation steps
@@ -49,16 +52,50 @@ Counter names use dotted namespaces by convention:
   retry attempts scheduled, per-task deadline kills, abnormal worker
   deaths, replacement workers spawned, and tasks that exhausted their
   retries and ran on the in-process serial last rung.
+* ``serve.jobs`` / ``serve.coalesced`` / ``serve.cache_hits`` /
+  ``serve.errors`` -- maintained by :mod:`repro.serve`: jobs admitted to
+  the daemon's queue, concurrent submissions that attached to an already
+  in-flight job with the same cache key (N callers, one simulation, N-1
+  coalesced), submissions answered straight from the shared result
+  cache, and jobs that failed.
 * ``perfstats.wall`` (a timer, seconds) -- the ``perfstats`` CLI
   command's whole measured section (profiling plus warm-up launches).
+
+**Scoped attribution.**  :meth:`PerfStats.scoped` opens a dynamic scope
+on the calling thread: every ``count``/``add_time`` performed by that
+thread while the scope is active is *also* accumulated on the scope
+object, so a server can attribute ``func.*``/``sim.*``/``cache.*``
+deltas to the one request it is serving even while other threads serve
+other requests.  Scopes nest, and worker-process deltas folded in with
+:meth:`PerfStats.merge` land in the merging thread's active scopes too
+(the supervised ``parallel_map`` runs its merge loop on the calling
+thread, so a scoped sweep sees its workers' counters).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 
-__all__ = ["PerfStats", "STATS"]
+__all__ = ["PerfStats", "ScopedStats", "STATS"]
+
+
+class ScopedStats:
+    """Counter/timer deltas attributed to one dynamic scope.
+
+    Filled incrementally by :class:`PerfStats` while the scope is active
+    on its thread -- never by snapshot subtraction, so a concurrent
+    ``STATS.reset()`` or another thread's activity cannot corrupt it.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict = {}
+        self.timers: dict = {}
+
+    def snapshot(self) -> dict:
+        """The scope's deltas: ``{"counters": {...}, "timers": {...}}``."""
+        return {"counters": dict(self.counters), "timers": dict(self.timers)}
 
 
 class PerfStats:
@@ -67,14 +104,25 @@ class PerfStats:
     def __init__(self) -> None:
         self.counters: dict = {}
         self.timers: dict = {}
+        self._lock = threading.Lock()
+        self._local = threading.local()
 
     # ------------------------------------------------------------ mutation
 
+    def _scopes(self):
+        return getattr(self._local, "scopes", ())
+
     def count(self, name: str, amount: int = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + amount
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + amount
+        for scope in self._scopes():
+            scope.counters[name] = scope.counters.get(name, 0) + amount
 
     def add_time(self, name: str, seconds: float) -> None:
-        self.timers[name] = self.timers.get(name, 0.0) + seconds
+        with self._lock:
+            self.timers[name] = self.timers.get(name, 0.0) + seconds
+        for scope in self._scopes():
+            scope.timers[name] = scope.timers.get(name, 0.0) + seconds
 
     @contextmanager
     def timer(self, name: str):
@@ -85,14 +133,75 @@ class PerfStats:
             self.add_time(name, time.perf_counter() - start)
 
     def reset(self) -> None:
-        self.counters.clear()
-        self.timers.clear()
+        with self._lock:
+            self.counters.clear()
+            self.timers.clear()
+
+    # --------------------------------------------------------- attribution
+
+    @contextmanager
+    def scoped(self):
+        """Attribute this thread's counts to a :class:`ScopedStats` too.
+
+        Usage::
+
+            with STATS.scoped() as scope:
+                run_one_request()
+            deltas = scope.snapshot()
+
+        Scopes are per-thread and nest (an inner scope's counts land on
+        the outer one as well).  Counts from *other* threads are not
+        attributed -- that isolation is the point.
+        """
+        scope = ScopedStats()
+        scopes = getattr(self._local, "scopes", None)
+        if scopes is None:
+            scopes = self._local.scopes = []
+        scopes.append(scope)
+        try:
+            yield scope
+        finally:
+            scopes.remove(scope)
+
+    def merge(self, delta: dict) -> None:
+        """Fold a ``{"counters", "timers"}`` delta into the totals.
+
+        Used to repatriate counters measured in a worker process (the
+        supervised ``parallel_map`` ships each task's delta back with its
+        result).  Goes through :meth:`count`/:meth:`add_time`, so the
+        merging thread's active scopes see the delta as well.
+        """
+        for name, amount in (delta.get("counters") or {}).items():
+            self.count(name, amount)
+        for name, seconds in (delta.get("timers") or {}).items():
+            self.add_time(name, seconds)
+
+    def delta(self, before: dict) -> dict:
+        """Counters/timers gained since a :meth:`snapshot` *before*.
+
+        Only strictly-positive deltas are reported (a ``reset`` between
+        the snapshots would make deltas negative; dropping them keeps the
+        payload meaningful as "work done since").
+        """
+        counters, timers = {}, {}
+        with self._lock:
+            for name, value in self.counters.items():
+                gained = value - before.get("counters", {}).get(name, 0)
+                if gained > 0:
+                    counters[name] = gained
+            for name, value in self.timers.items():
+                gained = value - before.get("timers", {}).get(name, 0.0)
+                if gained > 0.0:
+                    timers[name] = gained
+        return {"counters": counters, "timers": timers}
 
     # ----------------------------------------------------------- reporting
 
     def snapshot(self) -> dict:
         """Point-in-time copy: ``{"counters": {...}, "timers": {...}}``."""
-        return {"counters": dict(self.counters), "timers": dict(self.timers)}
+        with self._lock:
+            return {"counters": dict(self.counters),
+                    "timers": dict(self.timers)}
 
     def rate(self, counter: str, timer: str) -> float:
         """counter / timer, or 0.0 when no time has been recorded."""

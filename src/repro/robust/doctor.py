@@ -18,7 +18,12 @@ The report covers the four robustness surfaces:
 * a supervised :func:`~repro.perf.parallel.parallel_map` across two
   workers;
 * a tiny guarded functional launch in ``full`` mode, which must pass its
-  reference check with no divergence.
+  reference check with no divergence;
+* a service round-trip: an in-process daemon on a temporary socket, the
+  same tiny GEMM submitted by two concurrent clients, which must run
+  **once** (the twin coalesces or hits the shared cache), return
+  bit-identical matrices that match an in-process run, and shut down
+  cleanly (socket removed).
 
 Everything returns data; the CLI does the printing.
 """
@@ -136,6 +141,69 @@ def _selftest_guard() -> str:
     return "ok"
 
 
+def _selftest_serve() -> str:
+    import tempfile
+    import threading
+
+    import numpy as np
+
+    from ..core.hgemm import hgemm
+    from ..serve import ServeClient, ServeDaemon
+    from ..serve.protocol import decode_payload
+
+    payload = {"m": 64, "n": 64, "k": 16, "kernel": "ours", "seed": 11,
+               "return_c": True}
+    with tempfile.TemporaryDirectory(prefix="repro-doctor-serve") as tmp:
+        sock = os.path.join(tmp, "doctor.sock")
+        daemon = ServeDaemon(sock, workers=1)
+        daemon.start()
+        try:
+            # Park the single worker on a noop so both GEMM submissions
+            # provably arrive while the key is queued -- the coalescing
+            # check is then deterministic, not a race we usually win.
+            with ServeClient(sock, tenant="doctor-hold") as holder:
+                holder.submit("noop", {"sleep_s": 0.75})
+            views, errors = [None, None], []
+
+            def submit(slot):
+                try:
+                    with ServeClient(sock, tenant=f"doctor-{slot}") as c:
+                        views[slot] = c.run("hgemm", payload)
+                except Exception as exc:  # noqa: BLE001 - report, not raise
+                    errors.append(f"{type(exc).__name__}: {exc}")
+
+            threads = [threading.Thread(target=submit, args=(i,))
+                       for i in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+            if errors:
+                return f"FAIL: client error ({errors[0]})"
+            if any(v is None for v in views):
+                return "FAIL: a client never got its result"
+            stats = daemon._stats()
+            if stats["executed"] != 2:  # the noop holder + ONE simulation
+                return (f"FAIL: {stats['executed'] - 1} simulations ran for "
+                        "2 identical submissions")
+            if stats["coalesced"] != 1:
+                return (f"FAIL: twin did not coalesce "
+                        f"(coalesced={stats['coalesced']})")
+            c0, c1 = (decode_payload(v["result"]["c"]) for v in views)
+            if not np.array_equal(c0, c1):
+                return "FAIL: coalesced twins returned different matrices"
+            rng = np.random.default_rng(payload["seed"])
+            a = rng.uniform(-1, 1, (64, 16)).astype(np.float16)
+            b = rng.uniform(-1, 1, (16, 64)).astype(np.float16)
+            if not np.array_equal(c0, hgemm(a, b, kernel="ours")):
+                return "FAIL: served result differs from an in-process run"
+        finally:
+            daemon.stop()
+        if os.path.exists(sock):
+            return "FAIL: daemon left its socket behind"
+    return "ok"
+
+
 def run_doctor(selftest: bool = True):
     """Collect the health report; returns ``(report_dict, all_ok)``."""
     report = {
@@ -150,6 +218,7 @@ def run_doctor(selftest: bool = True):
             "cache_roundtrip": _selftest_cache(),
             "supervised_map": _selftest_workers(),
             "guarded_run": _selftest_guard(),
+            "serve_coalesce": _selftest_serve(),
         }
         ok = not any(v.startswith("FAIL") for v in results.values())
         report["selftest"] = results

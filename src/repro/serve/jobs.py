@@ -1,0 +1,288 @@
+"""Job kinds the simulation service executes, and their cache keys.
+
+Each kind is a pure function of its JSON payload: the daemon can run it
+anywhere, coalesce concurrent twins, and cache the result.  The
+**coalescing key of a job is the ``repro.perf`` cache key of the work it
+performs** -- built with :func:`~repro.perf.cache.content_key` over the
+canonicalised payload with :data:`~repro.perf.cache.SIM_VERSION` mixed
+in, and, for ``profile`` jobs, *literally* the same ``sm-profile`` key
+:meth:`~repro.analysis.perf_model.PerformanceModel.sm_profile` stores
+under.  Two requests coalesce exactly when a warm cache would have
+served the second one; a bumped ``SIM_VERSION`` separates the keys the
+same way it invalidates the cache.
+
+Kinds
+-----
+``noop``
+    Diagnostic echo (optionally sleeping); never cached, so tests can
+    hold a job in flight deterministically.
+``profile``
+    One ``PerformanceModel.sm_profile`` measurement -- the expensive
+    primitive under every sweep and autotune.
+``sweep``
+    A figure-style size sweep of one kernel config (profile + wave-model
+    estimates).
+``autotune``
+    Full two-stage autotune for one problem shape.
+``hgemm`` / ``igemm``
+    One functional GEMM launch, seed-generated operands, verified
+    against the precision-model oracle daemon-side.  ``return_c`` ships
+    the full result matrix back (base64) for bit-exactness audits.
+``verify``
+    The shape/seed verification grid of one config.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from ..arch.turing import GpuSpec, MemoryCpiTable
+from ..core.config import KernelConfig
+from ..perf.cache import SIM_VERSION, content_key
+
+__all__ = [
+    "JobKind",
+    "JOB_KINDS",
+    "job_key",
+    "run_job",
+    "spec_to_dict",
+    "spec_from_dict",
+    "config_to_dict",
+    "config_from_dict",
+    "options_to_dict",
+    "options_from_dict",
+]
+
+
+# ------------------------------------------------- dataclass round-trips
+#
+# GpuSpec / KernelConfig / PerfOptions must cross the JSON protocol and
+# come back equal (their dicts feed content_key, so a lossy round-trip
+# would split cache keys between client and daemon).
+
+def spec_to_dict(spec: GpuSpec) -> dict:
+    return asdict(spec)
+
+
+def spec_from_dict(data: dict) -> GpuSpec:
+    fields = dict(data)
+    for name, value in fields.items():
+        if isinstance(value, dict) and set(value) == {"cpi32", "cpi64",
+                                                      "cpi128"}:
+            fields[name] = MemoryCpiTable(**value)
+    return GpuSpec(**fields)
+
+
+def config_to_dict(config: KernelConfig) -> dict:
+    return asdict(config)
+
+
+def config_from_dict(data: dict) -> KernelConfig:
+    return KernelConfig(**data)
+
+
+def options_to_dict(options) -> dict:
+    return asdict(options)
+
+
+def options_from_dict(data):
+    from ..analysis.perf_model import PerfOptions
+
+    fields = dict(data)
+    for name in ("cliff_devices", "profile_iters"):
+        if name in fields and isinstance(fields[name], list):
+            fields[name] = tuple(fields[name])
+    return PerfOptions(**fields)
+
+
+def _model(payload):
+    """(spec, options, PerformanceModel) from a job payload."""
+    from ..analysis.perf_model import PerformanceModel, PerfOptions
+
+    spec = spec_from_dict(payload["spec"])
+    options = (options_from_dict(payload["options"])
+               if payload.get("options") else PerfOptions())
+    return spec, options, PerformanceModel(spec, options)
+
+
+# ------------------------------------------------------------ executors
+
+def _run_noop(payload: dict) -> dict:
+    import time
+
+    sleep_s = float(payload.get("sleep_s", 0.0))
+    if sleep_s > 0.0:
+        time.sleep(sleep_s)
+    return {"value": payload.get("value")}
+
+
+def _run_profile(payload: dict) -> dict:
+    _, _, model = _model(payload)
+    profile = model.sm_profile(config_from_dict(payload["config"]))
+    return asdict(profile)
+
+
+def _run_sweep(payload: dict) -> dict:
+    _, _, model = _model(payload)
+    config = config_from_dict(payload["config"])
+    estimates = model.sweep(
+        config,
+        sizes=list(payload["sizes"]),
+        shape=tuple(payload.get("shape", (1, 1, 1))),
+        baseline_quirks=bool(payload.get("baseline_quirks", False)),
+        max_workers=payload.get("jobs"),
+    )
+    return {"estimates": [asdict(e) for e in estimates]}
+
+
+def _run_autotune(payload: dict) -> dict:
+    from ..analysis.autotune import autotune
+
+    spec, _, model = _model(payload)
+    result = autotune(spec, payload["m"], payload["n"], payload["k"],
+                      accum_f32=bool(payload.get("accum_f32", False)),
+                      model=model, max_workers=payload.get("jobs"))
+    return {
+        "best": config_to_dict(result.best),
+        "best_name": result.best.name,
+        "best_describe": result.best.describe(),
+        "best_tflops": result.best_tflops,
+        "summary": result.summary(),
+    }
+
+
+def _gemm_result(run, exact: bool, opcode: str, payload: dict) -> dict:
+    from .protocol import encode_payload
+
+    out = {
+        "describe": run.config.describe(),
+        "instructions": run.stats.instructions_retired,
+        "mma": run.stats.opcode_counts.get(opcode, 0),
+        "ctas": run.stats.ctas_run,
+        "exact": exact,
+        "c_sha256": content_key(np.ascontiguousarray(run.c).tobytes()),
+    }
+    if payload.get("return_c"):
+        out["c"] = encode_payload(np.ascontiguousarray(run.c))
+    return out
+
+
+def _run_hgemm(payload: dict) -> dict:
+    from ..arch.turing import RTX2070
+    from ..core import hgemm, hgemm_reference
+
+    spec = (spec_from_dict(payload["spec"]) if payload.get("spec")
+            else RTX2070)
+    rng = np.random.default_rng(int(payload.get("seed", 0)))
+    m, n, k = payload["m"], payload["n"], payload["k"]
+    a = rng.uniform(-1, 1, (m, k)).astype(np.float16)
+    b = rng.uniform(-1, 1, (k, n)).astype(np.float16)
+    accumulate = payload.get("accumulate", "f16")
+    run = hgemm(a, b, kernel=payload.get("kernel", "ours"), spec=spec,
+                accumulate=accumulate, return_run=True,
+                max_workers=payload.get("jobs"),
+                engine=payload.get("engine"))
+    exact = bool(np.array_equal(
+        run.c, hgemm_reference(a, b, accumulate=accumulate)))
+    return _gemm_result(run, exact, "HMMA", payload)
+
+
+def _run_igemm(payload: dict) -> dict:
+    from ..arch.turing import RTX2070
+    from ..core import igemm, igemm_reference
+
+    spec = (spec_from_dict(payload["spec"]) if payload.get("spec")
+            else RTX2070)
+    rng = np.random.default_rng(int(payload.get("seed", 0)))
+    m, n, k = payload["m"], payload["n"], payload["k"]
+    a = rng.integers(-128, 128, (m, k), dtype=np.int8)
+    b = rng.integers(-128, 128, (k, n), dtype=np.int8)
+    run = igemm(a, b, return_run=True, spec=spec,
+                max_workers=payload.get("jobs"),
+                engine=payload.get("engine"))
+    exact = bool(np.array_equal(run.c, igemm_reference(a, b)))
+    return _gemm_result(run, exact, "IMMA", payload)
+
+
+def _run_verify(payload: dict) -> dict:
+    from ..arch.turing import RTX2070
+    from ..core import verify_kernel
+
+    spec = (spec_from_dict(payload["spec"]) if payload.get("spec")
+            else RTX2070)
+    config = config_from_dict(payload["config"])
+    seeds = payload.get("seeds", 2)
+    seeds = tuple(seeds) if isinstance(seeds, list) else tuple(range(seeds))
+    report = verify_kernel(config, seeds=seeds, spec=spec,
+                           max_workers=payload.get("jobs"),
+                           engine=payload.get("engine"))
+    return {"passed": report.passed, "summary": report.summary(),
+            "cases": len(report.cases)}
+
+
+# -------------------------------------------------------------- registry
+
+@dataclass(frozen=True)
+class JobKind:
+    """One executable kind: its runner and caching policy."""
+
+    name: str
+    run: callable
+    #: Completed results land in the shared serve cache (and later
+    #: identical submissions are answered from it).  Off for diagnostics
+    #: and for results carrying bulk arrays.
+    cacheable: bool = True
+
+
+JOB_KINDS = {
+    "noop": JobKind("noop", _run_noop, cacheable=False),
+    "profile": JobKind("profile", _run_profile),
+    "sweep": JobKind("sweep", _run_sweep),
+    "autotune": JobKind("autotune", _run_autotune),
+    "hgemm": JobKind("hgemm", _run_hgemm),
+    "igemm": JobKind("igemm", _run_igemm),
+    "verify": JobKind("verify", _run_verify),
+}
+
+
+def kind_of(name: str) -> JobKind:
+    try:
+        return JOB_KINDS[name]
+    except KeyError:
+        raise ValueError(f"unknown job kind {name!r} "
+                         f"(know: {sorted(JOB_KINDS)})") from None
+
+
+def cacheable(kind: str, payload: dict) -> bool:
+    """Whether this job's result may be served from / stored to cache."""
+    if not kind_of(kind).cacheable:
+        return False
+    # Bulk-array results do not belong in the JSON result cache (and a
+    # spooled file reference would dangle after its one-shot read).
+    return not payload.get("return_c")
+
+
+def job_key(kind: str, payload: dict) -> str:
+    """The job's coalescing key == its ``repro.perf`` cache key.
+
+    ``profile`` jobs reuse the exact ``sm-profile`` key their execution
+    will store under, so a daemon profile and a local
+    ``PerformanceModel.sm_profile`` of the same work share one identity.
+    Every other kind hashes (kind, canonical payload) under the same
+    ``SIM_VERSION``-salted scheme.
+    """
+    kind_of(kind)  # validate early: a bad kind must fail at submit time
+    if kind == "profile":
+        spec, options, model = _model(payload)
+        config = config_from_dict(payload["config"])
+        lo, hi = options.profile_iters
+        return content_key(b"sm-profile", SIM_VERSION, spec, config,
+                           (lo, hi), model.ctas_per_sm(config))
+    return content_key(b"serve-job", SIM_VERSION, kind, payload)
+
+
+def run_job(kind: str, payload: dict) -> dict:
+    """Execute one job; pure in (kind, payload)."""
+    return kind_of(kind).run(payload)

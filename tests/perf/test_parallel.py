@@ -142,3 +142,28 @@ class TestModelParallelism:
         par = pm.sweep(cublas_like(), sizes, max_workers=2)
         assert [e.tflops for e in serial] == [e.tflops for e in par]
         assert [e.bound for e in serial] == [e.bound for e in par]
+
+
+def _square_counting(x):
+    STATS.count("test.par_marks")
+    return x * x
+
+
+class TestWorkerStatsRepatriation:
+    """Workers ship their STATS deltas home with each result."""
+
+    def test_worker_counters_reach_parent(self):
+        before = STATS.counters.get("test.par_marks", 0)
+        out = parallel_map(_square_counting, [1, 2, 3], max_workers=2,
+                           timeout=60)
+        assert out == [1, 4, 9]
+        gained = STATS.counters.get("test.par_marks", 0) - before
+        assert gained == 3
+
+    def test_worker_counters_land_in_active_scope(self):
+        """The chain behind per-request serve attribution: a scoped
+        request fans out to processes and still gets charged."""
+        with STATS.scoped() as scope:
+            parallel_map(_square_counting, [1, 2], max_workers=2,
+                         timeout=60)
+        assert scope.snapshot()["counters"].get("test.par_marks") == 2

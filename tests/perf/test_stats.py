@@ -69,3 +69,77 @@ def test_simulator_populates_global_stats():
     assert after.get("sim.runs", 0) == before.get("sim.runs", 0) + 1
     delta = after.get("sim.cycles", 0) - before.get("sim.cycles", 0)
     assert delta == result.cycles
+
+
+class TestScopedStats:
+    """Per-request attribution: thread-local scopes filled incrementally."""
+
+    def test_scope_captures_only_inside(self):
+        s = PerfStats()
+        s.count("sim.runs")
+        with s.scoped() as scope:
+            s.count("sim.runs")
+            s.count("sim.cycles", 40)
+            s.add_time("sim.wall", 0.5)
+        s.count("sim.runs")
+        snap = scope.snapshot()
+        assert snap["counters"] == {"sim.runs": 1, "sim.cycles": 40}
+        assert snap["timers"] == {"sim.wall": 0.5}
+        assert s.counters["sim.runs"] == 3  # globals unaffected
+
+    def test_nested_scopes_both_observe(self):
+        s = PerfStats()
+        with s.scoped() as outer:
+            s.count("a")
+            with s.scoped() as inner:
+                s.count("a")
+        assert outer.snapshot()["counters"]["a"] == 2
+        assert inner.snapshot()["counters"]["a"] == 1
+
+    def test_scopes_are_thread_local(self):
+        import threading
+
+        s = PerfStats()
+        other = {}
+
+        def worker():
+            with s.scoped() as scope:
+                s.count("w")
+            other["snap"] = scope.snapshot()
+
+        with s.scoped() as mine:
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join(timeout=10)
+            s.count("m")
+        assert other["snap"]["counters"] == {"w": 1}
+        assert mine.snapshot()["counters"] == {"m": 1}
+
+    def test_merge_lands_in_active_scope(self):
+        """Worker-process deltas merged by the supervisor must be charged
+        to the request scope that triggered the fan-out."""
+        s = PerfStats()
+        with s.scoped() as scope:
+            s.merge({"counters": {"sim.runs": 2, "sim.cycles": 100},
+                     "timers": {"sim.wall": 1.5}})
+        snap = scope.snapshot()
+        assert snap["counters"] == {"sim.runs": 2, "sim.cycles": 100}
+        assert snap["timers"] == {"sim.wall": 1.5}
+        assert s.counters["sim.cycles"] == 100
+
+    def test_delta_since_snapshot(self):
+        s = PerfStats()
+        s.count("a", 5)
+        before = s.snapshot()
+        s.count("a", 2)
+        s.count("b")
+        s.add_time("t", 0.25)
+        delta = s.delta(before)
+        assert delta["counters"] == {"a": 2, "b": 1}
+        assert delta["timers"] == {"t": 0.25}
+
+    def test_reset_clears_globals_not_scope_contract(self):
+        s = PerfStats()
+        s.count("a")
+        s.reset()
+        assert s.counters == {}

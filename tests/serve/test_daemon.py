@@ -1,0 +1,260 @@
+"""End-to-end tests of the in-process daemon: correctness, coalescing,
+per-request stats, cache hits, disconnect survival, fault injection."""
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    JobFailed,
+    ServeClient,
+    ServeDaemon,
+    ServeError,
+    ServeUnavailable,
+    daemon_available,
+)
+from repro.serve.protocol import decode_payload, recv_frame, send_frame
+
+
+@pytest.fixture()
+def scratch_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_CHAOS", raising=False)
+    return tmp_path
+
+
+@pytest.fixture()
+def daemon(scratch_env):
+    d = ServeDaemon(str(scratch_env / "test.sock"), workers=2)
+    d.start()
+    yield d
+    d.stop()
+
+
+def _hgemm_payload(**over):
+    payload = {"m": 64, "n": 64, "k": 16, "kernel": "ours", "seed": 3}
+    payload.update(over)
+    return payload
+
+
+class TestBasics:
+    def test_ping_and_availability(self, daemon):
+        assert daemon_available(daemon.socket_path)
+        with ServeClient(daemon.socket_path) as client:
+            info = client.ping()
+        assert info["ok"] and info["protocol"] == 1
+
+    def test_unreachable_socket_raises(self, scratch_env):
+        with pytest.raises(ServeUnavailable):
+            with ServeClient(str(scratch_env / "nothing.sock")) as c:
+                c.ping()
+        assert not daemon_available(str(scratch_env / "nothing.sock"))
+
+    def test_unknown_kind_is_bad_request(self, daemon):
+        with ServeClient(daemon.socket_path) as client:
+            with pytest.raises(ServeError) as err:
+                client.submit("no-such-kind")
+        assert err.value.code == "bad_request"
+
+    def test_job_failure_reported_not_fatal(self, daemon):
+        with ServeClient(daemon.socket_path) as client:
+            # m not tileable by the kernel -> daemon-side ValueError.
+            with pytest.raises(JobFailed):
+                client.run("hgemm", _hgemm_payload(m=7))
+            # The daemon survives and still serves.
+            assert client.ping()["ok"]
+
+    def test_result_matches_inprocess_run(self, daemon):
+        from repro.core import hgemm
+
+        payload = _hgemm_payload(return_c=True)
+        with ServeClient(daemon.socket_path) as client:
+            view = client.run("hgemm", payload)
+        served = decode_payload(view["result"]["c"])
+        rng = np.random.default_rng(payload["seed"])
+        a = rng.uniform(-1, 1, (64, 16)).astype(np.float16)
+        b = rng.uniform(-1, 1, (16, 64)).astype(np.float16)
+        assert view["result"]["exact"] is True
+        assert np.array_equal(served, hgemm(a, b, kernel="ours"))
+
+
+class TestCoalescing:
+    def test_batch_duplicates_execute_once(self, daemon):
+        jobs = [{"kind": "hgemm", "payload": _hgemm_payload()}] * 4
+        with ServeClient(daemon.socket_path) as client:
+            views = client.batch_submit(jobs)
+            assert [v["coalesced"] for v in views] == [False, True, True,
+                                                       True]
+            finals = [client.wait(v["job_id"]) for v in views]
+        assert {v["job_id"] for v in finals} == {finals[0]["job_id"]}
+        assert all(v["state"] == "done" for v in finals)
+        assert daemon.queue.executed == 1
+        shas = {v["result"]["c_sha256"] for v in finals}
+        assert len(shas) == 1
+
+    def test_noop_twins_share_one_sleep(self, daemon):
+        # noop is uncacheable, so dedup can only come from coalescing.
+        payload = {"sleep_s": 0.4, "value": 7}
+        with ServeClient(daemon.socket_path) as client:
+            views = client.batch_submit(
+                [{"kind": "noop", "payload": payload}] * 3)
+            done = client.wait(views[0]["job_id"])
+        assert sum(v["coalesced"] for v in views) == 2
+        assert done["waiters"] == 3
+        assert done["result"] == {"value": 7}
+
+    def test_cache_hit_on_resubmit(self, daemon):
+        payload = _hgemm_payload()
+        with ServeClient(daemon.socket_path) as client:
+            first = client.run("hgemm", payload)
+            again = client.submit("hgemm", payload)
+        assert first["cached"] is False
+        assert again["cached"] is True and again["state"] == "done"
+        assert again["result"]["c_sha256"] == first["result"]["c_sha256"]
+        assert daemon.queue.executed == 1  # the resubmit never ran
+
+    def test_return_c_jobs_are_not_cached(self, daemon):
+        payload = _hgemm_payload(return_c=True)
+        with ServeClient(daemon.socket_path) as client:
+            first = client.run("hgemm", payload)
+            again = client.run("hgemm", payload)
+        assert first["cached"] is False and again["cached"] is False
+        assert daemon.queue.executed == 2
+
+
+class TestStatsAttribution:
+    def test_response_carries_scoped_counters(self, daemon):
+        with ServeClient(daemon.socket_path) as client:
+            view = client.run("hgemm", _hgemm_payload())
+        counters = view["stats"]["counters"]
+        assert counters.get("func.runs", 0) >= 1
+        assert counters.get("func.instructions", 0) > 0
+        assert view["result"]["instructions"] <= counters["func.instructions"]
+
+    def test_concurrent_jobs_attribute_separately(self, daemon):
+        """Two different jobs running at once must not bleed counters."""
+        payloads = [_hgemm_payload(seed=1), _hgemm_payload(seed=2, k=32)]
+        views = [None, None]
+
+        def run(slot):
+            with ServeClient(daemon.socket_path) as client:
+                views[slot] = client.run("hgemm", payloads[slot])
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in (0, 1)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        for view in views:
+            counters = view["stats"]["counters"]
+            # Each job is charged exactly its own retired instructions --
+            # with cross-thread bleed this would be the sum of both jobs.
+            assert counters["func.instructions"] == \
+                view["result"]["instructions"]
+        assert (views[0]["result"]["instructions"]
+                != views[1]["result"]["instructions"])
+
+    def test_tenant_aggregation(self, daemon):
+        with ServeClient(daemon.socket_path, tenant="acme") as client:
+            client.run("hgemm", _hgemm_payload())
+            stats = client.stats()
+        acme = stats["tenants"]["acme"]
+        assert acme["jobs"] == 1
+        assert acme["counters"].get("func.runs", 0) >= 1
+
+
+class TestRobustness:
+    def test_client_disconnect_mid_wait_job_completes(self, daemon):
+        """A vanished waiter must not kill or orphan its job."""
+        payload = _hgemm_payload(seed=9)
+        raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        raw.connect(daemon.socket_path)
+        send_frame(raw, {"op": "submit", "kind": "hgemm",
+                         "payload": payload, "tenant": "quitter"})
+        view = recv_frame(raw)
+        assert view["ok"]
+        send_frame(raw, {"op": "wait", "job_id": view["job_id"]})
+        raw.close()  # hang up while the job runs
+
+        with ServeClient(daemon.socket_path) as client:
+            final = client.wait(view["job_id"], timeout=120)
+            assert final["state"] == "done"
+            # ...and the result was cached for the next tenant.
+            again = client.submit("hgemm", payload)
+        assert again["cached"] is True
+
+    def test_worker_crash_chaos_is_salvaged(self, daemon, monkeypatch):
+        """A supervised worker crash inside a job retries transparently:
+        the job still completes, identically, with the crash on its own
+        stats record."""
+        from repro.core import hgemm
+
+        monkeypatch.setenv("REPRO_CHAOS", "crash_task:0")
+        # m=512 -> two CTAs (the builder grows tiles up to 256), so the
+        # launch really fans out to worker processes.
+        payload = _hgemm_payload(seed=5, m=512, return_c=True, jobs=2)
+        with ServeClient(daemon.socket_path) as client:
+            view = client.run("hgemm", payload, timeout=300)
+        assert view["state"] == "done"
+        counters = view["stats"]["counters"]
+        assert counters.get("par.crashes", 0) >= 1
+        assert counters.get("par.retries", 0) >= 1
+        monkeypatch.delenv("REPRO_CHAOS")
+        rng = np.random.default_rng(payload["seed"])
+        a = rng.uniform(-1, 1, (512, 16)).astype(np.float16)
+        b = rng.uniform(-1, 1, (16, 64)).astype(np.float16)
+        assert np.array_equal(decode_payload(view["result"]["c"]),
+                              hgemm(a, b, kernel="ours"))
+
+    def test_delay_chaos_does_not_change_results(self, daemon, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "delay_task:0,delay_seconds:0.3")
+        payload = _hgemm_payload(seed=6, m=512, jobs=2)
+        with ServeClient(daemon.socket_path) as client:
+            slow = client.run("hgemm", payload, timeout=300)
+        monkeypatch.delenv("REPRO_CHAOS")
+        with ServeClient(daemon.socket_path) as client:
+            # Same key: must be answered from cache, proving the delayed
+            # run produced the canonical result.
+            again = client.submit("hgemm", payload)
+        assert again["cached"] is True
+        assert again["result"]["c_sha256"] == slow["result"]["c_sha256"]
+
+    def test_queue_full_is_reported(self, scratch_env):
+        import time
+
+        d = ServeDaemon(str(scratch_env / "tiny.sock"), workers=1,
+                        queue_max=1)
+        d.start()
+        try:
+            with ServeClient(d.socket_path) as client:
+                first = client.submit("noop", {"sleep_s": 1.0, "value": 1})
+                # Wait until the worker claims it so it stops counting
+                # against the queued-depth bound.
+                deadline = time.time() + 5
+                while (client.poll(first["job_id"])["state"] != "running"
+                       and time.time() < deadline):
+                    time.sleep(0.01)
+                client.submit("noop", {"sleep_s": 1.0, "value": 2})
+                with pytest.raises(ServeError) as err:
+                    client.submit("noop", {"sleep_s": 1.0, "value": 3})
+            assert err.value.code == "queue_full"
+        finally:
+            d.stop()
+
+    def test_stop_fails_queued_jobs_and_removes_socket(self, scratch_env):
+        import os
+
+        d = ServeDaemon(str(scratch_env / "stop.sock"), workers=1)
+        d.start()
+        with ServeClient(d.socket_path) as client:
+            client.submit("noop", {"sleep_s": 0.5, "value": 0})  # running
+            queued = client.submit("noop", {"sleep_s": 0.0, "value": 1})
+        d.stop()
+        assert not os.path.exists(d.socket_path)
+        job = d.queue.get(queued["job_id"])
+        assert job.state in ("failed", "done")
+        if job.state == "failed":
+            assert "stopping" in job.error

@@ -1,0 +1,99 @@
+"""Unit tests for the serve wire protocol (framing + payload codec)."""
+
+import socket
+
+import numpy as np
+import pytest
+
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    SPOOL_LIMIT_BYTES,
+    decode_payload,
+    encode_payload,
+    recv_frame,
+    send_frame,
+)
+
+
+@pytest.fixture()
+def pair():
+    a, b = socket.socketpair(socket.AF_UNIX, socket.SOCK_STREAM)
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestFraming:
+    def test_round_trip(self, pair):
+        a, b = pair
+        send_frame(a, {"op": "ping", "n": 3})
+        assert recv_frame(b) == {"op": "ping", "n": 3}
+
+    def test_several_frames_in_order(self, pair):
+        a, b = pair
+        for i in range(5):
+            send_frame(a, {"i": i})
+        assert [recv_frame(b)["i"] for _ in range(5)] == list(range(5))
+
+    def test_clean_eof_returns_none(self, pair):
+        a, b = pair
+        a.close()
+        assert recv_frame(b) is None
+
+    def test_mid_frame_eof_raises(self, pair):
+        a, b = pair
+        a.sendall((1000).to_bytes(4, "big") + b'{"tru')
+        a.close()
+        with pytest.raises(ProtocolError):
+            recv_frame(b)
+
+    def test_oversize_frame_rejected(self, pair):
+        a, b = pair
+        a.sendall((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+        with pytest.raises(ProtocolError):
+            recv_frame(b)
+
+    def test_garbage_json_raises(self, pair):
+        a, b = pair
+        body = b"not json at all"
+        a.sendall(len(body).to_bytes(4, "big") + body)
+        with pytest.raises(ProtocolError):
+            recv_frame(b)
+
+
+class TestPayloadCodec:
+    def test_plain_json_passthrough(self):
+        obj = {"a": 1, "b": [1.5, "x", None], "c": {"d": True}}
+        assert decode_payload(encode_payload(obj)) == obj
+
+    def test_ndarray_inline_round_trip(self):
+        arr = np.arange(24, dtype=np.float16).reshape(4, 6)
+        out = decode_payload(encode_payload(arr))
+        assert out.dtype == arr.dtype
+        assert np.array_equal(out, arr)
+
+    def test_ndarray_nested_in_dict(self):
+        arr = np.arange(6, dtype=np.int8)
+        out = decode_payload(encode_payload({"deep": {"c": arr}}))
+        assert np.array_equal(out["deep"]["c"], arr)
+
+    def test_bytes_round_trip(self):
+        blob = bytes(range(256))
+        assert decode_payload(encode_payload({"b": blob}))["b"] == blob
+
+    def test_large_array_spools_to_file(self, tmp_path):
+        arr = np.zeros(SPOOL_LIMIT_BYTES // 2 + 16, dtype=np.uint16)
+        arr[-1] = 7
+        enc = encode_payload(arr, spool_dir=str(tmp_path))
+        assert "__ndfile__" in enc
+        spooled = list(tmp_path.iterdir())
+        assert len(spooled) == 1
+        out = decode_payload(enc)
+        assert np.array_equal(out, arr)
+        # One-shot: the spool file is consumed by decoding.
+        assert not list(tmp_path.iterdir())
+
+    def test_scalars_decay_to_python(self):
+        enc = encode_payload({"x": np.int64(3), "y": np.float32(1.5)})
+        assert decode_payload(enc) == {"x": 3, "y": 1.5}

@@ -1,0 +1,69 @@
+"""PerformanceModel's remote (daemon-backed) profile path."""
+
+import pytest
+
+from repro.analysis import PerformanceModel
+from repro.arch import RTX2070
+from repro.core import cublas_like, ours
+from repro.serve import ServeDaemon
+
+
+@pytest.fixture()
+def scratch_env(tmp_path, monkeypatch):
+    from repro.perf.cache import PROFILE_CACHE
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    # The singleton's memory layer outlives the scratch dir; drop it so
+    # profile lookups really exercise the remote/disk paths under test.
+    PROFILE_CACHE._memory.clear()
+    return tmp_path
+
+
+@pytest.fixture()
+def daemon(scratch_env):
+    d = ServeDaemon(str(scratch_env / "model.sock"), workers=2)
+    d.start()
+    yield d
+    d.stop()
+
+
+def test_remote_profile_matches_local(daemon):
+    remote_pm = PerformanceModel(RTX2070, remote=daemon.socket_path)
+    remote_profile = remote_pm.sm_profile(ours())
+    assert daemon.queue.executed == 1  # it really went through the daemon
+    local_profile = PerformanceModel(RTX2070).sm_profile(ours())
+    assert remote_profile == local_profile
+    # Estimates built on the remote profile match local ones bit for bit.
+    remote_est = remote_pm.estimate(ours(), 2048, 2048, 2048)
+    local_est = PerformanceModel(RTX2070).estimate(ours(), 2048, 2048, 2048)
+    assert remote_est == local_est
+
+
+def test_profile_many_batches_through_daemon(daemon):
+    pm = PerformanceModel(RTX2070, remote=daemon.socket_path)
+    profiles = pm.profile_many([ours(), cublas_like()])
+    assert len(profiles) == 2
+    assert daemon.queue.executed == 2
+    reference = PerformanceModel(RTX2070)
+    assert profiles == reference.profile_many([ours(), cublas_like()])
+
+
+def test_unreachable_daemon_degrades_in_process(scratch_env, capsys):
+    pm = PerformanceModel(RTX2070,
+                          remote=str(scratch_env / "nowhere.sock"))
+    profile = pm.sm_profile(ours())
+    assert pm.remote is None  # degraded for the model's lifetime
+    assert "warning" in capsys.readouterr().err
+    assert profile == PerformanceModel(RTX2070).sm_profile(ours())
+
+
+def test_autotune_accepts_remote(daemon):
+    from repro.analysis import autotune
+
+    result = autotune(RTX2070, 1024, 1024, 1024,
+                      remote=daemon.socket_path)
+    local = autotune(RTX2070, 1024, 1024, 1024)
+    assert daemon.queue.executed >= 1
+    assert result.best == local.best
+    assert result.best_tflops == local.best_tflops

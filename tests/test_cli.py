@@ -80,3 +80,62 @@ class TestCommands:
     def test_verify_int8(self, capsys):
         assert main(["verify", "--kernel", "int8", "--seeds", "1"]) == 0
         assert "bit-exact" in capsys.readouterr().out
+
+
+class TestServeCli:
+    def test_serve_parser(self):
+        args = build_parser().parse_args(
+            ["serve", "start", "--socket", "/tmp/x.sock", "--workers", "3",
+             "--queue-max", "16", "--foreground"])
+        assert args.command == "serve" and args.action == "start"
+        assert args.socket == "/tmp/x.sock"
+        assert args.workers == 3 and args.queue_max == 16
+        assert args.foreground
+
+    def test_remote_flag_optional_socket(self):
+        args = build_parser().parse_args(["hgemm", "64", "64", "32",
+                                          "--remote"])
+        assert args.remote == ""  # empty string -> default socket
+        args = build_parser().parse_args(["sweep", "--remote", "/tmp/s"])
+        assert args.remote == "/tmp/s"
+        args = build_parser().parse_args(["autotune", "64", "64", "32"])
+        assert args.remote is None
+
+    def test_serve_status_unreachable_fails(self, tmp_path, capsys):
+        rc = main(["serve", "status",
+                   "--socket", str(tmp_path / "none.sock")])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_remote_falls_back_in_process(self, tmp_path, capsys):
+        """--remote with no daemon must still answer, in-process."""
+        rc = main(["hgemm", "64", "64", "32",
+                   "--remote", str(tmp_path / "none.sock")])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "running in-process" in captured.err
+        assert "bit-exact vs precision model: True" in captured.out
+
+    def test_remote_round_trip_against_daemon(self, tmp_path, monkeypatch,
+                                              capsys):
+        """Full thin-client path against an embedded daemon."""
+        from repro.serve import ServeDaemon
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        daemon = ServeDaemon(str(tmp_path / "cli.sock"), workers=1)
+        daemon.start()
+        try:
+            rc = main(["hgemm", "64", "64", "32",
+                       "--remote", daemon.socket_path])
+            out = capsys.readouterr().out
+            assert rc == 0
+            assert "bit-exact vs precision model: True" in out
+            assert "served by daemon: executed" in out
+            # Identical resubmission is answered from the shared cache.
+            rc = main(["hgemm", "64", "64", "32",
+                       "--remote", daemon.socket_path])
+            out = capsys.readouterr().out
+            assert rc == 0
+            assert "served by daemon: cache hit" in out
+        finally:
+            daemon.stop()
