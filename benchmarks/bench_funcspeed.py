@@ -33,6 +33,12 @@ multiprocessing path (the mode gridlock replaces for grids this size,
 where fork + pickle + per-worker decode swallow the parallel gain) is
 recorded alongside.  Results go to ``BENCH_funcspeed.json``.
 
+A cross-generation leg re-runs the same problem on a non-Turing device
+(``XGEN_DEVICE``, Ampere's HMMA.16816 pipeline): lockstep and gridlock
+must match the precision-model oracle digest bit-for-bit and gridlock
+must hold >= 1.5x over warp-lockstep there too, so the engine ladder's
+gates cover more than the paper's native generation.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_funcspeed.py
@@ -52,13 +58,16 @@ from pathlib import Path
 M, N, K = 512, 512, 512
 KERNEL = "cublas"
 
+#: Non-Turing device of the cross-generation leg (HMMA.16816 pipeline).
+XGEN_DEVICE = "A100"
 
-def _run_leg(engine, max_workers, reps):
+
+def _run_leg(engine, max_workers, reps, device="RTX2070"):
     """Time one engine: build inputs + program from a fresh seed, run
     ``reps`` times on fresh memory.  Returns (cold, warm, digest, stats)."""
     import numpy as np
 
-    from repro.arch import RTX2070
+    from repro.arch.turing import get_device
     from repro.core.hgemm import HgemmProblem, _resolve_config, build_hgemm
     from repro.sim.functional import FunctionalSimulator
     from repro.sim.memory import GlobalMemory
@@ -69,7 +78,8 @@ def _run_leg(engine, max_workers, reps):
     a16 = rng.uniform(-2, 2, (M, K)).astype(np.float16)
     b16 = rng.uniform(-2, 2, (K, N)).astype(np.float16)
 
-    config = _resolve_config(KERNEL, M, N, K, "f16")
+    spec = get_device(device)
+    config = _resolve_config(KERNEL, M, N, K, "f16", spec)
 
     def aligned(nbytes):
         return (nbytes + 255) // 256 * 256
@@ -80,7 +90,7 @@ def _run_leg(engine, max_workers, reps):
     total = c_addr + aligned(2 * M * N) + 256
     problem = HgemmProblem(m=M, n=N, k=K, a_addr=a_addr, b_addr=b_addr,
                            c_addr=c_addr, alpha=1.0, beta=0.0)
-    program = build_hgemm(config, problem, RTX2070)
+    program = build_hgemm(config, problem, spec)
     bt = np.ascontiguousarray(b16.T)
 
     os.environ["REPRO_FUNC_ENGINE"] = engine
@@ -104,6 +114,24 @@ def _run_leg(engine, max_workers, reps):
     return cold, warm, digest, stats
 
 
+def _oracle_digest(device):
+    """Digest of the precision-model oracle result for *device*'s resolved
+    config -- correctness anchor for legs that skip the slow reference
+    interpreter."""
+    import numpy as np
+
+    from repro.arch.turing import get_device
+    from repro.core import hgemm_reference
+    from repro.core.hgemm import _resolve_config
+
+    rng = np.random.default_rng(7)
+    a16 = rng.uniform(-2, 2, (M, K)).astype(np.float16)
+    b16 = rng.uniform(-2, 2, (K, N)).astype(np.float16)
+    config = _resolve_config(KERNEL, M, N, K, "f16", get_device(device))
+    want = hgemm_reference(a16, b16, w_k=config.w_k)
+    return hashlib.sha256(np.ascontiguousarray(want).tobytes()).hexdigest()
+
+
 def main() -> int:
     legs = {
         "reference": _run_leg("reference", None, 1),
@@ -118,6 +146,22 @@ def main() -> int:
              for leg in legs.values())
     if not ok:
         print("FAIL: engine legs disagree (digest or opcode counts)",
+              file=sys.stderr)
+        return 1
+
+    # Cross-generation leg: the same problem on a non-Turing device (the
+    # Ampere HMMA.16816 pipeline).  Too slow for the reference interpreter
+    # twice over, so the correctness anchor is the precision-model oracle
+    # digest; lockstep and gridlock must match it and each other.
+    xgen = {
+        "lockstep": _run_leg("lockstep", None, 3, device=XGEN_DEVICE),
+        "gridlock": _run_leg("gridlock", None, 3, device=XGEN_DEVICE),
+    }
+    xgen_want = _oracle_digest(XGEN_DEVICE)
+    xgen_ok = all(leg[2] == xgen_want for leg in xgen.values()) and (
+        xgen["lockstep"][3].opcode_counts == xgen["gridlock"][3].opcode_counts)
+    if not xgen_ok:
+        print(f"FAIL: {XGEN_DEVICE} legs disagree with the oracle digest",
               file=sys.stderr)
         return 1
 
@@ -142,6 +186,12 @@ def main() -> int:
         "gridlock_over_sharded_lockstep": round(
             warm["parallel"] / warm["gridlock"], 2),
         "bit_identical": ok,
+        "xgen_device": XGEN_DEVICE,
+        "xgen_digest_sha256": xgen_want,
+        "xgen_warm_seconds": {k: round(v[1], 4) for k, v in xgen.items()},
+        "xgen_gridlock_over_lockstep": round(
+            xgen["lockstep"][1] / xgen["gridlock"][1], 2),
+        "xgen_bit_identical": xgen_ok,
     }
 
     out = Path(__file__).resolve().parent.parent / "BENCH_funcspeed.json"
@@ -161,6 +211,11 @@ def main() -> int:
     if payload["gridlock_over_lockstep"] < 2.0:
         print(f"FAIL: gridlock only {payload['gridlock_over_lockstep']}x "
               "over warp-lockstep (< 2x target)", file=sys.stderr)
+        return 1
+    if payload["xgen_gridlock_over_lockstep"] < 1.5:
+        print(f"FAIL: {XGEN_DEVICE} gridlock only "
+              f"{payload['xgen_gridlock_over_lockstep']}x over warp-lockstep "
+              "(< 1.5x target)", file=sys.stderr)
         return 1
     return 0
 

@@ -66,17 +66,27 @@ class TuneResult:
 
 
 def candidate_space(spec: GpuSpec, accum_f32: bool = False) -> list:
-    """Enumerate feasible kernel configurations for *spec*."""
+    """Enumerate feasible kernel configurations for *spec*.
+
+    The warp k-step is the device generation's native HMMA k (8 on
+    Volta/Turing, 16 on Ampere); the swizzled layout is only proposed
+    where a k-slice is one 16-byte chunk (the swizzle's invariant).
+    """
+    arch = spec.arch
     sts = min_hmma_between_sts(spec)
+    w_k = arch.hmma_k
     out = []
     for b_m in (64, 128, 256):
         for b_n in (64, 128, 256):
             for b_k in (32, 64):
                 for w_m, w_n in ((32, 32), (64, 64), (128, 64)):
-                    if b_m % w_m or b_n % w_n or (b_k // 8) % 2:
+                    if b_m % w_m or b_n % w_n:
+                        continue
+                    slices = b_k // w_k
+                    if slices < 2 or slices % 2:
                         continue
                     layouts = [dict(smem_pad_halves=8)]
-                    if b_k == 64:
+                    if b_k == 64 and w_k * 2 == 16:
                         layouts.append(dict(smem_pad_halves=0,
                                             smem_swizzle=True))
                     for layout in layouts:
@@ -85,7 +95,7 @@ def candidate_space(spec: GpuSpec, accum_f32: bool = False) -> list:
                         try:
                             cfg = KernelConfig(
                                 b_m=b_m, b_n=b_n, b_k=b_k,
-                                w_m=w_m, w_n=w_n, w_k=8,
+                                w_m=w_m, w_n=w_n, w_k=w_k,
                                 sts_interleave=sts, accum_f32=accum_f32,
                                 name=name, **layout,
                             )
@@ -99,7 +109,7 @@ def _check_feasible(config: KernelConfig, spec: GpuSpec) -> str:
     """Empty string if buildable on *spec*, else the rejection reason."""
     try:
         config.validate_against(spec)
-        RegisterPlan.for_config(config, config.threads_per_cta)
+        RegisterPlan.for_config(config, config.threads_per_cta, spec.arch)
     except ConfigError as exc:
         return str(exc).split(" (")[0]
     return ""

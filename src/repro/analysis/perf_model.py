@@ -37,7 +37,7 @@ from dataclasses import asdict, dataclass
 
 from ..arch.turing import GpuSpec
 from ..core.builder import HgemmProblem, build_hgemm
-from ..core.config import KernelConfig
+from ..core.config import KernelConfig, adapt_for_arch
 from ..isa.encoding import encode_program
 from ..perf.cache import PROFILE_CACHE, SIM_VERSION, content_key
 from ..perf.parallel import parallel_map
@@ -151,7 +151,12 @@ class PerformanceModel:
         With ``remote`` set, a cold profile is delegated to the daemon
         (whose job key is *this same* ``profile_key``) before falling
         back to local simulation.
+
+        The config is first adapted to the device's Tensor Core
+        generation (:func:`adapt_for_arch`); on Turing this is the
+        identity, so existing cache keys are untouched.
         """
+        config = adapt_for_arch(config, self.spec.arch)
         key = config
         if key in self._profiles:
             return self._profiles[key]
@@ -251,7 +256,7 @@ class PerformanceModel:
         cache when it is enabled), so parallelism never re-simulates in the
         parent and works even under ``REPRO_NO_CACHE=1``.
         """
-        configs = list(configs)
+        configs = [adapt_for_arch(c, self.spec.arch) for c in configs]
         todo = [c for c in configs if c not in self._profiles]
         if todo and self.remote is not None:
             # One batch to the daemon: its workers parallelise, duplicates
@@ -333,6 +338,7 @@ class PerformanceModel:
         (the RTX 2070 L2-blocking cliff); use it only for the baseline.
         """
         spec, opt = self.spec, self.options
+        config = adapt_for_arch(config, spec.arch)
         profile = self.sm_profile(config)
         grid_x, grid_y = config.grid_dim(m, n)
         total_ctas = grid_x * grid_y
@@ -410,6 +416,7 @@ class PerformanceModel:
         measured once here first and shipped to the workers, so the
         expensive simulation never runs more than once per config.
         """
+        config = adapt_for_arch(config, self.spec.arch)
         sizes = list(sizes)
         if len(sizes) > 1 and max_workers is not None and max_workers != 1:
             profile = asdict(self.sm_profile(config))

@@ -1,16 +1,34 @@
-"""Turing-class device descriptions and warp-level register state."""
+"""Device descriptions (all Tensor Core generations) and register state."""
 
+from .family import ArchSpec, GENERATIONS, SM70, SM75, SM80, get_generation
 from .registers import PredicateFile, RegisterFile, WARP_LANES
-from .turing import DEVICES, GpuSpec, MemoryCpiTable, RTX2070, T4, get_device
+from .turing import (
+    A100,
+    DEVICES,
+    GpuSpec,
+    MemoryCpiTable,
+    RTX2070,
+    T4,
+    V100,
+    get_device,
+)
 
 __all__ = [
     "PredicateFile",
     "RegisterFile",
     "WARP_LANES",
+    "ArchSpec",
+    "GENERATIONS",
+    "SM70",
+    "SM75",
+    "SM80",
+    "get_generation",
     "DEVICES",
     "GpuSpec",
     "MemoryCpiTable",
     "RTX2070",
     "T4",
+    "V100",
+    "A100",
     "get_device",
 ]

@@ -28,7 +28,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["MemoryCpiTable", "GpuSpec", "RTX2070", "T4", "DEVICES", "get_device"]
+from .family import SM70, SM75, SM80, ArchSpec
+
+__all__ = [
+    "MemoryCpiTable", "GpuSpec", "RTX2070", "T4", "V100", "A100",
+    "DEVICES", "get_device",
+]
 
 
 @dataclass(frozen=True)
@@ -40,10 +45,14 @@ class MemoryCpiTable:
     cpi128: float
 
     def cpi(self, width: int) -> float:
+        table = {32: self.cpi32, 64: self.cpi64, 128: self.cpi128}
         try:
-            return {32: self.cpi32, 64: self.cpi64, 128: self.cpi128}[width]
+            return table[width]
         except KeyError:
-            raise ValueError(f"unsupported memory width {width}") from None
+            raise ValueError(
+                f"unsupported memory width {width}; "
+                f"supported widths: {sorted(table)}"
+            ) from None
 
     def bytes_per_cycle(self, width: int, lanes: int = 32) -> float:
         """Warp-level throughput in bytes per cycle (paper Table V)."""
@@ -52,11 +61,13 @@ class MemoryCpiTable:
 
 @dataclass(frozen=True)
 class GpuSpec:
-    """Complete description of one Turing-class device."""
+    """Complete description of one device (any registered generation)."""
 
     name: str
     num_sms: int
     clock_ghz: float
+    #: Tensor Core generation (HMMA shape, fragment layout, feature flags).
+    arch: ArchSpec = SM75
     # --- SM structure (Turing whitepaper) ---
     processing_blocks_per_sm: int = 4
     tensor_cores_per_block: int = 2
@@ -119,8 +130,9 @@ class GpuSpec:
 
     @property
     def tensor_peak_tflops(self) -> float:
-        """Tensor peak from structure: TC/SM x 64 FMA/cycle x 2 flop x clock."""
-        flops_per_cycle = self.tensor_cores_per_sm * 64 * 2
+        """Tensor peak from structure: TC/SM x FMA/TC/cycle x 2 flop x clock
+        (the per-core FMA rate comes from the generation's :class:`ArchSpec`)."""
+        flops_per_cycle = self.tensor_cores_per_sm * self.arch.fma_per_tc_cycle * 2
         return self.num_sms * flops_per_cycle * self.clock_ghz / 1e3
 
     @property
@@ -189,8 +201,63 @@ T4 = GpuSpec(
     fp16_tflops=16.3,
 )
 
+#: NVIDIA Tesla V100 (GV100, SXM2).  Volta/SM70: 80 SMs at the 1.53 GHz
+#: boost clock -> 125.3 tensor TFLOPS from structure (80 x 8 TC x 64 FMA
+#: x 2); HBM2 900 GB/s peak.  CPIs/latencies calibrated from the Citadel
+#: Volta microbenchmark report (PAPERS.md): HMMA.884 issues at CPI ~4 per
+#: processing block (same 256 FLOP/cycle/block as Turing), global loads
+#: ~28% slower than Turing's L1, shared latency slightly lower.
+V100 = GpuSpec(
+    name="V100",
+    num_sms=80,
+    clock_ghz=1.53,
+    arch=SM70,
+    smem_per_sm_bytes=96 * 1024,
+    max_ctas_per_sm=32,
+    max_warps_per_sm=64,
+    dram_peak_gbps=900.0,
+    dram_measured_gbps=790.0,
+    l2_measured_gbps=2155.0,
+    l2_bytes=6 * 1024 * 1024,
+    tensor_tflops=125.3,
+    fp16_tflops=31.3,
+    hmma_cpi=4.0,
+    hmma_latency_first_half=8,
+    hmma_latency_second_half=12,
+    ldg_latency_cycles=375,
+    lds_latency_cycles=19,
+)
+
+#: NVIDIA A100 (GA100, SXM4).  Ampere/SM80: 108 SMs at 1.41 GHz; one
+#: third-generation Tensor Core per processing block at 256 FMA/cycle
+#: -> 312 tensor TFLOPS from structure; HBM2e 1555 GB/s peak, 40 MB L2.
+#: HMMA.16816 CPI 8 per block (4096 FLOP / 512 FLOP-per-cycle-per-block);
+#: latencies from the Ampere microbenchmark paper (PAPERS.md, Tables 4-5).
+A100 = GpuSpec(
+    name="A100",
+    num_sms=108,
+    clock_ghz=1.41,
+    arch=SM80,
+    tensor_cores_per_block=1,
+    smem_per_sm_bytes=164 * 1024,
+    max_ctas_per_sm=32,
+    max_warps_per_sm=64,
+    dram_peak_gbps=1555.0,
+    dram_measured_gbps=1370.0,
+    l2_measured_gbps=4500.0,
+    l2_bytes=40 * 1024 * 1024,
+    tensor_tflops=311.9,
+    fp16_tflops=78.0,
+    hmma_cpi=8.0,
+    hmma_latency_first_half=12,
+    hmma_latency_second_half=16,
+    imma_cpi=4.0,
+    ldg_latency_cycles=290,
+    lds_latency_cycles=23,
+)
+
 #: Registry of known devices.
-DEVICES = {spec.name: spec for spec in (RTX2070, T4)}
+DEVICES = {spec.name: spec for spec in (RTX2070, T4, V100, A100)}
 
 
 def get_device(name: str) -> GpuSpec:

@@ -8,6 +8,7 @@ Commands
 ``hgemm``       run one simulated GEMM and verify it
 ``igemm``       run one simulated int8 GEMM (IMMA.8816) and verify it
 ``autotune``    pick the best kernel configuration for a problem
+``devices``     list registered devices and their Tensor Core generations
 ``disasm``      generate an HGEMM kernel and print its SASS listing
 ``perfstats``   profile kernels and report simulator/cache statistics
 ``doctor``      report robustness health (guard/cache/workers) + self-test
@@ -232,13 +233,17 @@ def _gemm_view_exit(view: dict, opcode: str, oracle: str) -> int:
 
 
 def _cmd_hgemm(args) -> int:
+    from .arch import get_device
     from .core import hgemm, hgemm_reference
 
+    spec = get_device(args.device)
     remote = _resolve_remote(args)
     if remote is not None:
+        from .serve.jobs import spec_to_dict
+
         payload = {"m": args.m, "n": args.n, "k": args.k,
                    "kernel": args.kernel, "accumulate": args.accumulate,
-                   "seed": args.seed}
+                   "seed": args.seed, "spec": spec_to_dict(spec)}
         if args.jobs is not None:
             payload["jobs"] = args.jobs
         if args.func_engine is not None:
@@ -251,11 +256,14 @@ def _cmd_hgemm(args) -> int:
     rng = np.random.default_rng(args.seed)
     a = rng.uniform(-1, 1, (args.m, args.k)).astype(np.float16)
     b = rng.uniform(-1, 1, (args.k, args.n)).astype(np.float16)
-    run = hgemm(a, b, kernel=args.kernel, accumulate=args.accumulate,
+    run = hgemm(a, b, kernel=args.kernel, spec=spec,
+                accumulate=args.accumulate,
                 return_run=True, max_workers=args.jobs,
                 engine=args.func_engine)
-    reference = hgemm_reference(a, b, accumulate=args.accumulate)
+    reference = hgemm_reference(a, b, w_k=run.config.w_k,
+                                accumulate=args.accumulate)
     exact = np.array_equal(run.c, reference)
+    print(f"device: {spec.name} ({spec.arch.name}, SM{spec.arch.sm_version})")
     print(f"kernel: {run.config.describe()}")
     print(f"instructions: {run.stats.instructions_retired} "
           f"({run.stats.opcode_counts.get('HMMA', 0)} HMMA), "
@@ -265,11 +273,16 @@ def _cmd_hgemm(args) -> int:
 
 
 def _cmd_igemm(args) -> int:
+    from .arch import get_device
     from .core import igemm, igemm_reference
 
+    spec = get_device(args.device)
     remote = _resolve_remote(args)
     if remote is not None:
-        payload = {"m": args.m, "n": args.n, "k": args.k, "seed": args.seed}
+        from .serve.jobs import spec_to_dict
+
+        payload = {"m": args.m, "n": args.n, "k": args.k, "seed": args.seed,
+                   "spec": spec_to_dict(spec)}
         if args.jobs is not None:
             payload["jobs"] = args.jobs
         if args.func_engine is not None:
@@ -282,7 +295,7 @@ def _cmd_igemm(args) -> int:
     rng = np.random.default_rng(args.seed)
     a = rng.integers(-128, 128, (args.m, args.k), dtype=np.int8)
     b = rng.integers(-128, 128, (args.k, args.n), dtype=np.int8)
-    run = igemm(a, b, return_run=True, max_workers=args.jobs,
+    run = igemm(a, b, return_run=True, spec=spec, max_workers=args.jobs,
                 engine=args.func_engine)
     reference = igemm_reference(a, b)
     exact = np.array_equal(run.c, reference)
@@ -390,24 +403,31 @@ def _cmd_analyze(args) -> int:
 
 
 def _cmd_verify(args) -> int:
+    from .arch import get_device
     from .core import cublas_like, ours, ours_f32, ours_int8, verify_kernel
+    from .core.config import adapt_for_arch
 
+    spec = get_device(args.device)
     presets = {"ours": ours, "cublas": cublas_like, "f32": ours_f32,
                "int8": ours_int8}
     config = presets[args.kernel]()
     # Shrink to a test-grid-friendly size: the harness skips shapes the
-    # config cannot tile, so verify a 64/64/32 member of the family.
+    # config cannot tile, so verify a small member of the family (b_k is
+    # two native k-slices so the software pipeline still has work).
+    f16_bk = 2 * spec.arch.hmma_k
     config = config.with_(
-        b_m=64, b_n=64, b_k=32 if config.ab_dtype == "s8" else 16,
+        b_m=64, b_n=64, b_k=32 if config.ab_dtype == "s8" else f16_bk,
         w_m=min(config.w_m, 32), w_n=min(config.w_n, 32),
         smem_swizzle=False,
         smem_pad_halves=8 if not config.smem_swizzle else 8,
     )
+    config = adapt_for_arch(config, spec.arch)
     remote = _resolve_remote(args)
     if remote is not None:
-        from .serve.jobs import config_to_dict
+        from .serve.jobs import config_to_dict, spec_to_dict
 
-        payload = {"config": config_to_dict(config), "seeds": args.seeds}
+        payload = {"config": config_to_dict(config), "seeds": args.seeds,
+                   "spec": spec_to_dict(spec)}
         if args.jobs is not None:
             payload["jobs"] = args.jobs
         if args.func_engine is not None:
@@ -421,7 +441,8 @@ def _cmd_verify(args) -> int:
         return 0 if view["result"]["passed"] else 1
 
     report = verify_kernel(config, seeds=tuple(range(args.seeds)),
-                           max_workers=args.jobs, engine=args.func_engine)
+                           spec=spec, max_workers=args.jobs,
+                           engine=args.func_engine)
     print(report.summary())
     return 0 if report.passed else 1
 
@@ -543,6 +564,36 @@ def _format_serve_stats(stats: dict) -> str:
     return "\n".join(lines)
 
 
+def _cmd_devices(args) -> int:
+    """List every registered device with its generation's HMMA shape.
+
+    Everything here comes from the registry (``arch.DEVICES`` and each
+    spec's :class:`~repro.arch.family.ArchSpec`) -- no literals, so a new
+    registry entry shows up automatically.
+    """
+    from .arch import DEVICES
+    from .report import format_table
+
+    rows = []
+    for name in sorted(DEVICES):
+        spec = DEVICES[name]
+        arch = spec.arch
+        rows.append((
+            name,
+            f"{arch.name} (SM{arch.sm_version})",
+            spec.num_sms,
+            f"{spec.clock_ghz:.2f}",
+            f"{arch.hmma_m}x{arch.hmma_n}x{arch.hmma_k}",
+            "yes" if arch.supports_imma else "no",
+            f"{spec.tensor_peak_tflops:.1f}",
+        ))
+    print(format_table(
+        ["device", "generation", "SMs", "GHz", "HMMA", "IMMA",
+         "peak TFLOPS"],
+        rows, title="Registered devices"))
+    return 0
+
+
 def _cmd_disasm(args) -> int:
     from .core import ours
     from .core.builder import HgemmProblem, build_hgemm
@@ -599,6 +650,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("m", type=int)
     p.add_argument("n", type=int)
     p.add_argument("k", type=int)
+    p.add_argument("--device", default="RTX2070",
+                   help="registry device name (see 'repro devices')")
     p.add_argument("--kernel", default="ours",
                    choices=["ours", "cublas"])
     p.add_argument("--accumulate", default="f16", choices=["f16", "f32"])
@@ -610,6 +663,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("m", type=int)
     p.add_argument("n", type=int)
     p.add_argument("k", type=int)
+    p.add_argument("--device", default="RTX2070",
+                   help="registry device name (see 'repro devices')")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--jobs", type=int, default=None,
                    help="worker processes (0 = one per CPU; default serial)")
@@ -639,11 +694,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kernel", default="ours", choices=["ours", "cublas"])
 
     p = sub.add_parser("verify", help="bit-exact verification sweep")
+    p.add_argument("--device", default="RTX2070",
+                   help="registry device name (see 'repro devices')")
     p.add_argument("--kernel", default="ours",
                    choices=["ours", "cublas", "f32", "int8"])
     p.add_argument("--seeds", type=int, default=2)
     p.add_argument("--jobs", type=int, default=None,
                    help="worker processes (0 = one per CPU; default serial)")
+
+    sub.add_parser("devices",
+                   help="list registered devices and their generations")
 
     p = sub.add_parser(
         "doctor", help="robustness health report and pillar self-tests")
@@ -691,6 +751,7 @@ _COMMANDS = {
     "autotune": _cmd_autotune,
     "analyze": _cmd_analyze,
     "verify": _cmd_verify,
+    "devices": _cmd_devices,
     "disasm": _cmd_disasm,
     "perfstats": _cmd_perfstats,
     "doctor": _cmd_doctor,

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 import math
 
 from ..arch.turing import GpuSpec
-from .config import KernelConfig
+from .config import KernelConfig, adapt_for_arch
 
 __all__ = [
     "PipeCycles",
@@ -30,7 +30,10 @@ __all__ = [
     "choose_blocking",
 ]
 
-#: The measured HMMA CPI the paper plugs into Eq. (3) (Table I: 8.06).
+#: The measured HMMA CPI the paper plugs into Eq. (3) (Table I: 8.06, the
+#: Turing figure).  Arch-aware callers default to
+#: ``spec.arch.measured_hmma_cpi`` instead (Volta's HMMA.884 retires in
+#: ~4 cycles; Ampere's HMMA.16816 matches Turing's 8.06 per instruction).
 MEASURED_HMMA_CPI = 8.06
 
 
@@ -53,14 +56,17 @@ class PipeCycles:
 
 
 def hmma_cycles_per_iteration(config: KernelConfig, spec: GpuSpec,
-                              hmma_cpi: float = MEASURED_HMMA_CPI) -> float:
+                              hmma_cpi: float = None) -> float:
     """Eq. (3): tensor-pipe cycles per iteration for the whole CTA.
 
-    ``2*b_m*b_n*b_k`` operations, ``2*16*8*8`` per HMMA, spread over the
-    SM's 4 processing blocks.
+    ``2*b_m*b_n*b_k`` operations, ``2*m*n*k`` per HMMA (the generation's
+    native shape), spread over the SM's processing blocks.  ``hmma_cpi``
+    defaults to the generation's measured figure (Table I on Turing).
     """
+    if hmma_cpi is None:
+        hmma_cpi = spec.arch.measured_hmma_cpi
     ops = 2 * config.b_m * config.b_n * config.b_k
-    ops_per_hmma = 2 * 16 * 8 * 8
+    ops_per_hmma = spec.arch.flops_per_hmma
     blocks = spec.processing_blocks_per_sm
     return ops / (ops_per_hmma * blocks) * hmma_cpi
 
@@ -78,18 +84,24 @@ def ldg_sts_cycles_per_iteration(config: KernelConfig, spec: GpuSpec) -> float:
 def lds_cycles_per_iteration(config: KernelConfig, spec: GpuSpec) -> float:
     """Eq. (5): memory-IO cycles for fragment loads from shared memory.
 
-    Each warp loads ``w_m/8 + w_n/8`` 8x8 fragments (one LDS.32 each) per
-    ``w_k`` slice; there are ``b_m*b_n/(w_m*w_n)`` warps and ``b_k/w_k``
+    Each warp loads one LDS.32 per fragment register per ``w_k`` slice --
+    ``w_m/8 + w_n/8`` on Turing/Volta (and per unit of k on every
+    generation); there are ``b_m*b_n/(w_m*w_n)`` warps and ``b_k/w_k``
     slices.
     """
+    arch = spec.arch
     warps = (config.b_m * config.b_n) / (config.w_m * config.w_n)
-    frags = config.w_m / 8 + config.w_n / 8
+    if config.ab_dtype == "s8":
+        frags = config.w_m / 8 + config.w_n / 8
+    else:
+        frags = (config.w_m / arch.hmma_m * arch.a_regs
+                 + config.w_n / arch.hmma_n * arch.b_regs)
     slices = config.b_k / config.w_k
     return warps * frags * slices * spec.lds_cpi.cpi(32)
 
 
 def pipe_cycles(config: KernelConfig, spec: GpuSpec,
-                hmma_cpi: float = MEASURED_HMMA_CPI) -> PipeCycles:
+                hmma_cpi: float = None) -> PipeCycles:
     """All three cycle terms for one iteration (the Table VI computation)."""
     return PipeCycles(
         hmma=hmma_cycles_per_iteration(config, spec, hmma_cpi),
@@ -145,6 +157,7 @@ def choose_blocking(spec: GpuSpec, candidates=TABLE6_CONFIGS,
             b_m=bm, b_n=bn, b_k=bk, w_m=wm, w_n=wn, w_k=wk,
             smem_pad_halves=8, sts_interleave=min_hmma_between_sts(spec),
         )
+        config = adapt_for_arch(config, spec.arch)
         try:
             config.validate_against(spec)
         except Exception:

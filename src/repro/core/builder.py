@@ -40,6 +40,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..arch.family import SM75, ArchSpec
 from ..arch.turing import GpuSpec, RTX2070
 from ..isa.builder import ProgramBuilder
 from ..isa.operands import Pred, Reg, RZ
@@ -129,10 +130,18 @@ class RegisterPlan:
     top: int              # highest register index used + 1
 
     @classmethod
-    def for_config(cls, config: KernelConfig, threads: int) -> "RegisterPlan":
+    def for_config(cls, config: KernelConfig, threads: int,
+                   arch: ArchSpec = SM75) -> "RegisterPlan":
         n_acc = config.accumulator_regs
-        a_per_buf = config.w_m // 8
-        b_per_buf = config.w_n // 8
+        if config.ab_dtype == "s8":
+            a_per_buf = config.w_m // 8
+            b_per_buf = config.w_n // 8
+        else:
+            # Per-generation HMMA operand footprint: SM70's 1-register
+            # 8x8 A and SM80's 4-register 16x16 A both reduce to the same
+            # w_m/8 A budget; SM80's 2-register B doubles the B budget.
+            a_per_buf = (config.w_m // arch.hmma_m) * arch.a_regs
+            b_per_buf = (config.w_n // arch.hmma_n) * arch.b_regs
         elems_per_ldg = 16 // config.ab_element_bytes  # one LDG.128
         n_ldg_a = (config.b_m * config.b_k) // (threads * elems_per_ldg)
         n_ldg_b = (config.b_n * config.b_k) // (threads * elems_per_ldg)
@@ -221,6 +230,7 @@ class _HgemmEmitter:
         self.cfg = config
         self.prob = problem
         self.spec = spec
+        self.arch = getattr(spec, "arch", SM75)
         self.slices = config.b_k // config.w_k
         if self.slices < 2 or self.slices % 2:
             raise ConfigError(
@@ -236,7 +246,7 @@ class _HgemmEmitter:
                     "swizzle needs the LDG row-group step to be a multiple "
                     f"of 8 rows, got {rows_per_group}"
                 )
-        self.regs = RegisterPlan.for_config(config, self.threads)
+        self.regs = RegisterPlan.for_config(config, self.threads, self.arch)
         self.b = ProgramBuilder(
             name=f"hgemm_{config.name or 'custom'}_{problem.m}x{problem.n}x{problem.k}",
             num_regs=self.regs.top,
@@ -264,22 +274,27 @@ class _HgemmEmitter:
 
     @property
     def _a_op_rows(self) -> int:
-        """Output rows per tensor instruction (HMMA 16, IMMA 8)."""
-        return 8 if self._is_int8 else 16
+        """Output rows per tensor instruction (IMMA 8, HMMA per-arch)."""
+        return 8 if self._is_int8 else self.arch.hmma_m
 
     @property
     def _a_regs_per_op(self) -> int:
-        """A-fragment registers per tensor op (HMMA 2, IMMA 1)."""
-        return 1 if self._is_int8 else 2
+        """A-fragment registers per tensor op (IMMA 1, HMMA per-arch)."""
+        return 1 if self._is_int8 else self.arch.a_regs
+
+    @property
+    def _b_regs_per_op(self) -> int:
+        """B-fragment registers per tensor op (IMMA 1, HMMA per-arch)."""
+        return 1 if self._is_int8 else self.arch.b_regs
 
     @property
     def _acc_stride(self) -> int:
         """Accumulator registers per tensor op."""
         if self.cfg.accum_f32:
-            return 4       # 16x8 of f32
+            return self.arch.c_regs_f32   # 16x8 of f32
         if self._is_int8:
-            return 2       # 8x8 of s32
-        return 2           # 16x8 of f16
+            return 2                      # 8x8 of s32
+        return self.arch.c_regs_f16       # hmma_m x 8 of f16
 
     def _acc_pair(self, i: int, j: int) -> int:
         return self.regs.acc + (i * (self.cfg.w_n // 8) + j) * self._acc_stride
@@ -482,22 +497,29 @@ class _HgemmEmitter:
                 op_bar = self.BAR_DEFER_A
             for half in range(per_op):
                 reg = a_base + op * per_op + half
-                off = (op * self._a_op_rows + half * 8) * stride2 + k_off
+                # f16 registers pair over 8-row halves; pairs beyond the
+                # first step k by 16 bytes (HMMA.16816's k=8..15 operands).
+                row = (half & 1) * 8 if per_op > 1 else 0
+                off = ((op * self._a_op_rows + row) * stride2
+                       + k_off + (half >> 1) * 16)
                 def emit(reg=reg, off=off, bar=op_bar, a_lds=a_lds):
                     self.b.lds(reg, a_lds, offset=off, width=32,
                                stall=1, wb=bar)
                 a_items.append(emit)
         b_base = self._frag_buf("b", buf)
+        b_per_op = self._b_regs_per_op
         for j in range(cfg.w_n // 8):
             j_bar = bar
             if defer_b_from is not None and j >= defer_b_from:
                 j_bar = self.BAR_DEFER_B
-            reg = b_base + j
-            off = j * 8 * stride2 + k_off
-            def emit(reg=reg, off=off, bar=j_bar, b_lds=b_lds):
-                self.b.lds(reg, b_lds, offset=off, width=32,
-                           stall=1, wb=bar)
-            b_items.append(emit)
+            for half in range(b_per_op):
+                # The second B register is the k=8..15 column fragment.
+                reg = b_base + j * b_per_op + half
+                off = j * 8 * stride2 + k_off + half * 16
+                def emit(reg=reg, off=off, bar=j_bar, b_lds=b_lds):
+                    self.b.lds(reg, b_lds, offset=off, width=32,
+                               stall=1, wb=bar)
+                b_items.append(emit)
         return a_items, b_items
 
     def emit_lds_slice(self, ki: int, sched=None) -> None:
@@ -538,8 +560,9 @@ class _HgemmEmitter:
             defer_b_from=self.slice0_split_b,
         )
         split = self._a_regs_per_op * self.slice0_split_op
-        head = a_items[:split] + b_items[: self.slice0_split_b]
-        tail = a_items[split:] + b_items[self.slice0_split_b :]
+        b_split = self._b_regs_per_op * self.slice0_split_b
+        head = a_items[:split] + b_items[:b_split]
+        tail = a_items[split:] + b_items[b_split:]
         return head, tail
 
     def emit_lds_slice0_head(self) -> None:
@@ -569,13 +592,13 @@ class _HgemmEmitter:
                     wait = (self.BAR_DEFER_A,)
                 elif ki == 0 and i == 0 and j == self.slice0_split_b:
                     wait = (self.BAR_DEFER_B,)
-                def emit(acc=acc, a=a_base + per_op * i, bb=b_base + j,
-                         wait=wait):
+                def emit(acc=acc, a=a_base + per_op * i,
+                         bb=b_base + self._b_regs_per_op * j, wait=wait):
                     if self._is_int8:
                         self.b.imma_8816(acc, a, bb, acc, stall=2, wait=wait)
                     else:
-                        self.b.hmma_1688(acc, a, bb, acc, stall=2, wait=wait,
-                                         f32=self.cfg.accum_f32)
+                        self.b.hmma(self.arch, acc, a, bb, acc, stall=2,
+                                    wait=wait, f32=self.cfg.accum_f32)
                 emitters.append(emit)
                 first = False
         return emitters
@@ -603,9 +626,14 @@ class _HgemmEmitter:
             if ki == 0:
                 # Loop bookkeeping rides along on the ALU pipe.  After the
                 # decrement, P_LOOP means "a next tile exists", which also
-                # guards this iteration's prefetch and tile store.
+                # guards this iteration's prefetch and tile store.  The
+                # decrement's stall count must cover the fixed ALU latency:
+                # the ISETP is the next ALU slot, and on fast-HMMA
+                # generations (Volta's CPI-4 .884 pipe) the surrounding
+                # schedule no longer spaces the pair far enough apart for
+                # the read to see the decremented value.
                 sched.add(lambda: b.iadd3(self.R_COUNTER, Reg(self.R_COUNTER),
-                                          -1, RZ, stall=1), spacing=1)
+                                          -1, RZ, stall=5), spacing=1)
                 sched.add(lambda: b.isetp(self.P_LOOP, Reg(self.R_COUNTER), 0,
                                           cmp="GT", stall=1), spacing=1)
             if ki < self.slices - 1:
@@ -652,7 +680,10 @@ class _HgemmEmitter:
                     b.stg(self.R_C, acc + 2, offset=col_off + 8 * row_stride,
                           width=64, stall=1)
                     continue
-                offsets = (col_off, col_off + 8 * row_stride)
+                # One STG.32 per 8-row half fragment (HMMA.884's 8x8 D is a
+                # single register; 16-row shapes store two).
+                offsets = tuple(col_off + h * 8 * row_stride
+                                for h in range(self._acc_stride))
                 if self.prob.needs_scaling:
                     self._emit_scaling(acc, offsets)
                 for half, off in enumerate(offsets):
@@ -674,11 +705,11 @@ class _HgemmEmitter:
                 b.ldg(stage + half, self.R_C, offset=off, width=32,
                       stall=1, wb=self.BAR_LDG_A)
         if prob.alpha != 1.0:
-            for half in range(2):
+            for half in range(len(offsets)):
                 # acc = acc * alpha + 0
                 b.hfma2(acc + half, acc + half, self.R_ALPHA, 255, stall=6)
         if prob.beta != 0.0:
-            for half in range(2):
+            for half in range(len(offsets)):
                 wait = (self.BAR_LDG_A,) if half == 0 else ()
                 # acc = C_old * beta + acc
                 b.hfma2(acc + half, stage + half, self.R_BETA, acc + half,

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-__all__ = ["KernelConfig", "ours", "cublas_like", "ConfigError"]
+__all__ = ["KernelConfig", "ours", "cublas_like", "ConfigError", "adapt_for_arch"]
 
 
 class ConfigError(ValueError):
@@ -51,10 +51,11 @@ class KernelConfig:
             raise ConfigError(
                 f"warp tile {self.warp_tile} must divide CTA tile {self.cta_tile}"
             )
-        if self.w_m % 16 or self.w_n % 8 or self.w_k % 8:
+        if self.w_m % 8 or self.w_n % 8 or self.w_k % 8:
             raise ConfigError(
                 f"warp tile {self.warp_tile} must be a multiple of the "
-                "16x8x8 HMMA shape"
+                "8x8x8 HMMA granularity (generation-specific shapes are "
+                "checked in validate_against)"
             )
         if self.num_warps not in (1, 2, 4, 8, 16):
             raise ConfigError(
@@ -76,6 +77,12 @@ class KernelConfig:
                 raise ConfigError(
                     "the XOR swizzle permutes 8 16-byte chunks per row and "
                     "therefore requires b_k = 64"
+                )
+            if self.w_k * self.ab_element_bytes != 16:
+                raise ConfigError(
+                    "the XOR swizzle keeps each k-slice in one 16-byte "
+                    f"chunk; w_k={self.w_k} at {self.ab_element_bytes} "
+                    "B/element does not form one"
                 )
         if self.cta_order not in ("row", "supertile"):
             raise ConfigError(f"unknown cta_order {self.cta_order!r}")
@@ -188,6 +195,31 @@ class KernelConfig:
 
     def validate_against(self, spec) -> None:
         """Raise :class:`ConfigError` if the kernel cannot launch on *spec*."""
+        arch = getattr(spec, "arch", None)
+        if arch is not None:
+            if self.ab_dtype == "f16":
+                if self.w_k % arch.hmma_k:
+                    raise ConfigError(
+                        f"w_k={self.w_k} is not a multiple of the native "
+                        f"HMMA k-step {arch.hmma_k} on {arch.name} "
+                        f"(SM{arch.sm_version}); see adapt_for_arch"
+                    )
+                if self.w_m % arch.hmma_m or self.w_n % arch.hmma_n:
+                    raise ConfigError(
+                        f"warp tile {self.warp_tile} must be a multiple of "
+                        f"{arch.name}'s {arch.hmma_m}x{arch.hmma_n}x"
+                        f"{arch.hmma_k} HMMA shape"
+                    )
+                if self.accum_f32 and not arch.supports_f32_accum:
+                    raise ConfigError(
+                        f"{arch.name} (SM{arch.sm_version}) HMMA has no "
+                        "FP32-accumulate form"
+                    )
+            elif self.ab_dtype == "s8" and not arch.supports_imma:
+                raise ConfigError(
+                    f"{arch.name} (SM{arch.sm_version}) has no IMMA "
+                    "(int8 Tensor Core ops arrived with Turing)"
+                )
         if self.smem_bytes > spec.smem_per_sm_bytes:
             raise ConfigError(
                 f"{self.smem_bytes} B of shared memory exceeds the SM's "
@@ -220,6 +252,37 @@ class KernelConfig:
             f"prefetch {'on' if self.prefetch else 'off'}, "
             f"order {self.cta_order}"
         )
+
+
+def adapt_for_arch(config: KernelConfig, arch) -> KernelConfig:
+    """Adapt a preset stated in Turing terms to another generation's shape.
+
+    The presets in this module encode the paper's Turing tuning (HMMA.1688,
+    k-step 8, 2-register A operands).  Other generations move two knobs:
+
+    * the native k-step -- SM80's HMMA.16816 consumes k=16 per instruction,
+      so an f16 ``w_k`` below the native k is raised to it;
+    * the A-operand register footprint -- SM80's 4-register A fragments
+      double the double-buffered A budget, so the paper's 128-wide warp
+      tile no longer fits in 256 registers and is halved to 64;
+    * the XOR swizzle permutes 16-byte k-slices and is only defined when a
+      k-slice is exactly 16 bytes; otherwise fall back to padded rows.
+
+    Returns *config* unchanged when nothing needs adapting (SM70/SM75).
+    """
+    changes = {}
+    if config.ab_dtype == "f16":
+        if config.w_k % arch.hmma_k:
+            changes["w_k"] = arch.hmma_k
+        if arch.a_regs >= 4 and config.w_m > 64:
+            changes["w_m"] = 64
+    w_k = changes.get("w_k", config.w_k)
+    if config.smem_swizzle and w_k * config.ab_element_bytes != 16:
+        changes["smem_swizzle"] = False
+        changes["smem_pad_halves"] = 8
+    if not changes:
+        return config
+    return config.with_(**changes)
 
 
 def ours(**overrides) -> KernelConfig:

@@ -20,23 +20,33 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..arch.family import SM75, ArchSpec
 from ..arch.turing import GpuSpec, RTX2070
 from ..sim.functional import FunctionalSimulator
 from ..sim.memory import GlobalMemory
 from .builder import HgemmProblem, build_hgemm
-from .config import ConfigError, KernelConfig, cublas_like, ours, ours_f32
+from .config import (
+    ConfigError,
+    KernelConfig,
+    adapt_for_arch,
+    cublas_like,
+    ours,
+    ours_f32,
+)
 
 __all__ = ["hgemm", "hgemm_batched", "hgemm_reference", "HgemmRun"]
 
 
 def _resolve_config(kernel, m: int, n: int, k: int,
-                    accumulate: str = "f16") -> KernelConfig:
+                    accumulate: str = "f16",
+                    spec: GpuSpec = RTX2070) -> KernelConfig:
+    arch = getattr(spec, "arch", SM75)
     if isinstance(kernel, KernelConfig):
         if accumulate == "f32" and not kernel.accum_f32:
             raise ValueError(
                 "accumulate='f32' needs a config with accum_f32=True"
             )
-        return kernel
+        return kernel  # explicit configs are taken verbatim
     if kernel in ("ours", None):
         base = ours_f32() if accumulate == "f32" else ours()
     elif kernel in ("cublas", "cublas-like", "baseline"):
@@ -45,10 +55,11 @@ def _resolve_config(kernel, m: int, n: int, k: int,
         base = cublas_like()
     else:
         raise ValueError(f"unknown kernel {kernel!r}")
-    return _shrink_to_fit(base, m, n, k)
+    return _shrink_to_fit(adapt_for_arch(base, arch), m, n, k, arch)
 
 
-def _shrink_to_fit(config: KernelConfig, m: int, n: int, k: int) -> KernelConfig:
+def _shrink_to_fit(config: KernelConfig, m: int, n: int, k: int,
+                   arch: ArchSpec = SM75) -> KernelConfig:
     """Shrink the CTA/warp tiles for problems smaller than one tile.
 
     Production GEMM libraries keep a family of kernels and pick by shape;
@@ -75,7 +86,9 @@ def _shrink_to_fit(config: KernelConfig, m: int, n: int, k: int) -> KernelConfig
         )
     candidate = config.with_(**kwargs)
     if candidate.b_k // candidate.w_k < 2 or (candidate.b_k // candidate.w_k) % 2:
-        candidate = candidate.with_(w_k=8, b_k=max(16, candidate.b_k))
+        min_wk = arch.hmma_k if config.ab_dtype == "f16" else config.w_k
+        candidate = candidate.with_(w_k=min_wk,
+                                    b_k=max(2 * min_wk, candidate.b_k))
     return candidate
 
 
@@ -142,7 +155,7 @@ def hgemm(a, b, kernel="ours", spec: GpuSpec = RTX2070,
         c_in = np.ascontiguousarray(c, dtype=np.float16)
         if c_in.shape != (m, n):
             raise ValueError(f"C must be ({m}, {n}), got {c_in.shape}")
-    config = _resolve_config(kernel, m, n, k, accumulate)
+    config = _resolve_config(kernel, m, n, k, accumulate, spec)
     c_dtype = np.float32 if config.accum_f32 else np.float16
 
     def aligned(nbytes: int) -> int:

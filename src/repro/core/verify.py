@@ -101,7 +101,8 @@ def verify_kernel(config: KernelConfig, shapes=DEFAULT_SHAPES,
                                 accumulate="f32" if config.accum_f32 else "f16",
                                 max_workers=max_workers, engine=engine)
                     want = hgemm_reference(
-                        a, b, accumulate="f32" if config.accum_f32 else "f16")
+                        a, b, w_k=config.w_k,
+                        accumulate="f32" if config.accum_f32 else "f16")
             except Exception as exc:
                 report.cases.append(CaseResult(
                     m=m, n=n, k=k, seed=seed, passed=False,

@@ -35,17 +35,40 @@ from .fragments import (
 
 __all__ = [
     "mma_16x8x8",
+    "mma_16x8x16",
     "hmma_1688_f16",
     "hmma_1688_f32",
     "hmma_884_f16",
+    "hmma_16816_f16",
+    "hmma_16816_f32",
     "hmma_1688_f16_batch",
     "hmma_1688_f32_batch",
+    "hmma_884_f16_batch",
+    "hmma_16816_f16_batch",
+    "hmma_16816_f32_batch",
     "hmma_1688_window",
     "HMMA_1688_FLOPS",
 ]
 
 #: Floating point operations performed by one HMMA.1688 (2 * 16 * 8 * 8).
 HMMA_1688_FLOPS = 2 * 16 * 8 * 8
+
+
+def mma_16x8x16(a, b, c, accumulate_f32: bool) -> np.ndarray:
+    """Matrix-level reference for Ampere's ``HMMA.16816``:
+    ``A[16x16] @ B[16x8] + C[16x8]``, one rounding per instruction."""
+    a32 = np.asarray(a, dtype=np.float32)
+    b32 = np.asarray(b, dtype=np.float32)
+    c32 = np.asarray(c, dtype=np.float32)
+    if a32.shape != (16, 16) or b32.shape != (16, 8) or c32.shape != (16, 8):
+        raise ValueError(
+            f"mma_16x8x16 expects A(16x16), B(16x8), C(16x8); got "
+            f"{a32.shape}, {b32.shape}, {c32.shape}"
+        )
+    d = a32 @ b32 + c32
+    if accumulate_f32:
+        return d
+    return d.astype(np.float16)
 
 
 def mma_16x8x8(a, b, c, accumulate_f32: bool) -> np.ndarray:
@@ -406,9 +429,9 @@ def hmma_1688_f32_batch(a_regs, b_regs, c_regs) -> np.ndarray:
 def hmma_884_f16(a_reg, b_reg, c_reg) -> np.ndarray:
     """Execute the Volta-style ``HMMA.884`` step: ``D[8x8] = A[8x8]B[8x8]+C``.
 
-    Provided for completeness (the paper focuses on ``.1688`` because it is
-    "more succinct"); A, D and C are row-major single warp registers, B is
-    column-major.
+    The SM70 generation's native shape (the paper focuses on ``.1688``
+    because it is "more succinct"); A, D and C are row-major single warp
+    registers, B is column-major.
     """
     from .fragments import matrix_to_fragment, ROW_MAJOR
 
@@ -419,3 +442,231 @@ def hmma_884_f16(a_reg, b_reg, c_reg) -> np.ndarray:
     b32 = b.astype(np.float32)
     d = (a32 @ b32 + c.astype(np.float32)).astype(np.float16)
     return matrix_to_fragment(d, ROW_MAJOR)
+
+
+def _matrix16x16_from_a_fragments(a_regs) -> np.ndarray:
+    """A[16x16] from 4 registers: regs 0-1 hold k 0-7 (the 1688 A layout),
+    regs 2-3 hold k 8-15 in the same row-major pair layout."""
+    return np.concatenate(
+        [fragments_to_matrix16x8(a_regs[:2]), fragments_to_matrix16x8(a_regs[2:])],
+        axis=1,
+    )
+
+
+def _matrix16x8_from_b_fragments(b_regs) -> np.ndarray:
+    """B[16x8] from 2 column-major registers, one per k-half."""
+    return np.concatenate(
+        [fragment_to_matrix(b_regs[0], COL_MAJOR),
+         fragment_to_matrix(b_regs[1], COL_MAJOR)],
+        axis=0,
+    )
+
+
+def hmma_16816_f16(a_regs, b_regs, c_regs) -> np.ndarray:
+    """Execute Ampere's ``HMMA.16816.F16`` on warp registers.
+
+    Args:
+        a_regs: (4, 32) uint32 -- A[16x16], row-major pairs per k-half.
+        b_regs: (2, 32) uint32 -- B[16x8], column-major per k-half.
+        c_regs: (2, 32) uint32 -- C accumulator in row-major pairs.
+
+    Returns:
+        (2, 32) uint32 -- D fragments.
+    """
+    a = _matrix16x16_from_a_fragments(a_regs)
+    b = _matrix16x8_from_b_fragments(b_regs)
+    c = fragments_to_matrix16x8(c_regs)
+    d = mma_16x8x16(a, b, c, accumulate_f32=False)
+    return matrix16x8_to_fragments(d)
+
+
+def hmma_16816_f32(a_regs, b_regs, c_regs) -> np.ndarray:
+    """Execute ``HMMA.16816.F32`` (C/D are (4, 32) float32 fragment pairs)."""
+    a = _matrix16x16_from_a_fragments(a_regs)
+    b = _matrix16x8_from_b_fragments(b_regs)
+    c = fragments_f32_to_matrix16x8(c_regs)
+    d = mma_16x8x16(a, b, c, accumulate_f32=True)
+    return matrix16x8_to_fragments_f32(d)
+
+
+#: Gather/scatter tables for the SM70/SM80 batch kernels, keyed by warps.
+_BATCH_IDX_CACHE_884: dict = {}
+_BATCH_IDX_CACHE_16816: dict = {}
+
+
+def _batch_index_tables_884(n_warps: int):
+    """(row_idx, col_idx, d_idx) for stacked ``HMMA.884`` warps.
+
+    All tables index the flat u16 view of a ``(g, total)`` uint32 register
+    row: u16 element e of warp w sits at offset ``64*w + e``.  ``row_idx``
+    and ``col_idx`` are (nw, 8, 8) gathers producing the row-major (A/C)
+    and column-major (B) 8x8 matrices; ``d_idx`` is the (nw, 64) scatter
+    from flat D matrices back to fragments.
+    """
+    hit = _BATCH_IDX_CACHE_884.get(n_warps)
+    if hit is not None:
+        return hit
+    from . import fragments as frag
+
+    w3 = np.arange(n_warps, dtype=np.intp).reshape(n_warps, 1, 1)
+    w2 = np.arange(n_warps, dtype=np.intp).reshape(n_warps, 1)
+    row_idx = 64 * w3 + np.asarray(frag._PERMS[frag.ROW_MAJOR][0], dtype=np.intp)
+    col_idx = 64 * w3 + np.asarray(frag._PERMS[frag.COL_MAJOR][0], dtype=np.intp)
+    inv = np.argsort(np.asarray(frag._PERMS[frag.ROW_MAJOR][1], dtype=np.intp))
+    d_idx = 64 * w2 + inv
+    tables = (row_idx, col_idx, d_idx)
+    _BATCH_IDX_CACHE_884[n_warps] = tables
+    return tables
+
+
+def _batch_index_tables_16816(n_warps: int):
+    """(a_idx, b_idx) for stacked ``HMMA.16816`` warps.
+
+    ``a_idx`` -- (nw, 16, 16) gather over the flat u16 view of a
+    ``(g, 4, total)`` uint32 block (regs 0-1: k 0-7 via the 1688 A tables;
+    regs 2-3: k 8-15); ``b_idx`` -- (nw, 16, 8) over a ``(g, 2, total)``
+    block (one column-major register per k-half).  C/D reuse the 1688
+    accumulator tables from :func:`_batch_index_tables`.
+    """
+    hit = _BATCH_IDX_CACHE_16816.get(n_warps)
+    if hit is not None:
+        return hit
+    from . import fragments as frag
+
+    total = n_warps * 32
+    w3 = np.arange(n_warps, dtype=np.intp).reshape(n_warps, 1, 1)
+    c, e = np.divmod(np.asarray(frag._GATHER_16X8, dtype=np.intp), 64)
+    a_lo = c * (2 * total) + 64 * w3 + e
+    a_hi = (c + 2) * (2 * total) + 64 * w3 + e
+    a_idx = np.concatenate([a_lo, a_hi], axis=2)
+    col = np.asarray(frag._PERMS[frag.COL_MAJOR][0], dtype=np.intp)
+    b_lo = 64 * w3 + col
+    b_hi = 2 * total + 64 * w3 + col
+    b_idx = np.concatenate([b_lo, b_hi], axis=1)
+    tables = (a_idx, b_idx)
+    _BATCH_IDX_CACHE_16816[n_warps] = tables
+    return tables
+
+
+def hmma_884_f16_batch(a_regs, b_regs, c_regs) -> np.ndarray:
+    """Stacked ``HMMA.884``: *g* independent 8x8x8 products over *w* warps.
+
+    Args:
+        a_regs: (g, L) uint32 -- A fragments (row-major), L = 32 * n_warps.
+        b_regs: (g, L) uint32 -- B fragments (column-major).
+        c_regs: (g, L) uint32 -- C accumulators (row-major).
+
+    Returns:
+        (g, L) uint32 -- D fragments.
+    """
+    from . import fragments as frag
+    from .fp16 import HALF
+
+    a_regs = np.ascontiguousarray(a_regs, dtype=np.uint32)
+    b_regs = np.ascontiguousarray(b_regs, dtype=np.uint32)
+    c_regs = np.ascontiguousarray(c_regs, dtype=np.uint32)
+    g, total = a_regs.shape
+    n_warps = total // 32
+    if not frag._LITTLE_ENDIAN:
+        out = np.empty_like(c_regs)
+        for i in range(g):
+            for w in range(n_warps):
+                lanes = slice(32 * w, 32 * (w + 1))
+                out[i][lanes] = hmma_884_f16(
+                    a_regs[i][lanes], b_regs[i][lanes], c_regs[i][lanes])
+        return out
+    gw = g * n_warps
+    row_idx, col_idx, d_idx = _batch_index_tables_884(n_warps)
+    af = a_regs.view(np.uint16).reshape(g, 2 * total)
+    bf = b_regs.view(np.uint16).reshape(g, 2 * total)
+    cf = c_regs.view(np.uint16).reshape(g, 2 * total)
+    a32 = af[:, row_idx].view(HALF).reshape(gw, 8, 8).astype(np.float32)
+    b32 = bf[:, col_idx].view(HALF).reshape(gw, 8, 8).astype(np.float32)
+    c32 = cf[:, row_idx].view(HALF).reshape(gw, 8, 8).astype(np.float32)
+    d16 = (np.matmul(a32, b32) + c32).astype(np.float16)
+    out = np.empty((g, total), dtype=np.uint32)
+    out.view(np.uint16).reshape(g, 2 * total)[:, d_idx] = (
+        d16.view(np.uint16).reshape(g, n_warps, 64))
+    return out
+
+
+def _hmma_16816_batch_fallback(a_regs, b_regs, c_regs, f32: bool) -> np.ndarray:
+    """Per-(product, warp) scalar path (big-endian hosts)."""
+    g, _, total = a_regs.shape
+    n_warps = total // 32
+    fn = hmma_16816_f32 if f32 else hmma_16816_f16
+    out = np.empty_like(c_regs)
+    for i in range(g):
+        for w in range(n_warps):
+            lanes = slice(32 * w, 32 * (w + 1))
+            out[i][:, lanes] = fn(
+                a_regs[i][:, lanes], b_regs[i][:, lanes], c_regs[i][:, lanes])
+    return out
+
+
+def hmma_16816_f16_batch(a_regs, b_regs, c_regs) -> np.ndarray:
+    """Stacked ``HMMA.16816.F16``: *g* independent products over *w* warps.
+
+    Args:
+        a_regs: (g, 4, L) uint32 -- A[16x16] fragments, L = 32 * n_warps.
+        b_regs: (g, 2, L) uint32 -- B[16x8] fragments.
+        c_regs: (g, 2, L) uint32 -- C accumulators (the 1688 layout).
+
+    Returns:
+        (g, 2, L) uint32 -- D fragments.
+    """
+    from . import fragments as frag
+    from .fp16 import HALF
+
+    a_regs = np.ascontiguousarray(a_regs, dtype=np.uint32)
+    b_regs = np.ascontiguousarray(b_regs, dtype=np.uint32)
+    c_regs = np.ascontiguousarray(c_regs, dtype=np.uint32)
+    if not frag._LITTLE_ENDIAN:
+        return _hmma_16816_batch_fallback(a_regs, b_regs, c_regs, f32=False)
+    g, _, total = a_regs.shape
+    n_warps = total // 32
+    gw = g * n_warps
+    a_idx, b_idx = _batch_index_tables_16816(n_warps)
+    cd_idx, _, d_idx, _, _ = _batch_index_tables(n_warps)
+    af = a_regs.view(np.uint16).reshape(g, 8 * total)
+    bf = b_regs.view(np.uint16).reshape(g, 4 * total)
+    cf = c_regs.view(np.uint16).reshape(g, 4 * total)
+    a32 = af[:, a_idx].view(HALF).reshape(gw, 16, 16).astype(np.float32)
+    b32 = bf[:, b_idx].view(HALF).reshape(gw, 16, 8).astype(np.float32)
+    c32 = cf[:, cd_idx].view(HALF).reshape(gw, 16, 8).astype(np.float32)
+    d16 = (np.matmul(a32, b32) + c32).astype(np.float16)
+    out = np.empty((g, 2, total), dtype=np.uint32)
+    out.view(np.uint16).reshape(g, 4 * total)[:, d_idx] = (
+        d16.view(np.uint16).reshape(g, n_warps, 128))
+    return out
+
+
+def hmma_16816_f32_batch(a_regs, b_regs, c_regs) -> np.ndarray:
+    """Stacked ``HMMA.16816.F32`` (see :func:`hmma_16816_f16_batch`).
+
+    ``c_regs`` / result are (g, 4, L) uint32 float32 fragment pairs.
+    """
+    from . import fragments as frag
+    from .fp16 import HALF
+
+    a_regs = np.ascontiguousarray(a_regs, dtype=np.uint32)
+    b_regs = np.ascontiguousarray(b_regs, dtype=np.uint32)
+    c_regs = np.ascontiguousarray(c_regs, dtype=np.uint32)
+    if not frag._LITTLE_ENDIAN:
+        return _hmma_16816_batch_fallback(a_regs, b_regs, c_regs, f32=True)
+    g, _, total = a_regs.shape
+    n_warps = total // 32
+    gw = g * n_warps
+    a_idx, b_idx = _batch_index_tables_16816(n_warps)
+    _, _, _, c32_idx, d32_idx = _batch_index_tables(n_warps)
+    af = a_regs.view(np.uint16).reshape(g, 8 * total)
+    bf = b_regs.view(np.uint16).reshape(g, 4 * total)
+    a32 = af[:, a_idx].view(HALF).reshape(gw, 16, 16).astype(np.float32)
+    b32 = bf[:, b_idx].view(HALF).reshape(gw, 16, 8).astype(np.float32)
+    c32 = (c_regs.view(np.float32).reshape(g, 4 * total)[:, c32_idx]
+           .reshape(gw, 16, 8))
+    d = np.matmul(a32, b32) + c32
+    out = np.empty((g, 4, total), dtype=np.uint32)
+    out.view(np.float32).reshape(g, 4 * total)[:, d32_idx] = (
+        d.reshape(g, n_warps, 128))
+    return out

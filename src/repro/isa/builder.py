@@ -241,6 +241,29 @@ class ProgramBuilder:
             "HMMA", [_reg(d)], [_reg(a), _reg(b), _reg(c)], mods=("884", "F16"), **kw
         )
 
+    def hmma_16816(self, d, a, b, c, f32: bool = False, **kw):
+        """``HMMA.16816.F16/F32 Rd, Ra, Rb, Rc`` -- Ampere's k=16 shape
+        (A spans 4 registers, B spans 2)."""
+        return self.emit(
+            "HMMA",
+            [_reg(d)],
+            [_reg(a), _reg(b), _reg(c)],
+            mods=("16816", "F32" if f32 else "F16"),
+            **kw,
+        )
+
+    def hmma(self, arch, d, a, b, c, f32: bool = False, **kw):
+        """Emit the HMMA shape native to *arch* (an :class:`ArchSpec`)."""
+        if arch.hmma_mods == "884":
+            if f32:
+                raise ValueError("HMMA.884 has no F32 accumulate form")
+            return self.hmma_884(d, a, b, c, **kw)
+        if arch.hmma_mods == "1688":
+            return self.hmma_1688(d, a, b, c, f32=f32, **kw)
+        if arch.hmma_mods == "16816":
+            return self.hmma_16816(d, a, b, c, f32=f32, **kw)
+        raise ValueError(f"unknown HMMA shape {arch.hmma_mods!r}")
+
     def imma_8816(self, d, a, b, c, **kw):
         """``IMMA.8816.S8.S8 Rd, Ra, Rb, Rc`` -- int8 Tensor Core MMA."""
         return self.emit(

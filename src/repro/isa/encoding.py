@@ -87,7 +87,8 @@ MOD_TABLES = {
     "CS2R": ((),),
     "BAR": (("SYNC",),),
     "BRA": ((),),
-    "HMMA": (("1688", "F16"), ("1688", "F32"), ("884", "F16")),
+    "HMMA": (("1688", "F16"), ("1688", "F32"), ("884", "F16"),
+             ("16816", "F16"), ("16816", "F32")),
     "IMMA": (("8816", "S8", "S8"),),
     "HFMA2": ((),),
     "LDG": _mem_mods(("E",), cg=True),

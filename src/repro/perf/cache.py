@@ -73,7 +73,7 @@ __all__ = [
 #: Behavioural version of the timing simulator.  Bump this whenever a
 #: change alters simulated cycle counts, so stale disk entries are never
 #: returned for the new behaviour.
-SIM_VERSION = "timing-v1"
+SIM_VERSION = "timing-v2"  # v2: arch-family specs enter every key
 
 #: On-disk envelope schema.  Bump when the envelope layout itself changes;
 #: pre-envelope (or foreign) files then read as integrity misses.

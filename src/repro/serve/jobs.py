@@ -38,7 +38,8 @@ from dataclasses import asdict, dataclass
 
 import numpy as np
 
-from ..arch.turing import GpuSpec, MemoryCpiTable
+from ..arch.family import ArchSpec
+from ..arch.turing import DEVICES, GpuSpec, MemoryCpiTable, get_device
 from ..core.config import KernelConfig
 from ..perf.cache import SIM_VERSION, content_key
 
@@ -63,15 +64,34 @@ __all__ = [
 # would split cache keys between client and daemon).
 
 def spec_to_dict(spec: GpuSpec) -> dict:
+    """Registry devices travel by name; custom specs as full dicts.
+
+    The name form keeps job payloads (and hence coalescing keys) stable
+    across registry recalibrations on the daemon side, and lets clients
+    submit against devices they never constructed locally.
+    """
+    if DEVICES.get(spec.name) == spec:
+        return {"device": spec.name}
     return asdict(spec)
 
 
 def spec_from_dict(data: dict) -> GpuSpec:
+    if "device" in data:
+        name = data["device"]
+        try:
+            return get_device(name)
+        except KeyError:
+            raise ValueError(
+                f"unknown device {name!r}; known devices: {sorted(DEVICES)}"
+            ) from None
     fields = dict(data)
     for name, value in fields.items():
-        if isinstance(value, dict) and set(value) == {"cpi32", "cpi64",
-                                                      "cpi128"}:
+        if not isinstance(value, dict):
+            continue
+        if set(value) == {"cpi32", "cpi64", "cpi128"}:
             fields[name] = MemoryCpiTable(**value)
+        elif name == "arch":
+            fields[name] = ArchSpec(**value)
     return GpuSpec(**fields)
 
 
@@ -185,7 +205,8 @@ def _run_hgemm(payload: dict) -> dict:
                 max_workers=payload.get("jobs"),
                 engine=payload.get("engine"))
     exact = bool(np.array_equal(
-        run.c, hgemm_reference(a, b, accumulate=accumulate)))
+        run.c, hgemm_reference(a, b, w_k=run.config.w_k,
+                               accumulate=accumulate)))
     return _gemm_result(run, exact, "HMMA", payload)
 
 

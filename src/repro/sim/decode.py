@@ -60,12 +60,12 @@ import numpy as np
 
 from ..arch.registers import WARP_LANES
 from ..hmma import mma as mma_ops
-from ..hmma.int8 import imma_8816_batch
 from ..isa.operands import SpecialReg, PT_INDEX, RZ_INDEX
 from .exec_units import ExecError, execute
 from .uop import (
     MEM_GLOBAL as _MEM_GLOBAL,
     MEM_SHARED as _MEM_SHARED,
+    MMA_BATCH_KERNELS,
     SOLO,
     decode_uop,
     k_iadd3,
@@ -507,28 +507,44 @@ def _fuse_entry(inst, fusible):
 
 
 def _build_hmma_group(key, payloads):
-    # In-place fused-window executor: composed flat-index gathers straight
-    # from the register file, unique-fragment dedup, one scatter for D (see
-    # hmma_1688_window for the strategy and its size-capped fallback).
-    window = mma_ops.hmma_1688_window(
-        [p[0] for p in payloads], [p[1] for p in payloads],
-        [p[2] for p in payloads], [p[3] for p in payloads],
-        f32=key[1] == "f32")
+    if key[1] in ("f16", "f32"):
+        # Turing HMMA.1688: in-place fused-window executor -- composed
+        # flat-index gathers straight from the register file,
+        # unique-fragment dedup, one scatter for D (see hmma_1688_window
+        # for the strategy and its size-capped fallback).
+        window = mma_ops.hmma_1688_window(
+            [p[0] for p in payloads], [p[1] for p in payloads],
+            [p[2] for p in payloads], [p[3] for p in payloads],
+            f32=key[1] == "f32")
 
-    def run(warp):
-        window(warp.regs._data)
-    return run
+        def run(warp):
+            window(warp.regs._data)
+        return run
+    # Other generations (HMMA.884 / HMMA.16816): generic row-gather over
+    # the arch's batch kernel from the shared MMA_BATCH_KERNELS table.
+    return _build_mma_group(key, payloads)
 
 
-def _build_imma_group(key, payloads):
-    a_idx = np.array([p[1] for p in payloads], dtype=np.intp)
-    b_idx = np.array([p[2] for p in payloads], dtype=np.intp)
-    c_idx = np.array([[p[3], p[3] + 1] for p in payloads], dtype=np.intp)
-    d_idx = np.array([[p[0], p[0] + 1] for p in payloads], dtype=np.intp)
+def _mma_row_index(payloads, col, words):
+    base = np.array([p[col] for p in payloads], dtype=np.intp)
+    if words == 1:
+        return base
+    return base[:, None] + np.arange(words, dtype=np.intp)
+
+
+def _build_mma_group(key, payloads):
+    """Generic batched MMA executor: gather operand register rows, run the
+    fuse key's batch kernel, scatter D -- the shape-agnostic core every
+    non-1688 tensor op (IMMA.8816, HMMA.884, HMMA.16816) compiles to."""
+    batch_fn, a_words, b_words, c_words = MMA_BATCH_KERNELS[key]
+    d_idx = _mma_row_index(payloads, 0, c_words)
+    a_idx = _mma_row_index(payloads, 1, a_words)
+    b_idx = _mma_row_index(payloads, 2, b_words)
+    c_idx = _mma_row_index(payloads, 3, c_words)
 
     def run(warp):
         regs = warp.regs._data
-        regs[d_idx] = imma_8816_batch(regs[a_idx], regs[b_idx], regs[c_idx])
+        regs[d_idx] = batch_fn(regs[a_idx], regs[b_idx], regs[c_idx])
     return run
 
 
@@ -613,7 +629,7 @@ def _build_imad_group(key, payloads):
 
 _GROUP_BUILDERS = {
     "hmma": _build_hmma_group,
-    "imma": _build_imma_group,
+    "imma": _build_mma_group,
     "load": _build_mem_group,
     "store": _build_mem_group,
     "mov": _build_mov_group,

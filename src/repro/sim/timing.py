@@ -684,7 +684,7 @@ def _build_plans(decoded, kinds):
         entry = MMA_BATCH_KERNELS.get(head.fuse_key)
         if entry is None or not head.groups_ok or head.fuse_payload is None:
             continue
-        batch_fn, a_words, c_words = entry
+        batch_fn, a_words, b_words, c_words = entry
         members = [pc]
         payloads = [head.fuse_payload]
         window_writes = set(head.writes)
@@ -709,16 +709,15 @@ def _build_plans(decoded, kinds):
         if len(members) < 2:
             continue
         # fuse_payload is (d, a, b, c); gather index arrays over reg rows.
-        if a_words == 2:
-            a_idx = np.array([[p[1], p[1] + 1] for p in payloads],
-                             dtype=np.intp)
-        else:
-            a_idx = np.array([p[1] for p in payloads], dtype=np.intp)
-        b_idx = np.array([p[2] for p in payloads], dtype=np.intp)
-        c_idx = np.array(
-            [[p[3] + i for i in range(c_words)] for p in payloads],
-            dtype=np.intp,
-        )
+        def _rows(col, words):
+            base = np.array([p[col] for p in payloads], dtype=np.intp)
+            if words == 1:
+                return base
+            return base[:, None] + np.arange(words, dtype=np.intp)
+
+        a_idx = _rows(1, a_words)
+        b_idx = _rows(2, b_words)
+        c_idx = _rows(3, c_words)
         read_regs = sorted(r for r in member_reads if isinstance(r, int))
         read_mask = np.zeros(256, dtype=bool)
         read_mask[read_regs] = True

@@ -245,7 +245,18 @@ def _k_hmma_1688_f32(a_regs, b_reg, c_regs):
 
 
 def _k_hmma_884(a_reg, b_reg, c_reg):
-    return mma_ops.hmma_884_f16(a_reg, b_reg, c_reg)
+    return mma_ops.hmma_884_f16_batch(
+        a_reg[None], b_reg[None], c_reg[None])[0]
+
+
+def _k_hmma_16816_f16(a_regs, b_regs, c_regs):
+    return mma_ops.hmma_16816_f16_batch(
+        a_regs[None], b_regs[None], c_regs[None])[0]
+
+
+def _k_hmma_16816_f32(a_regs, b_regs, c_regs):
+    return mma_ops.hmma_16816_f32_batch(
+        a_regs[None], b_regs[None], c_regs[None])[0]
 
 
 def _k_imma_8816(a_reg, b_reg, c_regs):
@@ -456,7 +467,20 @@ def _dec_hmma(inst):
         return _uop(inst, "alu",
                     srcs=(("reg", a), ("reg", b), ("reg", c)),
                     dest=("reg", d, 1), kernel=_k_hmma_884,
-                    warp_wide=True, lanes32_only=True, fuse_key=SOLO)
+                    warp_wide=True, fuse_key=("hmma", "884"),
+                    fuse_payload=(d, a, b, c))
+    if "16816" in inst.mods:
+        f32 = "F32" in inst.mods
+        c_regs = 4 if f32 else 2
+        ok = (a + 4 <= RZ_INDEX and b + 2 <= RZ_INDEX
+              and c + c_regs <= RZ_INDEX and d + c_regs <= RZ_INDEX)
+        key = ("hmma", "16816_f32" if f32 else "16816_f16") if ok else None
+        return _uop(inst, "alu",
+                    srcs=(("regs", a, 4), ("regs", b, 2), ("regs", c, c_regs)),
+                    dest=("reg", d, c_regs),
+                    kernel=_k_hmma_16816_f32 if f32 else _k_hmma_16816_f16,
+                    warp_wide=True, groups_ok=ok,
+                    fuse_key=key, fuse_payload=(d, a, b, c))
     raise ExecError(f"unknown HMMA shape: {inst}")
 
 
@@ -552,11 +576,16 @@ def decode_uop(inst) -> Uop:
 #: timing simulator's issue plans).  Each batch call over ``g`` gathered
 #: operand sets is bit-identical to ``g`` sequential single-op kernel
 #: calls because the kernels compute every product as an individual 2-D
-#: matmul.  Values are ``(batch_fn, a_words, c_words)``: the per-member
-#: A-operand register count (1 means a single ``(g, lanes)`` gather) and
-#: the accumulator/dest register count.
+#: matmul.  Values are ``(batch_fn, a_words, b_words, c_words)``: the
+#: per-member register counts of the A, B and accumulator/dest operands
+#: (1 means a single ``(g, lanes)`` gather instead of ``(g, words,
+#: lanes)``).  Every generation's HMMA shape batches; which keys a
+#: program produces depends on the device's :class:`~repro.arch.ArchSpec`.
 MMA_BATCH_KERNELS = {
-    ("hmma", "f16"): (mma_ops.hmma_1688_f16_batch, 2, 2),
-    ("hmma", "f32"): (mma_ops.hmma_1688_f32_batch, 2, 4),
-    ("imma", "8816"): (int8_ops.imma_8816_batch, 1, 2),
+    ("hmma", "884"): (mma_ops.hmma_884_f16_batch, 1, 1, 1),
+    ("hmma", "f16"): (mma_ops.hmma_1688_f16_batch, 2, 1, 2),
+    ("hmma", "f32"): (mma_ops.hmma_1688_f32_batch, 2, 1, 4),
+    ("hmma", "16816_f16"): (mma_ops.hmma_16816_f16_batch, 4, 2, 2),
+    ("hmma", "16816_f32"): (mma_ops.hmma_16816_f32_batch, 4, 2, 4),
+    ("imma", "8816"): (int8_ops.imma_8816_batch, 1, 1, 2),
 }

@@ -1,0 +1,103 @@
+"""Tests for the Tensor Core architecture-family registry."""
+
+import dataclasses
+
+import pytest
+
+from repro.arch.family import (
+    GENERATIONS,
+    SM70,
+    SM75,
+    SM80,
+    ArchSpec,
+    get_generation,
+)
+from repro.arch.turing import A100, RTX2070, T4, V100
+
+
+class TestRegistry:
+    def test_contents(self):
+        assert set(GENERATIONS) == {"volta", "turing", "ampere"}
+        assert GENERATIONS["volta"] is SM70
+        assert GENERATIONS["turing"] is SM75
+        assert GENERATIONS["ampere"] is SM80
+
+    @pytest.mark.parametrize("token,expected", [
+        ("volta", SM70), ("sm70", SM70), ("70", SM70), (70, SM70),
+        ("Turing", SM75), ("SM75", SM75), (75, SM75),
+        ("ampere", SM80), ("sm80", SM80), ("80", SM80),
+    ])
+    def test_lookup_aliases(self, token, expected):
+        assert get_generation(token) is expected
+
+    def test_unknown_generation(self):
+        with pytest.raises(KeyError, match="unknown architecture"):
+            get_generation("hopper")
+
+    def test_specs_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            SM75.hmma_k = 16
+
+
+class TestFragmentTiling:
+    """A warp's 64 fp16 slots per register must exactly cover each tile."""
+
+    @pytest.mark.parametrize("arch", [SM70, SM75, SM80],
+                             ids=lambda a: a.name)
+    def test_fragments_tile(self, arch):
+        assert arch.a_regs * 64 == arch.hmma_m * arch.hmma_k
+        assert arch.b_regs * 64 == arch.hmma_k * arch.hmma_n
+        assert arch.c_regs_f16 * 64 == arch.hmma_m * arch.hmma_n
+        if arch.supports_f32_accum:
+            assert arch.c_regs_f32 * 32 == arch.hmma_m * arch.hmma_n
+
+    def test_bad_tiling_rejected(self):
+        with pytest.raises(ValueError, match="A fragment does not tile"):
+            dataclasses.replace(SM75, a_regs=3)
+
+    @pytest.mark.parametrize("arch,shape,mods", [
+        (SM70, (8, 8, 8), "884"),
+        (SM75, (16, 8, 8), "1688"),
+        (SM80, (16, 8, 16), "16816"),
+    ], ids=lambda v: v if isinstance(v, str) else getattr(v, "name", None))
+    def test_shapes(self, arch, shape, mods):
+        assert arch.hmma_shape == shape
+        assert arch.hmma_mods == mods
+        m, n, k = shape
+        assert arch.flops_per_hmma == 2 * m * n * k
+
+
+class TestStructuralPeaks:
+    """Device tensor peaks must emerge from registry structure, not be
+    restated: SMs x TCs/SM x FMA/TC/cycle x 2 x clock."""
+
+    @pytest.mark.parametrize("spec", [RTX2070, T4, V100, A100],
+                             ids=lambda s: s.name)
+    def test_peak_matches_datasheet(self, spec):
+        assert spec.tensor_peak_tflops == pytest.approx(
+            spec.tensor_tflops, rel=0.01)
+
+    def test_volta_and_ampere_values(self):
+        # 80 SMs x 8 TC x 64 FMA x 2 x 1.53 GHz
+        assert V100.tensor_peak_tflops == pytest.approx(125.3, abs=0.1)
+        # 108 SMs x 4 TC x 256 FMA x 2 x 1.41 GHz
+        assert A100.tensor_peak_tflops == pytest.approx(311.9, abs=0.2)
+
+    def test_feature_flags(self):
+        assert not SM70.supports_f32_accum and not SM70.supports_imma
+        assert SM75.supports_f32_accum and SM75.supports_imma
+        assert SM80.supports_f32_accum and SM80.supports_imma
+
+
+class TestDeviceArchWiring:
+    def test_devices_carry_their_generation(self):
+        assert RTX2070.arch is SM75
+        assert T4.arch is SM75
+        assert V100.arch is SM70
+        assert A100.arch is SM80
+
+    def test_arch_spec_is_plain_data(self):
+        # serve round-trips rebuild ArchSpec from asdict(); every field
+        # must survive the dict trip.
+        rebuilt = ArchSpec(**dataclasses.asdict(SM80))
+        assert rebuilt == SM80

@@ -13,7 +13,7 @@ class TestMemoryCpiTable:
         assert table.cpi(128) == 8.0
 
     def test_bad_width(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match=r"supported widths: \[32, 64, 128\]"):
             MemoryCpiTable(1, 2, 4).cpi(256)
 
     def test_bytes_per_cycle_matches_table5(self):
@@ -140,8 +140,8 @@ class TestRegistry:
         assert get_device("T4") is T4
 
     def test_unknown_device(self):
-        with pytest.raises(KeyError):
-            get_device("A100")
+        with pytest.raises(KeyError, match="unknown device"):
+            get_device("H100")
 
     def test_registry_contents(self):
-        assert set(DEVICES) == {"RTX2070", "T4"}
+        assert set(DEVICES) == {"RTX2070", "T4", "V100", "A100"}

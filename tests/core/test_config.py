@@ -43,9 +43,16 @@ class TestValidation:
         with pytest.raises(ConfigError, match="divide"):
             KernelConfig(b_m=256, b_n=256, b_k=32, w_m=96, w_n=64, w_k=8)
 
-    def test_warp_tile_must_fit_hmma_shape(self):
+    def test_warp_tile_must_fit_hmma_granularity(self):
+        with pytest.raises(ConfigError, match="8x8x8"):
+            KernelConfig(b_m=64, b_n=64, b_k=32, w_m=4, w_n=64, w_k=8)
+
+    def test_warp_tile_must_fit_arch_shape(self):
+        from repro.arch import RTX2070
+
+        cfg = KernelConfig(b_m=64, b_n=64, b_k=32, w_m=8, w_n=64, w_k=8)
         with pytest.raises(ConfigError, match="16x8x8"):
-            KernelConfig(b_m=64, b_n=64, b_k=32, w_m=8, w_n=8, w_k=8)
+            cfg.validate_against(RTX2070)
 
     def test_sts_interleave_positive(self):
         with pytest.raises(ConfigError):
@@ -121,3 +128,68 @@ class TestFeasibility:
         text = ours().describe()
         assert "256x256x32" in text
         assert "STS interleave 5" in text
+
+
+class TestArchGates:
+    """validate_against enforces the generation's MMA contract."""
+
+    def test_f32_accumulate_needs_hardware_support(self):
+        from repro.arch.turing import V100
+
+        cfg = ours(accum_f32=True)
+        with pytest.raises(ConfigError, match="FP32-accumulate"):
+            cfg.validate_against(V100)
+
+    def test_int8_needs_imma(self):
+        from repro.arch.turing import V100
+        from repro.core.config import ours_int8
+
+        with pytest.raises(ConfigError, match="IMMA"):
+            ours_int8().validate_against(V100)
+
+    def test_wk_must_match_generation(self):
+        from repro.arch.turing import A100
+
+        with pytest.raises(ConfigError, match="adapt_for_arch"):
+            ours().validate_against(A100)  # w_k=8 on a k=16 generation
+
+    def test_swizzle_chunk_invariant(self):
+        # The XOR swizzle requires one k-slice == one 16-byte chunk.
+        with pytest.raises(ConfigError, match="16-byte"):
+            KernelConfig(b_m=128, b_n=128, b_k=64, w_m=64, w_n=64, w_k=16,
+                         smem_pad_halves=0, smem_swizzle=True)
+
+
+class TestAdaptForArch:
+    def test_noop_on_native_generation(self):
+        from repro.arch.family import SM70, SM75
+        from repro.core.config import adapt_for_arch
+
+        cfg = ours()
+        assert adapt_for_arch(cfg, SM75) is cfg
+        assert adapt_for_arch(cfg, SM70) is cfg
+
+    def test_sm80_raises_wk_and_halves_wm(self):
+        from repro.arch.family import SM80
+        from repro.core.config import adapt_for_arch
+
+        cfg = adapt_for_arch(ours(), SM80)
+        assert cfg.w_k == 16
+        assert cfg.w_m == 64  # 4-register A fragments: 128 rows too greedy
+
+    def test_sm80_swizzle_falls_back_to_padding(self):
+        from repro.arch.family import SM80
+        from repro.arch.turing import A100
+        from repro.core.config import adapt_for_arch
+
+        cfg = adapt_for_arch(cublas_like(), SM80)
+        assert cfg.w_k == 16
+        assert not cfg.smem_swizzle
+        assert cfg.smem_pad_halves == 8
+        cfg.validate_against(A100)
+
+    def test_int8_configs_untouched(self):
+        from repro.arch.family import SM80
+        from repro.core.config import adapt_for_arch, ours_int8
+
+        assert adapt_for_arch(ours_int8(), SM80) == ours_int8()

@@ -1,0 +1,203 @@
+"""Per-generation HMMA semantics: 884 (SM70) and 16816 (SM80).
+
+The 1688 path (SM75, the source paper's generation) is covered by
+``test_mma.py``; this file pins the other two generations the same way --
+per-warp kernels against the matrix-level oracles, the stacked batch
+kernels against per-warp loops, and golden digests that freeze the exact
+bit patterns the functional engines produce.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.hmma import (
+    COL_MAJOR,
+    ROW_MAJOR,
+    fragment_to_matrix,
+    fragments_f32_to_matrix16x8,
+    fragments_to_matrix16x8,
+    matrix16x8_to_fragments,
+    matrix16x8_to_fragments_f32,
+    matrix_to_fragment,
+    mma,
+)
+
+# Random uint32 fragments routinely decode to fp16 NaN/Inf; the kernels
+# propagate them identically everywhere, so the IEEE warnings are noise.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:invalid value encountered:RuntimeWarning",
+    "ignore:overflow encountered:RuntimeWarning",
+)
+
+
+def rand_half(shape, seed):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-2, 2, size=shape).astype(np.float16)
+
+
+def _digest(arr):
+    return hashlib.sha256(np.ascontiguousarray(arr).tobytes()).hexdigest()[:16]
+
+
+class TestHmma16816:
+    def _run_f16(self, a, b, c):
+        a_regs = np.concatenate(
+            [matrix16x8_to_fragments(a[:, :8]),
+             matrix16x8_to_fragments(a[:, 8:])])
+        b_regs = np.stack([matrix_to_fragment(b[:8], COL_MAJOR),
+                           matrix_to_fragment(b[8:], COL_MAJOR)])
+        d = mma.hmma_16816_f16(a_regs, b_regs, matrix16x8_to_fragments(c))
+        return fragments_to_matrix16x8(d)
+
+    def test_matches_reference(self):
+        a = rand_half((16, 16), 1)
+        b = rand_half((16, 8), 2)
+        c = rand_half((16, 8), 3)
+        np.testing.assert_array_equal(
+            self._run_f16(a, b, c), mma.mma_16x8x16(a, b, c, accumulate_f32=False))
+
+    def test_single_rounding_per_instruction(self):
+        # One 16816 rounds ONCE over k=16; two chained 1688 steps round
+        # twice.  With products straddling the f16 ulp they must differ --
+        # this is exactly the hgemm_reference(w_k=...) distinction.
+        a = rand_half((16, 16), 40)
+        b = rand_half((16, 8), 41)
+        c = rand_half((16, 8), 42)
+        one = mma.mma_16x8x16(a, b, c, accumulate_f32=False)
+        lo = mma.mma_16x8x8(a[:, :8], b[:8], c, accumulate_f32=False)
+        two = mma.mma_16x8x8(a[:, 8:], b[8:], lo, accumulate_f32=False)
+        exact = (a.astype(np.float32) @ b.astype(np.float32)
+                 + c.astype(np.float32)).astype(np.float16)
+        np.testing.assert_array_equal(one, exact)
+        assert not np.array_equal(one, two)
+
+    def test_f32_matches_reference(self):
+        a = rand_half((16, 16), 4)
+        b = rand_half((16, 8), 5)
+        c = np.random.default_rng(6).normal(size=(16, 8)).astype(np.float32)
+        a_regs = np.concatenate(
+            [matrix16x8_to_fragments(a[:, :8]),
+             matrix16x8_to_fragments(a[:, 8:])])
+        b_regs = np.stack([matrix_to_fragment(b[:8], COL_MAJOR),
+                           matrix_to_fragment(b[8:], COL_MAJOR)])
+        d = mma.hmma_16816_f32(a_regs, b_regs, matrix16x8_to_fragments_f32(c))
+        got = fragments_f32_to_matrix16x8(d)
+        expected = a.astype(np.float32) @ b.astype(np.float32) + c
+        np.testing.assert_array_equal(got, expected)
+
+    def test_reference_shape_check(self):
+        with pytest.raises(ValueError):
+            mma.mma_16x8x16(np.zeros((16, 8)), np.zeros((16, 8)),
+                            np.zeros((16, 8)), False)
+
+
+def _rand_regs(shape, seed):
+    return np.random.default_rng(seed).integers(
+        0, 1 << 32, shape, dtype=np.uint32)
+
+
+class TestBatchKernelsMatchPerWarp:
+    """The engines' vectorised batch kernels vs per-warp scalar loops."""
+
+    G, NW = 5, 3
+    L = NW * 32
+
+    def test_884(self):
+        a = _rand_regs((self.G, self.L), 10)
+        b = _rand_regs((self.G, self.L), 11)
+        c = _rand_regs((self.G, self.L), 12)
+        got = mma.hmma_884_f16_batch(a, b, c)
+        for i in range(self.G):
+            for w in range(self.NW):
+                lanes = slice(32 * w, 32 * (w + 1))
+                np.testing.assert_array_equal(
+                    got[i][lanes],
+                    mma.hmma_884_f16(a[i][lanes], b[i][lanes], c[i][lanes]))
+
+    @pytest.mark.parametrize("f32", [False, True], ids=["f16", "f32"])
+    def test_16816(self, f32):
+        a = _rand_regs((self.G, 4, self.L), 13)
+        b = _rand_regs((self.G, 2, self.L), 14)
+        c = _rand_regs((self.G, 4 if f32 else 2, self.L), 15)
+        batch = mma.hmma_16816_f32_batch if f32 else mma.hmma_16816_f16_batch
+        warp = mma.hmma_16816_f32 if f32 else mma.hmma_16816_f16
+        got = batch(a, b, c)
+        for i in range(self.G):
+            for w in range(self.NW):
+                lanes = slice(32 * w, 32 * (w + 1))
+                np.testing.assert_array_equal(
+                    got[i][:, lanes],
+                    warp(a[i][:, lanes], b[i][:, lanes], c[i][:, lanes]))
+
+
+class TestGoldenDigests:
+    """Pinned bit patterns per generation.
+
+    These freeze the exact fp16/fp32 rounding the functional engines
+    produce for each generation's native HMMA -- any change to fragment
+    tables, accumulation order, or rounding shows up here before it
+    silently shifts every simulated GEMM result.
+    """
+
+    def _operands(self):
+        rng = np.random.default_rng(2026)
+        g, L = 5, 96
+        a884 = rng.integers(0, 1 << 32, (g, L), dtype=np.uint32)
+        b884 = rng.integers(0, 1 << 32, (g, L), dtype=np.uint32)
+        c884 = rng.integers(0, 1 << 32, (g, L), dtype=np.uint32)
+        a4 = rng.integers(0, 1 << 32, (g, 4, L), dtype=np.uint32)
+        b2 = rng.integers(0, 1 << 32, (g, 2, L), dtype=np.uint32)
+        c2 = rng.integers(0, 1 << 32, (g, 2, L), dtype=np.uint32)
+        c4 = rng.integers(0, 1 << 32, (g, 4, L), dtype=np.uint32)
+        return a884, b884, c884, a4, b2, c2, c4
+
+    def test_sm70_884(self):
+        a, b, c, *_ = self._operands()
+        assert _digest(mma.hmma_884_f16_batch(a, b, c)) == "02a3bcaf963cf6f5"
+
+    def test_sm75_1688(self):
+        _, _, _, a4, b2, c2, _ = self._operands()
+        got = mma.hmma_1688_f16_batch(a4[:, :2], b2[:, 0], c2)
+        assert _digest(got) == "ca23627da355fa6a"
+
+    def test_sm80_16816_f16(self):
+        _, _, _, a4, b2, c2, _ = self._operands()
+        got = mma.hmma_16816_f16_batch(a4, b2, c2)
+        assert _digest(got) == "df8cb18ec902e903"
+
+    def test_sm80_16816_f32(self):
+        _, _, _, a4, b2, _, c4 = self._operands()
+        got = mma.hmma_16816_f32_batch(a4, b2, c4)
+        assert _digest(got) == "fc43badb9244f3a1"
+
+
+class TestCrossGenerationConsistency:
+    def test_two_884_equal_one_1688_row_pair(self):
+        a = rand_half((16, 8), 20)
+        b = rand_half((8, 8), 21)
+        c = rand_half((16, 8), 22)
+        d1688 = mma.mma_16x8x8(a, b, c, accumulate_f32=False)
+        for half in range(2):
+            rows = slice(8 * half, 8 * half + 8)
+            d884 = fragment_to_matrix(
+                mma.hmma_884_f16(
+                    matrix_to_fragment(a[rows], ROW_MAJOR),
+                    matrix_to_fragment(b, COL_MAJOR),
+                    matrix_to_fragment(c[rows], ROW_MAJOR)),
+                ROW_MAJOR)
+            np.testing.assert_array_equal(d1688[rows], d884)
+
+    def test_16816_f32_close_to_two_chained_1688_f32(self):
+        # FP32 accumulation is not associative, so the native k=16 reduction
+        # and two chained k=8 steps may differ in the last ulp -- but only
+        # there.  (This is why cross-generation FP32 GEMMs agree to rounding
+        # while FP16-accumulate results need the per-w_k oracle.)
+        a = rand_half((16, 16), 30)
+        b = rand_half((16, 8), 31)
+        c = np.random.default_rng(32).normal(size=(16, 8)).astype(np.float32)
+        one = mma.mma_16x8x16(a, b, c, accumulate_f32=True)
+        lo = mma.mma_16x8x8(a[:, :8], b[:8], c, accumulate_f32=True)
+        two = mma.mma_16x8x8(a[:, 8:], b[8:], lo, accumulate_f32=True)
+        np.testing.assert_allclose(one, two, rtol=1e-5)

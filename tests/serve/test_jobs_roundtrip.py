@@ -1,0 +1,68 @@
+"""Dataclass round-trips across the serve JSON protocol.
+
+GpuSpec / KernelConfig dicts feed the coalescing keys, so a lossy trip
+would split cache identities between client and daemon.  Registry devices
+travel by *name* (stable across recalibrations); custom specs travel as
+full dicts and must rebuild their nested ``MemoryCpiTable`` and
+``ArchSpec`` values.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.arch.family import SM70
+from repro.arch.turing import A100, RTX2070, T4, V100
+from repro.core.config import ours
+from repro.serve.jobs import (
+    config_from_dict,
+    config_to_dict,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+
+class TestSpecRoundTrip:
+    @pytest.mark.parametrize("spec", [RTX2070, T4, V100, A100],
+                             ids=lambda s: s.name)
+    def test_registry_device_travels_by_name(self, spec):
+        data = spec_to_dict(spec)
+        assert data == {"device": spec.name}
+        json.dumps(data)  # must be JSON-serialisable
+        assert spec_from_dict(data) == spec
+
+    def test_unknown_device_is_a_clear_error(self):
+        with pytest.raises(ValueError, match="unknown device 'H100'"):
+            spec_from_dict({"device": "H100"})
+
+    def test_unknown_device_error_lists_known(self):
+        with pytest.raises(ValueError, match="A100.*RTX2070.*T4.*V100"):
+            spec_from_dict({"device": "GTX480"})
+
+    def test_custom_spec_travels_as_full_dict(self):
+        custom = dataclasses.replace(V100, name="V100-underclocked",
+                                     clock_ghz=1.2)
+        data = spec_to_dict(custom)
+        assert "device" not in data
+        assert data["arch"]["name"] == "volta"
+        rebuilt = spec_from_dict(json.loads(json.dumps(data)))
+        assert rebuilt == custom
+        assert rebuilt.arch == SM70
+        # Nested tables must come back as real dataclasses, not dicts.
+        assert rebuilt.lds_cpi.cpi(64) == custom.lds_cpi.cpi(64)
+
+    def test_renamed_registry_spec_is_not_collapsed(self):
+        # A custom spec that merely *shares* a registry name but differs
+        # in content must not be silently replaced by the registry entry.
+        tweaked = dataclasses.replace(RTX2070, num_sms=20)
+        data = spec_to_dict(tweaked)
+        assert "device" not in data
+        assert spec_from_dict(data) == tweaked
+
+
+class TestConfigRoundTrip:
+    def test_config_survives_json(self):
+        cfg = ours()
+        rebuilt = config_from_dict(json.loads(json.dumps(config_to_dict(cfg))))
+        assert rebuilt == cfg

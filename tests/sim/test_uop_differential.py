@@ -84,7 +84,9 @@ CASES = {
     "HFMA2": [("HFMA2 R0, R1, R2, R3", None)],
     "HMMA": [("HMMA.1688.F16 R0, R8, R10, R4", None),
              ("HMMA.1688.F32 R0, R8, R10, R4", None),
-             ("HMMA.884.F16 R0, R8, R10, R12", None)],
+             ("HMMA.884.F16 R0, R8, R10, R12", None),
+             ("HMMA.16816.F16 R0, R8, R16, R4", None),
+             ("HMMA.16816.F32 R0, R8, R16, R4", None)],
     "IMMA": [("IMMA.8816.S8.S8 R0, R8, R10, R4", None)],
     "LDG": [("LDG.E.32 R3, [R2]", _addr_setup(2)),
             ("LDG.E.CG.32 R3, [R2+0x40]", _addr_setup(2)),
