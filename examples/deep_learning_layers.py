@@ -2,73 +2,50 @@
 """The paper's motivating workloads: GEMMs from deep-learning layers.
 
 Section I motivates HGEMM with fully-connected layers, convolutions
-lowered to GEMM, LSTM cells and BERT's transformer blocks.  This example
-runs representative layer shapes through both kernels:
+lowered to GEMM, LSTM cells and BERT's transformer blocks.  Those layers
+are now a first-class subsystem -- :mod:`repro.workloads` -- and this
+example is a thin tour of it:
 
-* functionally (small shapes, bit-exact against the precision model);
-* through the device performance model (production shapes, predicted
-  TFLOPS for both kernels on the RTX 2070).
+* run the ``layers`` suite functionally (small shapes, every member
+  bit-exact against the precision model);
+* estimate the production shapes through the device performance model
+  with shape-aware tile selection.
+
+``repro workloads run|estimate --suite layers`` does the same from the
+command line.
 
 Run:  python examples/deep_learning_layers.py
 """
 
-import numpy as np
+from repro import RTX2070
+from repro.analysis import sweep_suite
+from repro.workloads import get_suite, run_suite
+from repro.workloads.suite import format_estimates
 
-from repro import PerformanceModel, RTX2070, cublas_like, hgemm, hgemm_reference, ours
-from repro.report import format_table
-
-#: Production-scale layer GEMMs (m, n, k) -- all multiples of the tiles.
+#: Production-scale layer GEMMs -- the registry's "layers" suite.
 LAYER_SHAPES = [
-    ("BERT-large QKV projection (seq 512)", 512, 3072, 1024),
-    ("BERT-large FFN up (seq 512)", 512, 4096, 1024),
-    ("BERT-large FFN down (seq 512)", 512, 1024, 4096),
-    ("LSTM cell, hidden 1024, batch 256", 256, 4096, 2048),
-    ("ResNet conv3x3 as GEMM (56x56x256)", 3136, 256, 2304),
-    ("classifier FC, batch 1024", 1024, 1024, 4096),
+    (p.name, p.m, p.n, p.k) for p in get_suite("layers").problems("full")
 ]
 
 
 def functional_check() -> None:
     print("Functional check (scaled-down layers, full simulator):")
-    rng = np.random.default_rng(0)
-    shapes = [("FC layer", 128, 256, 64), ("attention score", 64, 64, 64),
-              ("LSTM gates", 64, 256, 128)]
-    for name, m, n, k in shapes:
-        a = rng.normal(0, 0.5, (m, k)).astype(np.float16)
-        b = rng.normal(0, 0.5, (k, n)).astype(np.float16)
-        c = hgemm(a, b)
-        exact = np.array_equal(c, hgemm_reference(a, b))
-        print(f"  {name}: {m}x{n}x{k} -> bit-exact {exact}")
-        assert exact
+    result = run_suite("layers", spec=RTX2070, scale="sim")
+    for r in result.results:
+        print(f"  {r.workload}: {r.shape} -> bit-exact {r.exact}")
+    assert result.passed, result.summary()
 
 
 def predicted_layer_performance() -> None:
-    pm = PerformanceModel(RTX2070)
     # A real library keeps a kernel family and picks per shape: the big
     # 256x256 tile maximises intensity, the 128x128 variant fills more SMs
     # on small/skinny layers (this is exactly cuBLAS's own trade, Table
-    # VII).  The analytical model does the selection.
-    family = {
-        "256x256": ours(),
-        "128x128": ours(b_m=128, b_n=128, w_m=64, w_n=64, name="ours-small"),
-    }
-    rows = []
-    for name, m, n, k in LAYER_SHAPES:
-        candidates = {
-            label: pm.estimate(cfg, m, n, k) for label, cfg in family.items()
-        }
-        label = max(candidates, key=lambda key: candidates[key].tflops)
-        o = candidates[label]
-        c = pm.estimate(cublas_like(), m, n, k, baseline_quirks=True)
-        rows.append((name, f"{m}x{n}x{k}", label, round(o.tflops, 1),
-                     round(c.tflops, 1), round(o.tflops / c.tflops, 2),
-                     o.bound))
+    # VII).  sweep_suite runs that selection over the whole suite.
+    rows = sweep_suite("layers", RTX2070, scale="full")
     print()
-    print(format_table(
-        ["layer", "GEMM", "tile", "ours TFLOPS", "cuBLAS TFLOPS",
-         "speedup", "bound"],
-        rows, title="Predicted layer GEMM performance on RTX 2070 "
-                    "(shape-aware tile selection)"))
+    print(format_estimates(rows, RTX2070,
+                           title="Predicted layer GEMM performance on "
+                                 "RTX 2070 (shape-aware tile selection)"))
 
 
 def main() -> None:

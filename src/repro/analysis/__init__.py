@@ -10,6 +10,7 @@ from .perf_model import (
     SmProfile,
 )
 from .roofline import Roofline, RooflinePoint
+from .suite import autotune_suite, format_suite_tuning, sweep_suite
 
 __all__ = [
     "Candidate",
@@ -28,4 +29,7 @@ __all__ = [
     "SmProfile",
     "Roofline",
     "RooflinePoint",
+    "autotune_suite",
+    "format_suite_tuning",
+    "sweep_suite",
 ]

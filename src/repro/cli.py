@@ -13,11 +13,14 @@ Commands
 ``perfstats``   profile kernels and report simulator/cache statistics
 ``doctor``      report robustness health (guard/cache/workers) + self-test
 ``serve``       run/manage the simulation-service daemon
+``workloads``   deep-learning workload suites: run / estimate / autotune
+``numerics``    mixed-precision error curves (FP16 vs FP32 accumulate)
 
-``hgemm``/``igemm``/``sweep``/``autotune``/``verify`` accept ``--remote
-[SOCKET]``: the work is submitted to a ``repro serve`` daemon (sharing
-its hot cache and coalescing with other tenants) and falls back to
-in-process execution, with a stderr note, when no daemon is reachable.
+``hgemm``/``igemm``/``sweep``/``autotune``/``verify``/``workloads``/
+``numerics`` accept ``--remote [SOCKET]``: the work is submitted to a
+``repro serve`` daemon (sharing its hot cache and coalescing with other
+tenants) and falls back to in-process execution, with a stderr note,
+when no daemon is reachable.
 """
 
 from __future__ import annotations
@@ -447,6 +450,120 @@ def _cmd_verify(args) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_workloads(args) -> int:
+    from .arch import get_device
+
+    if args.action == "list":
+        from .workloads import SUITES
+
+        for name in sorted(SUITES):
+            suite = SUITES[name]
+            print(f"{name}: {suite.description}")
+            for w in suite.workloads:
+                shapes = ", ".join(p.describe() for p in w.problems("sim"))
+                print(f"  {w.name} ({w.kind}): sim {shapes}")
+        return 0
+
+    spec = get_device(args.device)
+    # Functional runs default to the small simulator-friendly shapes;
+    # model-side actions default to the production shapes.
+    scale = args.scale or ("sim" if args.action == "run" else "full")
+    if args.action == "run":
+        remote = _resolve_remote(args)
+        if remote is not None:
+            from .serve.jobs import spec_to_dict
+
+            payload = {"suite": args.suite, "spec": spec_to_dict(spec),
+                       "scale": scale, "kernel": args.kernel,
+                       "seed": args.seed}
+            if args.jobs is not None:
+                payload["jobs"] = args.jobs
+            if args.func_engine is not None:
+                payload["engine"] = args.func_engine
+            view = _remote_run(remote, "workloads", payload)
+            if view is None:
+                return 1
+            print(view["result"]["summary"])
+            print(f"served by daemon: {_job_origin(view)} "
+                  f"(job {view['job_id']})")
+            return 0 if view["result"]["passed"] else 1
+
+        from .workloads import run_suite
+
+        result = run_suite(args.suite, spec=spec, scale=scale,
+                           kernel=args.kernel, seed=args.seed,
+                           max_workers=args.jobs, engine=args.func_engine)
+        print(result.summary())
+        return 0 if result.passed else 1
+
+    if args.action == "estimate":
+        from .analysis import sweep_suite
+        from .workloads.suite import format_estimates
+
+        rows = sweep_suite(args.suite, spec, scale=scale,
+                           max_workers=args.jobs)
+        print(format_estimates(rows, spec))
+        return 0
+
+    # args.action == "autotune"
+    from .analysis import autotune_suite, format_suite_tuning
+
+    rows = autotune_suite(args.suite, spec, scale=scale,
+                          accum_f32=args.accumulate == "f32",
+                          max_workers=args.jobs)
+    print(format_suite_tuning(rows, spec))
+    return 0
+
+
+def _cmd_numerics(args) -> int:
+    from .arch import get_device
+
+    spec = get_device(args.device)
+    ks = tuple(int(k) for k in args.ks.split(",")) if args.ks else None
+    remote = _resolve_remote(args)
+    if remote is not None:
+        from .serve.jobs import spec_to_dict
+
+        payload = {"spec": spec_to_dict(spec),
+                   "distribution": args.distribution, "m": args.m,
+                   "n": args.n, "seed": args.seed}
+        if ks:
+            payload["ks"] = list(ks)
+        if args.jobs is not None:
+            payload["jobs"] = args.jobs
+        if args.func_engine is not None:
+            payload["engine"] = args.func_engine
+        view = _remote_run(remote, "numerics", payload)
+        if view is None:
+            return 1
+        print(view["result"]["summary"])
+        print(f"served by daemon: {_job_origin(view)} "
+              f"(job {view['job_id']})")
+        return 0 if view["result"]["reproduced"] else 1
+
+    from .numerics import (error_chart, error_curve, format_curves,
+                           format_verdict, markidis_verdict, supports)
+    from .numerics.harness import DEFAULT_KS
+
+    common = dict(ks=ks or DEFAULT_KS, m=args.m, n=args.n,
+                  distribution=args.distribution, seed=args.seed,
+                  max_workers=args.jobs, engine=args.func_engine)
+    f16 = error_curve(spec, accumulate="f16", **common)
+    f32 = (error_curve(spec, accumulate="f32", **common)
+           if supports(spec, "f32") else None)
+    curves = [f16] + ([f32] if f32 else [])
+    print(format_curves(curves))
+    print()
+    print(error_chart(curves))
+    print()
+    verdict = markidis_verdict(f16, f32)
+    print(format_verdict(verdict))
+    print(f"curve digests: f16 {f16.digest()[:16]}"
+          + (f", f32 {f32.digest()[:16]}" if f32 else
+             "  (no f32-accumulate form on this generation)"))
+    return 0 if verdict.reproduced else 1
+
+
 def _cmd_doctor(args) -> int:
     from .robust.doctor import format_report, run_doctor
 
@@ -702,6 +819,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=None,
                    help="worker processes (0 = one per CPU; default serial)")
 
+    p = sub.add_parser("workloads",
+                       help="deep-learning workload suites (run/estimate/"
+                            "autotune)")
+    p.add_argument("action",
+                   choices=["list", "run", "estimate", "autotune"])
+    p.add_argument("--suite", default="smoke",
+                   help="suite name (see 'repro workloads list')")
+    p.add_argument("--device", default="RTX2070")
+    p.add_argument("--scale", default=None, choices=["sim", "full"],
+                   help="shape scale (default: sim for 'run', full for "
+                        "'estimate'/'autotune')")
+    p.add_argument("--kernel", default="ours", choices=["ours", "cublas"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--accumulate", default="f16", choices=["f16", "f32"],
+                   help="accumulator for 'autotune'")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (0 = one per CPU; default serial)")
+
+    p = sub.add_parser("numerics",
+                       help="mixed-precision error curves (FP16 vs FP32 "
+                            "accumulate, simulated HMMA)")
+    p.add_argument("--device", default="RTX2070")
+    p.add_argument("--ks", default=None,
+                   help="comma-separated contracted dimensions "
+                        "(default 32..1024)")
+    p.add_argument("--m", type=int, default=64)
+    p.add_argument("--n", type=int, default=64)
+    p.add_argument("--distribution", default="positive",
+                   choices=["uniform", "positive", "normal"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (0 = one per CPU; default serial)")
+
     sub.add_parser("devices",
                    help="list registered devices and their generations")
 
@@ -727,7 +877,8 @@ def build_parser() -> argparse.ArgumentParser:
                         "forking a background daemon")
 
     # Thin-client mode: these commands can route through a running daemon.
-    for name in ("hgemm", "igemm", "sweep", "autotune", "verify"):
+    for name in ("hgemm", "igemm", "sweep", "autotune", "verify",
+                 "workloads", "numerics"):
         sub.choices[name].add_argument(
             "--remote", nargs="?", const="", default=None, metavar="SOCKET",
             help="submit to a 'repro serve' daemon (default socket when no "
@@ -751,6 +902,8 @@ _COMMANDS = {
     "autotune": _cmd_autotune,
     "analyze": _cmd_analyze,
     "verify": _cmd_verify,
+    "workloads": _cmd_workloads,
+    "numerics": _cmd_numerics,
     "devices": _cmd_devices,
     "disasm": _cmd_disasm,
     "perfstats": _cmd_perfstats,

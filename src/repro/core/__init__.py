@@ -13,7 +13,13 @@ from .blocking import (
 from .builder import HgemmProblem, RegisterPlan, build_hgemm
 from .config import ConfigError, KernelConfig, cublas_like, ours, ours_f32
 from .config import ours_int8
-from .hgemm import HgemmRun, hgemm, hgemm_batched, hgemm_reference
+from .hgemm import (
+    HgemmRun,
+    hgemm,
+    hgemm_batched,
+    hgemm_reference,
+    resolve_config,
+)
 from .igemm import IgemmRun, igemm, igemm_reference
 from .layout import SmemPlan, TileLayout
 from .scheduler import InterleaveScheduler, spacing_for
@@ -44,6 +50,7 @@ __all__ = [
     "hgemm",
     "hgemm_batched",
     "hgemm_reference",
+    "resolve_config",
     "SmemPlan",
     "TileLayout",
     "InterleaveScheduler",

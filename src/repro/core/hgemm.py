@@ -34,7 +34,8 @@ from .config import (
     ours_f32,
 )
 
-__all__ = ["hgemm", "hgemm_batched", "hgemm_reference", "HgemmRun"]
+__all__ = ["hgemm", "hgemm_batched", "hgemm_reference", "HgemmRun",
+           "resolve_config"]
 
 
 def _resolve_config(kernel, m: int, n: int, k: int,
@@ -90,6 +91,21 @@ def _shrink_to_fit(config: KernelConfig, m: int, n: int, k: int,
         candidate = candidate.with_(w_k=min_wk,
                                     b_k=max(2 * min_wk, candidate.b_k))
     return candidate
+
+
+def resolve_config(kernel, m: int, n: int, k: int,
+                   accumulate: str = "f16",
+                   spec: GpuSpec = RTX2070) -> KernelConfig:
+    """The kernel-family selection :func:`hgemm` performs, as a public API.
+
+    Workload drivers that manage device memory themselves (the batched
+    and conv-as-GEMM paths in :mod:`repro.workloads`) need the same
+    preset-to-feasible-member resolution without launching anything:
+    named presets are adapted to the device's Tensor Core generation and
+    shrunk until they tile ``m x n x k``; explicit configs are taken
+    verbatim, exactly as ``hgemm`` would.
+    """
+    return _resolve_config(kernel, m, n, k, accumulate, spec)
 
 
 class HgemmRun:

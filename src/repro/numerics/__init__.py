@@ -1,0 +1,47 @@
+"""Mixed-precision numerics harness: measured error of simulated HMMA.
+
+The paper optimizes half-precision GEMM for speed and leaves accuracy to
+its citation of Markidis et al.; this package closes that loop on the
+simulated device.  Because the functional simulator executes the real
+generated kernel with the per-generation HMMA precision model (exact
+products, one accumulator rounding per ``w_k``-wide step), the error it
+measures *is* the error the modelled hardware would produce -- with the
+true accumulation order, not a NumPy idealisation.  Every sample is
+cross-checked bit-for-bit against :func:`repro.core.hgemm_reference`
+(the model the SMT formalization verifies) and digested over its raw
+result bytes so per-generation goldens can pin whole error curves.
+
+Entry points: :func:`measure_point` (one GEMM), :func:`error_curve`
+(error vs K), :func:`markidis_verdict` (did FP16-accumulate error grow
+with K while FP32-accumulate stayed flat?).  ``repro numerics`` runs
+the standard report from the command line.
+"""
+
+from .harness import (
+    DEFAULT_KS,
+    DISTRIBUTIONS,
+    ErrorCurve,
+    ErrorSample,
+    MarkidisVerdict,
+    error_curve,
+    markidis_verdict,
+    measure_point,
+    supports,
+)
+from .report import error_chart, format_curve, format_curves, format_verdict
+
+__all__ = [
+    "DEFAULT_KS",
+    "DISTRIBUTIONS",
+    "ErrorCurve",
+    "ErrorSample",
+    "MarkidisVerdict",
+    "error_curve",
+    "markidis_verdict",
+    "measure_point",
+    "supports",
+    "error_chart",
+    "format_curve",
+    "format_curves",
+    "format_verdict",
+]

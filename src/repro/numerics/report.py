@@ -1,0 +1,65 @@
+"""Render numerics-harness measurements as report tables."""
+
+from __future__ import annotations
+
+import math
+
+from ..report import ascii_chart, format_table
+from .harness import ErrorCurve, MarkidisVerdict
+
+__all__ = ["format_curve", "format_curves", "format_verdict", "error_chart"]
+
+
+def _sci(x: float) -> str:
+    return f"{x:.3e}"
+
+
+def format_curve(curve: ErrorCurve, title: str = "") -> str:
+    """One curve as an error-vs-K table."""
+    rows = [(s.k, s.w_k, _sci(s.max_rel_err), _sci(s.mean_rel_err),
+             "yes" if s.model_exact else "NO")
+            for s in curve.samples]
+    return format_table(
+        ["K", "w_k", "max rel err", "mean rel err", "model-exact"],
+        rows,
+        title=title or f"{curve.device} {curve.accumulate}-accumulate, "
+        f"{curve.distribution} operands (simulated HMMA arithmetic)")
+
+
+def format_curves(curves: list, title: str = "") -> str:
+    """Several curves side by side, keyed by (accumulate, distribution).
+
+    All curves must share the same K grid (they do when produced by
+    :func:`repro.numerics.error_curve` with the same ``ks``).
+    """
+    ks = [s.k for s in curves[0].samples]
+    headers = ["K"] + [f"{c.accumulate}/{c.distribution}" for c in curves]
+    rows = []
+    for i, k in enumerate(ks):
+        rows.append([k] + [_sci(c.samples[i].max_rel_err) for c in curves])
+    return format_table(headers, rows,
+                        title=title or f"max relative error vs K on "
+                        f"{curves[0].device}")
+
+
+def error_chart(curves: list, width: int = 68, height: int = 14) -> str:
+    """log10(max rel err) vs K as an ASCII chart -- the Markidis figure.
+
+    Errors span orders of magnitude, so the chart plots
+    ``log10(err) + 8`` (zero-clamped): FP16 growth slopes up, FP32 stays
+    a flat low line.
+    """
+    ks = [s.k for s in curves[0].samples]
+    series = {}
+    for c in curves:
+        ys = [max(0.0, math.log10(max(s.max_rel_err, 1e-8)) + 8.0)
+              for s in c.samples]
+        series[f"{c.accumulate}/{c.distribution}"] = ys
+    return ascii_chart(ks, series, width=width, height=height,
+                       y_label="log10(err)+8")
+
+
+def format_verdict(verdict: MarkidisVerdict) -> str:
+    status = "REPRODUCED" if verdict.reproduced else "NOT REPRODUCED"
+    return (f"Markidis et al. error shape: {status}\n"
+            f"  {verdict.describe()}")

@@ -30,6 +30,12 @@ Kinds
     the full result matrix back (base64) for bit-exactness audits.
 ``verify``
     The shape/seed verification grid of one config.
+``workloads``
+    One deep-learning workload-suite run (:mod:`repro.workloads`):
+    every member simulated and checked bit-exactly against its oracle.
+``numerics``
+    One mixed-precision error-curve report (:mod:`repro.numerics`):
+    FP16- vs FP32-accumulate error versus K with the Markidis verdict.
 """
 
 from __future__ import annotations
@@ -243,6 +249,61 @@ def _run_verify(payload: dict) -> dict:
             "cases": len(report.cases)}
 
 
+def _run_workloads(payload: dict) -> dict:
+    from ..arch.turing import RTX2070
+    from ..workloads import run_suite
+
+    spec = (spec_from_dict(payload["spec"]) if payload.get("spec")
+            else RTX2070)
+    result = run_suite(payload.get("suite", "smoke"), spec=spec,
+                       scale=payload.get("scale", "sim"),
+                       kernel=payload.get("kernel", "ours"),
+                       seed=int(payload.get("seed", 0)),
+                       max_workers=payload.get("jobs"),
+                       engine=payload.get("engine"))
+    return {
+        "suite": result.suite,
+        "device": result.device,
+        "scale": result.scale,
+        "passed": result.passed,
+        "instructions": result.instructions,
+        "summary": result.summary(),
+        "results": [asdict(r) for r in result.results],
+    }
+
+
+def _run_numerics(payload: dict) -> dict:
+    from ..arch.turing import RTX2070
+    from ..numerics import (error_curve, format_curves, format_verdict,
+                            markidis_verdict, supports)
+    from ..numerics.harness import DEFAULT_KS
+
+    spec = (spec_from_dict(payload["spec"]) if payload.get("spec")
+            else RTX2070)
+    ks = tuple(payload.get("ks") or DEFAULT_KS)
+    common = dict(ks=ks, m=int(payload.get("m", 64)),
+                  n=int(payload.get("n", 64)),
+                  distribution=payload.get("distribution", "positive"),
+                  seed=int(payload.get("seed", 0)),
+                  kernel=payload.get("kernel", "ours"),
+                  max_workers=payload.get("jobs"),
+                  engine=payload.get("engine"))
+    f16 = error_curve(spec, accumulate="f16", **common)
+    f32 = (error_curve(spec, accumulate="f32", **common)
+           if supports(spec, "f32") else None)
+    verdict = markidis_verdict(f16, f32)
+    curves = [f16] + ([f32] if f32 else [])
+    return {
+        "device": spec.name,
+        "reproduced": verdict.reproduced,
+        "f16_digest": f16.digest(),
+        "f32_digest": f32.digest() if f32 else None,
+        "summary": (format_curves(curves) + "\n"
+                    + format_verdict(verdict)),
+        "samples": [asdict(s) for c in curves for s in c.samples],
+    }
+
+
 # -------------------------------------------------------------- registry
 
 @dataclass(frozen=True)
@@ -265,6 +326,8 @@ JOB_KINDS = {
     "hgemm": JobKind("hgemm", _run_hgemm),
     "igemm": JobKind("igemm", _run_igemm),
     "verify": JobKind("verify", _run_verify),
+    "workloads": JobKind("workloads", _run_workloads),
+    "numerics": JobKind("numerics", _run_numerics),
 }
 
 

@@ -87,14 +87,16 @@ class Device:
     # ------------------------------------------------------------- launch
 
     def launch(self, program: Program, grid=(1, 1),
-               max_workers: int = None) -> FunctionalResult:
+               max_workers: int = None, engine: str = None) -> FunctionalResult:
         """Run *program* functionally over the whole grid.
 
         ``max_workers`` shards CTAs over worker processes (``None``/1
-        serial, 0 one per CPU); results are bit-identical either way.
+        serial, 0 one per CPU); ``engine`` selects the functional
+        execution engine (``None`` -> ``REPRO_FUNC_ENGINE``).  Results
+        are bit-identical across workers and engines.
         """
-        return FunctionalSimulator().run(program, self.memory, grid_dim=grid,
-                                         max_workers=max_workers)
+        return FunctionalSimulator(engine=engine).run(
+            program, self.memory, grid_dim=grid, max_workers=max_workers)
 
     def launch_timed(self, program: Program, num_ctas: int = 1,
                      bandwidth_share: float = None) -> LaunchTiming:

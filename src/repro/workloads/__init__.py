@@ -1,0 +1,71 @@
+"""Deep-learning workload suite: the paper's motivating layers, first-class.
+
+Section I of the paper motivates HGEMM entirely through deep-learning
+layers -- fully-connected layers, convolutions lowered to GEMM, LSTM
+cells, BERT's transformer blocks -- but its evaluation only ever runs
+square and ``[aW x bW x cW]`` rectangular sweeps.  This package opens
+that scenario space on the simulated device:
+
+* :mod:`repro.workloads.batched`   -- batched/strided GEMM: a stack of
+  independent problems packed into one :class:`~repro.sim.gpu.Device`
+  arena and driven through ``Device.launch`` grid by grid.
+* :mod:`repro.workloads.conv`      -- convolution as implicit GEMM: an
+  im2col shape mapper plus a functional ``conv2d`` lowered onto
+  :func:`repro.core.hgemm`.
+* :mod:`repro.workloads.attention` -- attention-shaped problems: the
+  tall-skinny ``Q @ K^T`` and rectangular ``P @ V`` GEMMs of one
+  transformer head, with the host-side softmax between them.
+* :mod:`repro.workloads.suite`     -- the named suite registry
+  (``bert``, ``resnet``, ``lstm``, ``layers``, ``smoke``), a functional
+  runner that checks every member bit-exactly against the precision
+  model, and performance-model estimates for the production shapes.
+
+``repro workloads`` exposes the registry on the command line; the
+``workloads`` serve job kind lets a daemon coalesce and cache whole
+suite runs.  Suite-wide ``autotune``/``sweep`` entry points live in
+:mod:`repro.analysis.suite`.
+"""
+
+from .attention import AttentionSpec, attention_head, attention_head_reference
+from .batched import (
+    BatchedRun,
+    hgemm_strided_batched,
+    hgemm_strided_batched_reference,
+)
+from .conv import ConvSpec, conv2d, conv2d_reference, im2col, weights_matrix
+from .suite import (
+    GemmShape,
+    SuiteResult,
+    Workload,
+    WorkloadResult,
+    WorkloadSuite,
+    SUITES,
+    estimate_suite,
+    get_suite,
+    run_suite,
+    suite_names,
+)
+
+__all__ = [
+    "AttentionSpec",
+    "attention_head",
+    "attention_head_reference",
+    "BatchedRun",
+    "hgemm_strided_batched",
+    "hgemm_strided_batched_reference",
+    "ConvSpec",
+    "conv2d",
+    "conv2d_reference",
+    "im2col",
+    "weights_matrix",
+    "GemmShape",
+    "SuiteResult",
+    "Workload",
+    "WorkloadResult",
+    "WorkloadSuite",
+    "SUITES",
+    "estimate_suite",
+    "get_suite",
+    "run_suite",
+    "suite_names",
+]

@@ -1,0 +1,88 @@
+"""Golden error-curve digests, pinned per Tensor Core generation.
+
+Each digest hashes the *raw simulated result bytes* of every point on an
+error-vs-K curve (fixed seed, shapes, distribution), exactly the way the
+cycle goldens pin the timing engine: any change to HMMA arithmetic, the
+accumulation order, kernel-family selection, or operand generation shows
+up as a digest mismatch here before it shows up as a silently different
+accuracy story.
+
+Generation coverage: SM70 (V100) has only the FP16-accumulate HMMA.884
+form; SM75 (RTX 2070) adds FP32 accumulate; SM80 (A100) widens the HMMA
+k-step to 16, which *changes the rounding schedule* -- fewer roundings
+per dot product -- so its FP16 bits legitimately differ from Turing's.
+Volta and Turing share w_k=8, so their result bits must be identical
+and only the device label separates their curve digests.
+"""
+
+import pytest
+
+from repro.arch import DEVICES
+from repro.numerics import error_curve
+
+KS = (32, 64, 128, 256)
+SEED = 7
+
+#: (device, accumulate, distribution) -> pinned curve digest.
+GOLDEN_DIGESTS = {
+    ("V100", "f16", "positive"):
+        "791ac5609a7a5754d2ae0a130eee330447f9fa2083242b135eec3d2295730b61",
+    ("V100", "f16", "uniform"):
+        "7b9e9bb4da6af87a646e67cc04d9f29924d9a15c3018bc840c9635f9acc63264",
+    ("RTX2070", "f16", "positive"):
+        "ff326f9f0c179753e92343b838aa474a0b8ccbc6e16e652639b5f59051d760cf",
+    ("RTX2070", "f32", "positive"):
+        "52b442e6da1c06bab7d6e3c91ed2e0e00466a6a4ac8acb5fb896f13eac9fec6f",
+    ("A100", "f16", "positive"):
+        "238992c68f7c5a846e3b420f4eba7a2073fda60a0bf19eac79539a7683c321da",
+    ("A100", "f32", "positive"):
+        "1c68192c479fc0a4fdf9cb8a885d3bafbd7b2b2ca32b4a9b09dc55135b0c2bf5",
+}
+
+
+def _curve(device, accumulate, distribution):
+    return error_curve(DEVICES[device], ks=KS, accumulate=accumulate,
+                       distribution=distribution, seed=SEED)
+
+
+@pytest.mark.parametrize("device,accumulate,distribution",
+                         sorted(GOLDEN_DIGESTS),
+                         ids=["-".join(key) for key in
+                              sorted(GOLDEN_DIGESTS)])
+def test_curve_digest_pinned(device, accumulate, distribution):
+    curve = _curve(device, accumulate, distribution)
+    assert curve.model_exact  # simulator == formal HMMA model, bitwise
+    assert curve.digest() == GOLDEN_DIGESTS[
+        (device, accumulate, distribution)]
+
+
+def test_volta_and_turing_bits_identical():
+    """w_k=8 on both SM70 and SM75: the accumulation order is the same,
+    so every sample's result bytes (hence digest) must match."""
+    volta = _curve("V100", "f16", "positive")
+    turing = _curve("RTX2070", "f16", "positive")
+    assert [s.digest for s in volta.samples] == \
+        [s.digest for s in turing.samples]
+
+
+def test_ampere_bits_differ_from_turing():
+    """w_k=16 halves the number of f16 roundings per dot product: Ampere's
+    FP16-accumulate bits must NOT match Turing's (same seed, same shapes).
+    A silent match would mean the generation's HMMA k-step stopped
+    reaching the arithmetic."""
+    ampere = _curve("A100", "f16", "positive")
+    turing = _curve("RTX2070", "f16", "positive")
+    assert [s.digest for s in ampere.samples] != \
+        [s.digest for s in turing.samples]
+    assert all(s.w_k == 16 for s in ampere.samples)
+    assert all(s.w_k == 8 for s in turing.samples)
+
+
+def test_f16_error_grows_f32_flat_at_pinned_points():
+    """The Markidis shape at the golden operating points: SM70's f16 error
+    grows with K; SM80's f32 error stays at the FP32-epsilon scale."""
+    volta = _curve("V100", "f16", "positive")
+    errs = [s.max_rel_err for s in volta.samples]
+    assert errs == sorted(errs) and errs[-1] > 2 * errs[0]
+    ampere = _curve("A100", "f32", "positive")
+    assert all(s.max_rel_err < 1e-5 for s in ampere.samples)

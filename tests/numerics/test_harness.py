@@ -1,0 +1,97 @@
+"""Tests for the mixed-precision numerics harness."""
+
+import numpy as np
+import pytest
+
+from repro.arch import DEVICES
+from repro.arch.turing import RTX2070
+from repro.numerics import (
+    DISTRIBUTIONS,
+    error_chart,
+    error_curve,
+    format_curve,
+    format_curves,
+    format_verdict,
+    markidis_verdict,
+    measure_point,
+    supports,
+)
+
+
+class TestMeasurePoint:
+    def test_point_is_model_exact(self):
+        sample = measure_point(RTX2070, k=64)
+        assert sample.model_exact
+        assert sample.w_k == 8
+        assert 0 < sample.max_rel_err < 1
+        assert 0 < sample.mean_rel_err <= sample.max_rel_err
+
+    def test_f32_accumulate_is_near_exact(self):
+        sample = measure_point(RTX2070, k=256, accumulate="f32",
+                               distribution="positive")
+        assert sample.model_exact
+        assert sample.max_rel_err < 1e-5
+
+    def test_digest_depends_on_seed_and_k(self):
+        base = measure_point(RTX2070, k=64, seed=0)
+        assert measure_point(RTX2070, k=64, seed=1).digest != base.digest
+        assert measure_point(RTX2070, k=128, seed=0).digest != base.digest
+        again = measure_point(RTX2070, k=64, seed=0)
+        assert again.digest == base.digest
+
+    def test_volta_rejects_f32_accumulate(self):
+        assert not supports(DEVICES["V100"], "f32")
+        with pytest.raises(ValueError, match="no f32-accumulate"):
+            measure_point(DEVICES["V100"], k=32, accumulate="f32")
+
+    def test_every_distribution_runs(self):
+        for name in DISTRIBUTIONS:
+            sample = measure_point(RTX2070, k=32, distribution=name)
+            assert sample.model_exact, name
+
+
+class TestErrorCurve:
+    def test_f16_error_grows_with_k(self):
+        curve = error_curve(RTX2070, ks=(32, 128, 512),
+                            distribution="positive")
+        errs = [s.max_rel_err for s in curve.samples]
+        assert errs == sorted(errs)
+        assert curve.growth > 2
+        assert curve.model_exact
+
+    def test_f32_error_stays_flat(self):
+        curve = error_curve(RTX2070, ks=(32, 128, 512), accumulate="f32",
+                            distribution="positive")
+        assert all(s.max_rel_err < 1e-5 for s in curve.samples)
+
+    def test_markidis_verdict_reproduced_on_turing(self):
+        ks = (32, 64, 128, 256, 512)
+        f16 = error_curve(RTX2070, ks=ks, distribution="positive")
+        f32 = error_curve(RTX2070, ks=ks, accumulate="f32",
+                          distribution="positive")
+        verdict = markidis_verdict(f16, f32)
+        assert verdict.reproduced
+        assert "REPRODUCED" in format_verdict(verdict)
+
+    def test_markidis_verdict_volta_f16_only(self):
+        f16 = error_curve(DEVICES["V100"], ks=(32, 128, 512),
+                          distribution="positive")
+        verdict = markidis_verdict(f16, None)
+        assert verdict.reproduced
+        assert np.isnan(verdict.f32_worst)
+        assert "unsupported" in verdict.describe()
+
+    def test_report_rendering(self):
+        ks = (32, 64)
+        f16 = error_curve(RTX2070, ks=ks)
+        f32 = error_curve(RTX2070, ks=ks, accumulate="f32")
+        assert "max rel err" in format_curve(f16)
+        table = format_curves([f16, f32])
+        assert "f16/uniform" in table and "f32/uniform" in table
+        chart = error_chart([f16, f32])
+        assert "log10(err)" in chart
+
+    def test_ampere_uses_wider_k_step(self):
+        curve = error_curve(DEVICES["A100"], ks=(32, 64))
+        assert all(s.w_k == 16 for s in curve.samples)
+        assert curve.model_exact

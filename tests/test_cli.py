@@ -139,3 +139,77 @@ class TestServeCli:
             assert "served by daemon: cache hit" in out
         finally:
             daemon.stop()
+
+
+class TestWorkloadsCommand:
+    def test_list(self, capsys):
+        assert main(["workloads", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("bert", "layers", "lstm", "resnet", "smoke"):
+            assert name in out
+
+    def test_run_smoke(self, capsys):
+        assert main(["workloads", "run", "--suite", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS: 4/4 workloads bit-exact" in out
+
+    def test_run_on_volta(self, capsys):
+        assert main(["workloads", "run", "--suite", "lstm",
+                     "--device", "V100"]) == 0
+        assert "V100" in capsys.readouterr().out
+
+    def test_estimate(self, capsys):
+        assert main(["workloads", "estimate", "--suite", "lstm"]) == 0
+        out = capsys.readouterr().out
+        assert "TFLOPS" in out and "speedup" in out
+
+    def test_remote_run_against_daemon(self, tmp_path, monkeypatch, capsys):
+        from repro.serve import ServeDaemon
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        daemon = ServeDaemon(str(tmp_path / "wl.sock"), workers=1)
+        daemon.start()
+        try:
+            rc = main(["workloads", "run", "--suite", "smoke",
+                       "--remote", daemon.socket_path])
+            out = capsys.readouterr().out
+            assert rc == 0
+            assert "PASS: 4/4 workloads bit-exact" in out
+            assert "served by daemon: executed" in out
+            rc = main(["workloads", "run", "--suite", "smoke",
+                       "--remote", daemon.socket_path])
+            out = capsys.readouterr().out
+            assert rc == 0
+            assert "served by daemon: cache hit" in out
+        finally:
+            daemon.stop()
+
+
+class TestNumericsCommand:
+    def test_reproduces_markidis_shape(self, capsys):
+        assert main(["numerics", "--ks", "32,64,128,256"]) == 0
+        out = capsys.readouterr().out
+        assert "Markidis et al. error shape: REPRODUCED" in out
+        assert "f16/positive" in out and "f32/positive" in out
+        assert "curve digests" in out
+
+    def test_volta_f16_only(self, capsys):
+        assert main(["numerics", "--device", "V100",
+                     "--ks", "32,64,128,256"]) == 0
+        out = capsys.readouterr().out
+        assert "no f32-accumulate form" in out
+
+    def test_remote_against_daemon(self, tmp_path, monkeypatch, capsys):
+        from repro.serve import ServeDaemon
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        daemon = ServeDaemon(str(tmp_path / "num.sock"), workers=1)
+        daemon.start()
+        try:
+            rc = main(["numerics", "--ks", "32,64,128,256",
+                       "--remote", daemon.socket_path])
+            out = capsys.readouterr().out
+            assert rc == 0
+            assert "served by daemon: executed" in out
+        finally:
+            daemon.stop()

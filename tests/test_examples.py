@@ -17,6 +17,9 @@ FAST_EXAMPLES = [
     "quickstart.py",
     "write_sass_by_hand.py",
     "choose_blocking.py",
+    # A thin wrapper over repro.workloads: the suite runs functionally at
+    # sim scale plus performance-model estimates, so it stays fast.
+    "deep_learning_layers.py",
 ]
 
 

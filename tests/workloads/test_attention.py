@@ -1,0 +1,66 @@
+"""Tests for attention-shaped GEMM problems."""
+
+import numpy as np
+import pytest
+
+from repro.arch import DEVICES
+from repro.workloads import (
+    AttentionSpec,
+    attention_head,
+    attention_head_reference,
+)
+
+
+def _qkv(seq=64, d_head=64, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.uniform(-1, 1, (seq, d_head)).astype(np.float16)
+            for _ in range(3)]
+
+
+class TestAttentionSpec:
+    def test_gemm_problems_shapes(self):
+        spec = AttentionSpec(seq=512, d_model=1024, n_heads=16)
+        assert spec.d_head == 64
+        problems = dict(
+            (name, (m, n, k, count))
+            for name, m, n, k, count in spec.gemm_problems())
+        assert problems["scores Q@K^T"] == (512, 512, 64, 16)
+        assert problems["output P@V"] == (512, 64, 512, 16)
+        assert problems["QKV projection"] == (512, 3072, 1024, 1)
+
+    def test_indivisible_heads_rejected(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            AttentionSpec(seq=64, d_model=100, n_heads=3)
+
+
+class TestAttentionHead:
+    def test_head_matches_oracle_bitwise(self):
+        q, k, v = _qkv()
+        out, stats = attention_head(q, k, v)
+        oracle = attention_head_reference(q, k, v)
+        np.testing.assert_array_equal(out, oracle)
+        assert stats["launches"] == 2
+        assert stats["mma"] > 0
+
+    def test_output_rows_are_convex_combinations(self):
+        """Softmax rows sum to ~1, so each output row must lie within the
+        value matrix's column-wise range (up to fp16 rounding)."""
+        q, k, v = _qkv(seed=1)
+        out, _ = attention_head(q, k, v)
+        v64 = v.astype(np.float64)
+        lo, hi = v64.min(axis=0) - 1e-2, v64.max(axis=0) + 1e-2
+        assert (out.astype(np.float64) >= lo).all()
+        assert (out.astype(np.float64) <= hi).all()
+
+    def test_shape_mismatch_rejected(self):
+        q, k, v = _qkv()
+        with pytest.raises(ValueError, match="Q/K/V"):
+            attention_head(q, k[:32], v)
+
+    @pytest.mark.parametrize("device", ["V100", "A100"])
+    def test_other_generations(self, device):
+        q, k, v = _qkv(seed=2)
+        spec = DEVICES[device]
+        out, _ = attention_head(q, k, v, device=spec)
+        oracle = attention_head_reference(q, k, v, device=spec)
+        np.testing.assert_array_equal(out, oracle)

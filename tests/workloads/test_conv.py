@@ -1,0 +1,102 @@
+"""Tests for convolution as implicit GEMM (im2col lowering)."""
+
+import numpy as np
+import pytest
+
+from repro.arch import DEVICES
+from repro.workloads import (
+    ConvSpec,
+    conv2d,
+    conv2d_reference,
+    im2col,
+    weights_matrix,
+)
+
+SPEC = ConvSpec(n=1, h=8, w=8, c_in=32, c_out=64, pad=1)
+
+
+def _xw(spec, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, (spec.n, spec.h, spec.w,
+                            spec.c_in)).astype(np.float16)
+    w = rng.uniform(-0.5, 0.5, (spec.r, spec.s, spec.c_in,
+                                spec.c_out)).astype(np.float16)
+    return x, w
+
+
+def _direct_conv(x, w, spec):
+    """Brute-force float64 convolution: the layout ground truth."""
+    out = np.zeros((spec.n, spec.out_h, spec.out_w, spec.c_out))
+    xp = np.pad(x.astype(np.float64),
+                ((0, 0), (spec.pad, spec.pad), (spec.pad, spec.pad), (0, 0)))
+    for oh in range(spec.out_h):
+        for ow in range(spec.out_w):
+            patch = xp[:, oh * spec.stride : oh * spec.stride + spec.r,
+                       ow * spec.stride : ow * spec.stride + spec.s, :]
+            out[:, oh, ow, :] = np.tensordot(
+                patch, w.astype(np.float64), axes=([1, 2, 3], [0, 1, 2]))
+    return out
+
+
+class TestShapeMapper:
+    def test_gemm_shape(self):
+        assert SPEC.gemm_shape == (64, 64, 288)
+        assert SPEC.out_h == SPEC.out_w == 8
+
+    def test_strided_output_shape(self):
+        spec = ConvSpec(n=2, h=16, w=16, c_in=32, c_out=64, pad=1, stride=2)
+        assert spec.out_h == spec.out_w == 8
+        assert spec.gemm_shape == (2 * 8 * 8, 64, 288)
+
+    def test_pointwise_is_a_reshape(self):
+        spec = ConvSpec(n=1, h=8, w=8, c_in=64, c_out=128, r=1, s=1)
+        x, _ = _xw(spec)
+        np.testing.assert_array_equal(im2col(x, spec), x.reshape(64, 64))
+
+    def test_im2col_matches_direct_convolution(self):
+        x, w = _xw(SPEC)
+        lowered = im2col(x, SPEC).astype(np.float64) @ \
+            weights_matrix(w, SPEC).astype(np.float64)
+        direct = _direct_conv(x, w, SPEC)
+        np.testing.assert_allclose(
+            lowered.reshape(direct.shape), direct, rtol=1e-12)
+
+    def test_bad_shapes_rejected(self):
+        x, w = _xw(SPEC)
+        with pytest.raises(ValueError, match="NHWC"):
+            im2col(x[:, :, :, :8], SPEC)
+        with pytest.raises(ValueError, match="RSCK"):
+            weights_matrix(w[:, :1], SPEC)
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            ConvSpec(n=0, h=8, w=8, c_in=32, c_out=64)
+        with pytest.raises(ValueError, match="does not fit"):
+            ConvSpec(n=1, h=2, w=2, c_in=32, c_out=64)  # 3x3 on 2x2, pad 0
+
+    def test_describe_mentions_gemm(self):
+        assert "GEMM 64x64x288" in SPEC.describe()
+
+
+class TestSimulatedConv:
+    def test_conv2d_matches_oracle_bitwise(self):
+        x, w = _xw(SPEC)
+        run = conv2d(x, w, SPEC, return_run=True)
+        out = run.c.reshape(SPEC.n, SPEC.out_h, SPEC.out_w, SPEC.c_out)
+        oracle = conv2d_reference(x, w, SPEC, w_k=run.config.w_k)
+        np.testing.assert_array_equal(out, oracle)
+
+    def test_conv2d_returns_nhwc(self):
+        x, w = _xw(SPEC)
+        out = conv2d(x, w, SPEC)
+        assert out.shape == (1, 8, 8, 64)
+        assert out.dtype == np.float16
+
+    def test_strided_conv_on_ampere(self):
+        spec = ConvSpec(n=2, h=16, w=16, c_in=32, c_out=64, pad=1, stride=2)
+        x, w = _xw(spec, seed=3)
+        run = conv2d(x, w, spec, device=DEVICES["A100"], return_run=True)
+        out = run.c.reshape(spec.n, spec.out_h, spec.out_w, spec.c_out)
+        oracle = conv2d_reference(x, w, spec, w_k=run.config.w_k)
+        np.testing.assert_array_equal(out, oracle)
+        assert run.config.w_k == 16  # Ampere's HMMA.16816 k-step

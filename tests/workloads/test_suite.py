@@ -1,0 +1,132 @@
+"""Tests for the workload suite registry, runner, and estimates."""
+
+import pytest
+
+from repro.arch import DEVICES
+from repro.arch.turing import RTX2070
+from repro.workloads import (
+    SUITES,
+    GemmShape,
+    Workload,
+    get_suite,
+    run_suite,
+    suite_names,
+)
+from repro.workloads.suite import estimate_suite, format_estimates
+
+
+class TestRegistry:
+    def test_expected_suites_present(self):
+        assert {"layers", "bert", "resnet", "lstm", "smoke"} <= set(SUITES)
+        assert suite_names() == sorted(SUITES)
+
+    def test_get_suite_by_name_and_passthrough(self):
+        suite = get_suite("bert")
+        assert get_suite(suite) is suite
+        with pytest.raises(KeyError, match="unknown workload suite"):
+            get_suite("nope")
+
+    def test_every_sim_shape_tiles_on_every_generation(self):
+        """Registry invariant: sim-scale GEMM dims must tile on all four
+        devices -- m, n multiples of 64 and k a multiple of 32 (Ampere's
+        b_k after arch adaptation)."""
+        for suite in SUITES.values():
+            for problem in suite.problems("sim"):
+                assert problem.m % 64 == 0, problem
+                assert problem.n % 64 == 0, problem
+                assert problem.k % 32 == 0, problem
+
+    def test_smoke_covers_every_kind(self):
+        kinds = {w.kind for w in get_suite("smoke").workloads}
+        assert kinds == {"gemm", "batched", "conv", "attention"}
+
+    def test_workload_validates_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            Workload("x", "matmul", sim=None, full=None)
+
+    def test_problems_rejects_bad_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            get_suite("smoke").workloads[0].problems("huge")
+
+    def test_gemm_shape_describe_and_flops(self):
+        shape = GemmShape("g", 64, 64, 32, count=4)
+        assert shape.describe() == "4 x 64x64x32"
+        assert shape.flops == 4 * 2 * 64 * 64 * 32
+
+
+class TestRunSuite:
+    def test_smoke_suite_bit_exact(self):
+        result = run_suite("smoke", spec=RTX2070)
+        assert result.passed, result.summary()
+        assert len(result.results) == 4
+        assert result.instructions > 0
+        assert "PASS" in result.summary()
+
+    @pytest.mark.parametrize("device", sorted(DEVICES))
+    def test_smoke_suite_every_device(self, device):
+        result = run_suite("smoke", spec=DEVICES[device])
+        assert result.passed, result.summary()
+
+    def test_failure_is_reported_not_raised(self):
+        """A workload whose shapes cannot tile must produce a failed row
+        with the error message, not crash the whole suite."""
+        from repro.workloads.suite import WorkloadSuite
+
+        bad = WorkloadSuite(
+            name="bad", description="untileable",
+            workloads=(Workload("tiny", "gemm",
+                                sim=GemmShape("tiny", 16, 16, 16),
+                                full=GemmShape("tiny", 16, 16, 16)),))
+        result = run_suite(bad, spec=RTX2070)
+        assert not result.passed
+        assert "FAIL" in result.summary()
+        assert result.results[0].message
+
+    def test_seed_changes_operands_not_verdict(self):
+        a = run_suite("smoke", spec=RTX2070, seed=0)
+        b = run_suite("smoke", spec=RTX2070, seed=1)
+        assert a.passed and b.passed
+
+
+class TestEstimates:
+    def test_estimate_full_scale_layers(self):
+        rows = estimate_suite("layers", RTX2070)
+        assert len(rows) == len(get_suite("layers").problems("full"))
+        for problem, label, est, base in rows:
+            assert label in ("256x256", "128x128")
+            assert est.tflops > 0
+            assert base.tflops > 0
+        table = format_estimates(rows, RTX2070)
+        assert "speedup" in table and "TFLOPS" in table
+
+    def test_estimate_without_baseline(self):
+        rows = estimate_suite("lstm", RTX2070, baseline=False)
+        assert all(base is None for _, _, _, base in rows)
+        assert "speedup" not in format_estimates(rows, RTX2070)
+
+
+class TestAnalysisSuite:
+    def test_sweep_suite_shares_model(self):
+        from repro.analysis import PerformanceModel, sweep_suite
+
+        pm = PerformanceModel(RTX2070)
+        rows = sweep_suite("lstm", RTX2070, model=pm)
+        assert len(rows) == 1
+        assert rows[0][2].tflops > 0
+
+    def test_autotune_suite_dedupes_shapes(self):
+        from repro.analysis import (
+            autotune_suite,
+            format_suite_tuning,
+        )
+
+        # bert's sim scale repeats the 64x256x64-style shapes less than
+        # its problem list length once deduped.
+        rows = autotune_suite("bert", RTX2070, scale="sim", finalists=1)
+        shapes = [(p.m, p.n, p.k) for p, _ in rows]
+        assert len(shapes) == len(set(shapes))
+        problems = get_suite("bert").problems("sim")
+        assert len(rows) < len(problems)
+        for _, result in rows:
+            assert result.best_tflops > 0
+        assert "best configuration" in format_suite_tuning(rows, RTX2070)
